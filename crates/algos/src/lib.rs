@@ -1,0 +1,31 @@
+//! Workload definitions, reference oracles, and single-thread baselines.
+//!
+//! The paper's four workloads (§3):
+//!
+//! * **PageRank** — iterative full-graph analytics; synchronous exact
+//!   computation until the maximum rank change drops below a tolerance, or a
+//!   fixed iteration count, or the *approximate* variant where converged
+//!   vertices opt out (only GraphLab supports it, §5.2).
+//! * **WCC** — HashMin label propagation: every vertex adopts the minimum
+//!   vertex id reachable in either edge direction; O(diameter) iterations.
+//! * **SSSP** — BFS from a fixed source over directed edges (unit weights).
+//! * **K-hop** — SSSP truncated at K = 3 hops (friends-of-friends).
+//!
+//! [`mod@reference`] holds simple, obviously-correct single-threaded
+//! implementations used as *oracles*: every engine's output is compared
+//! against them in tests. [`st`] holds the *optimized* single-thread
+//! implementations standing in for the GAP Benchmark Suite in the COST
+//! experiment (§5.13) — they also report elementary-operation counts so the
+//! simulator can price them.
+
+pub mod reference;
+pub mod st;
+pub mod workload;
+
+pub use workload::{PageRankConfig, StopCriterion, Workload, WorkloadKind, WorkloadResult};
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// The paper's damping constant δ: `pr(v) = δ + (1 - δ) Σ pr(u)/outdeg(u)`.
+pub const DAMPING: f64 = 0.15;

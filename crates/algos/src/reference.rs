@@ -1,0 +1,227 @@
+//! Obviously-correct single-threaded oracles.
+//!
+//! Every distributed engine's output is asserted against these in tests.
+//! They favour clarity over speed; the *optimized* single-thread baselines
+//! for the COST experiment live in [`crate::st`].
+
+use crate::workload::{PageRankConfig, StopCriterion};
+use crate::UNREACHABLE;
+use graphbench_graph::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Synchronous PageRank following the paper's formula
+/// `pr(v) = δ + (1 - δ) Σ pr(u)/outdeg(u)`, all ranks initialized to 1.
+/// Returns the ranks and the number of iterations executed.
+///
+/// Dangling vertices (out-degree 0) leak their rank mass, exactly as the
+/// Pregel-style implementations in the paper's systems do.
+pub fn pagerank(g: &CsrGraph, cfg: &PageRankConfig) -> (Vec<f64>, u32) {
+    let n = g.num_vertices();
+    let mut ranks = vec![1.0f64; n];
+    let mut iterations = 0u32;
+    let max_iters = match cfg.stop {
+        StopCriterion::Iterations(k) => k,
+        StopCriterion::Tolerance(_) => u32::MAX,
+    };
+    // Approximate mode: converged vertices stop contributing updates.
+    let mut active = vec![true; n];
+    while iterations < max_iters {
+        let mut incoming = vec![0.0f64; n];
+        for v in 0..n as VertexId {
+            let deg = g.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = ranks[v as usize] / deg as f64;
+            for &t in g.out_neighbors(v) {
+                incoming[t as usize] += share;
+            }
+        }
+        let mut max_delta = 0.0f64;
+        for v in 0..n {
+            if cfg.approximate && !active[v] {
+                continue;
+            }
+            let new = cfg.damping + (1.0 - cfg.damping) * incoming[v];
+            let delta = (new - ranks[v]).abs();
+            max_delta = max_delta.max(delta);
+            ranks[v] = new;
+            if cfg.approximate {
+                if let StopCriterion::Tolerance(tol) = cfg.stop {
+                    if delta < tol {
+                        active[v] = false;
+                    }
+                }
+            }
+        }
+        iterations += 1;
+        if let StopCriterion::Tolerance(tol) = cfg.stop {
+            if max_delta < tol {
+                break;
+            }
+        }
+    }
+    (ranks, iterations)
+}
+
+/// HashMin WCC: label every vertex with the smallest vertex id reachable
+/// ignoring edge direction. Implemented with BFS per component.
+pub fn wcc(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    // Undirected adjacency.
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for (s, d) in g.edges() {
+        if s != d {
+            adj[s as usize].push(d);
+            adj[d as usize].push(s);
+        }
+    }
+    let mut label = vec![UNREACHABLE; n];
+    for start in 0..n as VertexId {
+        if label[start as usize] != UNREACHABLE {
+            continue;
+        }
+        // `start` is the smallest unvisited id, hence the component minimum.
+        let mut q = VecDeque::from([start]);
+        label[start as usize] = start;
+        while let Some(v) = q.pop_front() {
+            for &t in &adj[v as usize] {
+                if label[t as usize] == UNREACHABLE {
+                    label[t as usize] = start;
+                    q.push_back(t);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// BFS hop distances from `source` over directed out-edges.
+pub fn sssp(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    bfs_bounded(g, source, u32::MAX)
+}
+
+/// BFS hop distances truncated at `k` hops; vertices farther than `k` stay
+/// [`UNREACHABLE`].
+pub fn khop(g: &CsrGraph, source: VertexId, k: u32) -> Vec<u32> {
+    bfs_bounded(g, source, k)
+}
+
+fn bfs_bounded(g: &CsrGraph, source: VertexId, max_depth: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut q = VecDeque::from([source]);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        if d >= max_depth {
+            continue;
+        }
+        for &t in g.out_neighbors(v) {
+            if dist[t as usize] == UNREACHABLE {
+                dist[t as usize] = d + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_graph::builder::csr_from_pairs;
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        // On a directed cycle every vertex keeps rank 1 (fixpoint).
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 0)]);
+        let (ranks, iters) = pagerank(&g, &PageRankConfig::paper_exact());
+        for r in &ranks {
+            assert!((r - 1.0).abs() < 1e-9);
+        }
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn pagerank_sink_attracts_rank() {
+        // 0 -> 2, 1 -> 2: vertex 2 collects rank.
+        let g = csr_from_pairs(&[(0, 2), (1, 2)]);
+        let cfg = PageRankConfig {
+            stop: StopCriterion::Tolerance(1e-9),
+            ..PageRankConfig::paper_exact()
+        };
+        let (ranks, _) = pagerank(&g, &cfg);
+        assert!(ranks[2] > ranks[0]);
+        assert!((ranks[0] - 0.15).abs() < 1e-6); // no in-edges -> δ
+        // 2's fixpoint: δ + (1-δ)(r0 + r1) with r0 = r1 = 0.15.
+        assert!((ranks[2] - (0.15 + 0.85 * 0.3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pagerank_fixed_iterations() {
+        let g = csr_from_pairs(&[(0, 1), (1, 0)]);
+        let (_, iters) = pagerank(&g, &PageRankConfig::fixed(7));
+        assert_eq!(iters, 7);
+    }
+
+    #[test]
+    fn approximate_matches_exact_when_converged() {
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 0), (0, 2), (2, 1)]);
+        let tol = 1e-10;
+        let exact = pagerank(
+            &g,
+            &PageRankConfig {
+                stop: StopCriterion::Tolerance(tol),
+                approximate: false,
+                damping: 0.15,
+            },
+        )
+        .0;
+        let approx = pagerank(
+            &g,
+            &PageRankConfig {
+                stop: StopCriterion::Tolerance(tol),
+                approximate: true,
+                damping: 0.15,
+            },
+        )
+        .0;
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 1e-6, "exact {e} approx {a}");
+        }
+    }
+
+    #[test]
+    fn wcc_respects_direction_blindness() {
+        // 1 -> 0 and 1 -> 2: all one weak component labelled 0.
+        let g = csr_from_pairs(&[(1, 0), (1, 2), (4, 3)]);
+        assert_eq!(wcc(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn wcc_singletons_label_themselves() {
+        let mut el = graphbench_graph::builder::edge_list_from_pairs(&[(0, 1)]);
+        el.num_vertices = 4;
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(wcc(&g), vec![0, 0, 2, 3]);
+    }
+
+    #[test]
+    fn sssp_directed_distances() {
+        // 0 -> 1 -> 2, 2 -> 0; 3 unreachable from 0.
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        assert_eq!(sssp(&g, 0), vec![0, 1, 2, UNREACHABLE]);
+    }
+
+    #[test]
+    fn khop_truncates() {
+        // Path 0 -> 1 -> 2 -> 3 -> 4.
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(khop(&g, 0, 2), vec![0, 1, 2, UNREACHABLE, UNREACHABLE]);
+        assert_eq!(khop(&g, 0, 0), vec![0, UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Workload descriptors and result containers.
+
+use graphbench_graph::VertexId;
+
+/// How PageRank decides it is done (§3.1, §5 "GraphLab variants").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCriterion {
+    /// Stop when the maximum per-vertex rank change drops below the
+    /// threshold. The paper's convergence definition uses the initial rank
+    /// (1.0) as the threshold.
+    Tolerance(f64),
+    /// Stop after a fixed number of iterations.
+    Iterations(u32),
+}
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Random-jump probability δ (paper: 0.15).
+    pub damping: f64,
+    pub stop: StopCriterion,
+    /// Approximate mode: vertices whose rank changed less than the
+    /// tolerance opt out of further computation (GraphLab only, §5.2).
+    pub approximate: bool,
+}
+
+impl PageRankConfig {
+    /// The paper's exact configuration: δ = 0.15, tolerance = initial rank.
+    pub fn paper_exact() -> Self {
+        PageRankConfig { damping: crate::DAMPING, stop: StopCriterion::Tolerance(1.0), approximate: false }
+    }
+
+    /// Fixed-iteration configuration (the paper runs 30- and 55-iteration
+    /// sweeps in the configuration studies).
+    pub fn fixed(iterations: u32) -> Self {
+        PageRankConfig {
+            damping: crate::DAMPING,
+            stop: StopCriterion::Iterations(iterations),
+            approximate: false,
+        }
+    }
+}
+
+/// A workload instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    PageRank(PageRankConfig),
+    Wcc,
+    Sssp { source: VertexId },
+    KHop { source: VertexId, k: u32 },
+}
+
+impl Workload {
+    /// The paper's K-hop with K = 3 (§3.3).
+    pub fn khop3(source: VertexId) -> Self {
+        Workload::KHop { source, k: 3 }
+    }
+
+    pub fn kind(&self) -> WorkloadKind {
+        match self {
+            Workload::PageRank(_) => WorkloadKind::PageRank,
+            Workload::Wcc => WorkloadKind::Wcc,
+            Workload::Sssp { .. } => WorkloadKind::Sssp,
+            Workload::KHop { .. } => WorkloadKind::KHop,
+        }
+    }
+}
+
+/// Workload family, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    PageRank,
+    Wcc,
+    Sssp,
+    KHop,
+}
+
+impl WorkloadKind {
+    pub const ALL: [WorkloadKind; 4] =
+        [WorkloadKind::PageRank, WorkloadKind::Wcc, WorkloadKind::Sssp, WorkloadKind::KHop];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::PageRank => "pagerank",
+            WorkloadKind::Wcc => "wcc",
+            WorkloadKind::Sssp => "sssp",
+            WorkloadKind::KHop => "khop",
+        }
+    }
+}
+
+/// The answer a workload produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadResult {
+    /// Rank per vertex.
+    Ranks(Vec<f64>),
+    /// WCC label (minimum reachable vertex id) per vertex.
+    Labels(Vec<VertexId>),
+    /// Hop distance per vertex ([`crate::UNREACHABLE`] when unreachable; for
+    /// K-hop, vertices beyond K hops are unreachable by definition).
+    Distances(Vec<u32>),
+}
+
+impl WorkloadResult {
+    /// Largest absolute rank difference to another rank vector. Panics when
+    /// the variants differ.
+    pub fn max_rank_diff(&self, other: &WorkloadResult) -> f64 {
+        match (self, other) {
+            (WorkloadResult::Ranks(a), WorkloadResult::Ranks(b)) => {
+                assert_eq!(a.len(), b.len());
+                a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+            }
+            _ => panic!("max_rank_diff needs two rank vectors"),
+        }
+    }
+
+    /// Exact equality for label/distance results.
+    pub fn same_labels(&self, other: &WorkloadResult) -> bool {
+        match (self, other) {
+            (WorkloadResult::Labels(a), WorkloadResult::Labels(b)) => a == b,
+            (WorkloadResult::Distances(a), WorkloadResult::Distances(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Number of vertices the result covers.
+    pub fn len(&self) -> usize {
+        match self {
+            WorkloadResult::Ranks(v) => v.len(),
+            WorkloadResult::Labels(v) => v.len(),
+            WorkloadResult::Distances(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let pr = PageRankConfig::paper_exact();
+        assert_eq!(pr.damping, 0.15);
+        assert_eq!(pr.stop, StopCriterion::Tolerance(1.0));
+        assert!(!pr.approximate);
+        assert_eq!(Workload::khop3(5), Workload::KHop { source: 5, k: 3 });
+    }
+
+    #[test]
+    fn result_comparisons() {
+        let a = WorkloadResult::Ranks(vec![1.0, 2.0]);
+        let b = WorkloadResult::Ranks(vec![1.5, 2.0]);
+        assert!((a.max_rank_diff(&b) - 0.5).abs() < 1e-12);
+        let l1 = WorkloadResult::Labels(vec![0, 0, 2]);
+        let l2 = WorkloadResult::Labels(vec![0, 0, 2]);
+        assert!(l1.same_labels(&l2));
+        assert!(!l1.same_labels(&a));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "two rank vectors")]
+    fn rank_diff_requires_ranks() {
+        WorkloadResult::Labels(vec![0]).max_rank_diff(&WorkloadResult::Labels(vec![0]));
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end engine benchmarks: one representative run per system, small
+//! scale. These are regression canaries for the engines' real-time cost
+//! (the simulated times they produce are covered by the repro binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphbench::paper::PaperEnv;
+use graphbench::runner::{ExperimentSpec, Runner};
+use graphbench::system::{GlStop, SystemId};
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::{DatasetKind, Scale};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("engine_pagerank_twitter_16");
+    grp.sample_size(10);
+    for system in [
+        SystemId::BlogelV,
+        SystemId::BlogelB,
+        SystemId::Giraph,
+        SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Iterations },
+        SystemId::Hadoop,
+        SystemId::HaLoop,
+        SystemId::GraphX,
+        SystemId::Gelly,
+        SystemId::Vertica,
+        SystemId::SingleThread,
+    ] {
+        grp.bench_function(system.label(), |b| {
+            // Recreate the runner per engine family to keep dataset caches
+            // warm without cross-talk; generation cost is excluded by the
+            // warm-up iteration.
+            let mut runner = Runner::new(PaperEnv::new(Scale { base: 800 }, 42));
+            let spec = ExperimentSpec {
+                system,
+                workload: WorkloadKind::PageRank,
+                dataset: DatasetKind::Twitter,
+                machines: 16,
+            };
+            b.iter(|| runner.run(&spec))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("blogelv_twitter_16");
+    grp.sample_size(10);
+    for workload in WorkloadKind::ALL {
+        grp.bench_function(workload.name(), |b| {
+            let mut runner = Runner::new(PaperEnv::new(Scale { base: 800 }, 42));
+            let spec = ExperimentSpec {
+                system: SystemId::BlogelV,
+                workload,
+                dataset: DatasetKind::Twitter,
+                machines: 16,
+            };
+            b.iter(|| runner.run(&spec))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microbenchmarks for the substrates: generators, graph construction,
+//! partitioners, and the single-thread kernels. These track regressions in
+//! the hot paths every experiment goes through.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphbench_algos::st;
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_gen::{Dataset, DatasetKind, Scale};
+use graphbench_graph::CsrGraph;
+use graphbench_partition::{BlockPartition, VertexCutPartition, VertexCutStrategy, VoronoiConfig};
+
+fn scale() -> Scale {
+    Scale { base: 2_000 }
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    for kind in [DatasetKind::Twitter, DatasetKind::Wrn, DatasetKind::Uk0705] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| Dataset::generate(black_box(kind), scale(), 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetKind::Twitter, scale(), 7);
+    c.bench_function("csr_from_edge_list", |b| {
+        b.iter(|| CsrGraph::from_edge_list(black_box(&ds.edges)))
+    });
+    let mut csr = ds.to_csr();
+    c.bench_function("build_in_edges", |b| {
+        b.iter(|| {
+            let mut g = csr.clone();
+            g.build_in_edges();
+            g
+        })
+    });
+    csr.build_in_edges();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetKind::Twitter, scale(), 7);
+    let mut g = c.benchmark_group("vertex_cut");
+    for strat in [VertexCutStrategy::Random, VertexCutStrategy::Grid, VertexCutStrategy::Oblivious]
+    {
+        g.bench_function(strat.name(), |b| {
+            b.iter(|| VertexCutPartition::build(black_box(&ds.edges), 16, strat, 7).unwrap())
+        });
+    }
+    g.finish();
+    let wrn = Dataset::generate(DatasetKind::Wrn, scale(), 7);
+    c.bench_function("voronoi_gvd", |b| {
+        b.iter(|| BlockPartition::build(black_box(&wrn.edges), 16, &VoronoiConfig::default()))
+    });
+}
+
+fn bench_st_kernels(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetKind::Twitter, scale(), 7);
+    let mut g = ds.to_csr();
+    g.build_in_edges();
+    let mut grp = c.benchmark_group("single_thread");
+    grp.bench_function("pagerank_10_iters", |b| {
+        b.iter(|| st::pagerank(black_box(&g), &PageRankConfig::fixed(10)))
+    });
+    grp.bench_function("sssp_dobfs", |b| b.iter(|| st::sssp(black_box(&g), 0)));
+    grp.bench_function("wcc_shiloach_vishkin", |b| b.iter(|| st::wcc(black_box(&g))));
+    grp.bench_function("khop3", |b| b.iter(|| st::khop(black_box(&g), 0, 3)));
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_graph_build,
+    bench_partitioners,
+    bench_st_kernels
+);
+criterion_main!(benches);

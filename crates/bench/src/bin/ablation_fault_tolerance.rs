@@ -1,0 +1,96 @@
+//! Ablation: Table 1's fault-tolerance column, exercised. The paper lists
+//! each system's mechanism (global checkpoint, re-execution, lineage,
+//! none) but never kills a machine; the simulator can. One worker dies 70%
+//! of the way through a PageRank run — what does each mechanism's recovery
+//! cost?
+
+use graphbench::report::Table;
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_algos::{Workload, WorkloadKind};
+use graphbench_engines::graphx::GraphX;
+use graphbench_engines::hadoop::{Hadoop, HaLoop};
+use graphbench_engines::pregel::Giraph;
+use graphbench_engines::vertica::Vertica;
+use graphbench_engines::{Engine, EngineInput};
+use graphbench_gen::DatasetKind;
+use graphbench_sim::FaultSpec;
+
+/// A deferred engine constructor (each trial builds a fresh engine).
+type EngineMaker = Box<dyn Fn() -> Box<dyn Engine>>;
+
+fn main() {
+    graphbench_repro::banner(
+        "ablation_fault_tolerance",
+        "kill one of 16 workers mid-PageRank: recovery cost by FT mechanism",
+    );
+    let mut runner = graphbench_repro::runner();
+    let ds = runner.env.prepare(DatasetKind::Twitter);
+    let base_cluster =
+        runner.env.cluster_for(DatasetKind::Twitter, 16, WorkloadKind::PageRank);
+
+    let systems: Vec<(&str, &str, EngineMaker)> = vec![
+        ("G (no ckpt)", "restart from input", Box::new(|| Box::new(Giraph::default()))),
+        (
+            "G (ckpt @5)",
+            "global checkpoint",
+            Box::new(|| Box::new(Giraph { checkpoint_every: Some(5), ..Giraph::default() })),
+        ),
+        ("HD", "task re-execution", Box::new(|| Box::new(Hadoop))),
+        ("HL", "task re-execution", Box::new(|| Box::new(HaLoop))),
+        (
+            "S (lineage)",
+            "RDD lineage recompute",
+            Box::new(|| Box::new(GraphX { num_partitions: Some(128), ..GraphX::default() })),
+        ),
+        (
+            "S (ckpt @5)",
+            "lineage + checkpoint",
+            Box::new(|| {
+                Box::new(GraphX {
+                    num_partitions: Some(128),
+                    checkpoint_every: Some(5),
+                    ..GraphX::default()
+                })
+            }),
+        ),
+        ("V", "query restart", Box::new(|| Box::new(Vertica::default()))),
+    ];
+
+    let mut t = Table::new(
+        "one worker lost at 70% of the fault-free runtime",
+        &["system", "mechanism", "fault-free (s)", "with fault (s)", "overhead"],
+    );
+    for (label, mechanism, make) in systems {
+        let run = |fault: Option<FaultSpec>| {
+            let mut cluster = base_cluster.clone();
+            cluster.fault = fault;
+            make().run(&EngineInput {
+                edges: &ds.dataset.edges,
+                graph: &ds.graph,
+                workload: Workload::PageRank(PageRankConfig::fixed(20)),
+                cluster,
+                seed: runner.env.seed,
+                scale: ds.scale_info,
+            })
+        };
+        let clean = run(None);
+        let t_clean = clean.metrics.total_time();
+        let faulted = run(Some(FaultSpec { at_time: t_clean * 0.7, machine: 3 }));
+        let t_fault = faulted.metrics.total_time();
+        assert_eq!(clean.result, faulted.result, "{label}: recovery changed the answer");
+        t.row(vec![
+            label.into(),
+            mechanism.into(),
+            format!("{t_clean:.0}"),
+            format!("{t_fault:.0}"),
+            format!("+{:.0}%", (t_fault / t_clean - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    graphbench_repro::paper_note(
+        "Table 1 claims without measurements, measured: checkpointing turns a \
+         restart-the-world failure into a bounded rollback; MapReduce's re-execution \
+         granularity loses almost nothing; lineage without checkpoints replays \
+         everything (wide shuffle dependencies); Vertica restarts the statement.",
+    );
+}

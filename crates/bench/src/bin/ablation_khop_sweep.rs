@@ -1,0 +1,54 @@
+//! Ablation: the K in K-hop. The paper fixes K = 3 "to reduce the impact of
+//! graph diameter ... and to represent multiple use cases, such as the
+//! friends-of-friends query and its potential indexes" (§3.3). Sweeping K
+//! shows where the traversal flips from online query to full-graph job.
+
+use graphbench::report::Table;
+use graphbench::system::{GlStop, SystemId};
+use graphbench_algos::{reference, Workload, WorkloadKind};
+use graphbench_engines::EngineInput;
+use graphbench_gen::DatasetKind;
+
+fn main() {
+    graphbench_repro::banner("ablation_khop_sweep", "K-hop for K = 1..6 (Twitter & WRN @16)");
+    let mut runner = graphbench_repro::runner();
+    for kind in [DatasetKind::Twitter, DatasetKind::Wrn] {
+        let ds = runner.env.prepare(kind);
+        let cluster = runner.env.cluster_for(kind, 16, WorkloadKind::KHop);
+        let n = ds.graph.num_vertices() as f64;
+        let mut t = Table::new(
+            format!("{} — K sweep (BV vs GL-S-A)", kind.name()),
+            &["K", "reached %", "BV total (s)", "GL total (s)"],
+        );
+        for k in [1u32, 2, 3, 4, 6] {
+            let reached = reference::khop(&ds.graph, ds.source, k)
+                .iter()
+                .filter(|&&d| d != graphbench_algos::UNREACHABLE)
+                .count() as f64;
+            let mut row = vec![k.to_string(), format!("{:.1}", 100.0 * reached / n)];
+            for system in [
+                SystemId::BlogelV,
+                SystemId::GraphLab { sync: true, auto: true, stop: GlStop::Iterations },
+            ] {
+                let engine = system.build(None);
+                let out = engine.run(&EngineInput {
+                    edges: &ds.dataset.edges,
+                    graph: &ds.graph,
+                    workload: Workload::KHop { source: ds.source, k },
+                    cluster: cluster.clone(),
+                    seed: runner.env.seed,
+                    scale: ds.scale_info,
+                });
+                row.push(format!("{:.0}", out.metrics.total_time()));
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+    graphbench_repro::paper_note(
+        "on the power-law graph a couple of hops already reach most vertices (the \
+         friends-of-friends explosion), so K-hop cost saturates early; on the road \
+         network coverage grows slowly and the query stays cheap at any small K — \
+         the contrast behind fixing K = 3.",
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 2: how the GraphX partition count affects performance, for
+//! Twitter and UK over 32/64/128 machines.
+
+use graphbench::viz;
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_algos::Workload;
+use graphbench_engines::graphx::GraphX;
+use graphbench_engines::{Engine, EngineInput};
+use graphbench_gen::DatasetKind;
+
+fn main() {
+    graphbench_repro::banner("fig02", "GraphX partition-count sweep (PageRank)");
+    let mut runner = graphbench_repro::runner();
+    for kind in [DatasetKind::Twitter, DatasetKind::Uk0705] {
+        let ds = runner.env.prepare(kind);
+        let sweeps: &[usize] = if kind == DatasetKind::Twitter {
+            &[100, 128, 256, 440, 880, 2000]
+        } else {
+            &[128, 256, 512, 1024, 1200, 2000]
+        };
+        for machines in [32usize, 64, 128] {
+            let cluster = runner.env.cluster_for(kind, machines, graphbench_algos::WorkloadKind::PageRank);
+            let mut items = Vec::new();
+            for &parts in sweeps {
+                let engine = GraphX { num_partitions: Some(parts), ..GraphX::default() };
+                let out = engine.run(&EngineInput {
+                    edges: &ds.dataset.edges,
+                    graph: &ds.graph,
+                    workload: Workload::PageRank(PageRankConfig::fixed(20)),
+                    cluster: cluster.clone(),
+                    seed: runner.env.seed,
+                    scale: ds.scale_info,
+                });
+                let label = format!("{parts} partitions");
+                if out.metrics.status.is_ok() {
+                    items.push((label, out.metrics.total_time()));
+                } else {
+                    items.push((format!("{label} [{}]", out.metrics.status.code()), 0.0));
+                }
+            }
+            println!(
+                "{}",
+                viz::bars(
+                    &format!("{} @ {machines} machines: total seconds by partition count", kind.name()),
+                    &items,
+                    46
+                )
+            );
+        }
+    }
+    graphbench_repro::paper_note(
+        "the defaults (440 for Twitter, 1200 for UK) are not optimal everywhere: too \
+         many partitions multiply task overhead and replication, too few leave cores \
+         idle; the paper picks #blocks capped at ~2x the core count (§4.4.3, Table 5).",
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 4: the fraction of vertices updated per iteration in approximate
+//! vs exact PageRank (GraphLab's opt-out, §5.2).
+
+use graphbench::runner::ExperimentSpec;
+use graphbench::system::{GlStop, SystemId};
+use graphbench::viz;
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::DatasetKind;
+
+fn main() {
+    graphbench_repro::banner("fig04", "approximate vs exact PageRank update fractions");
+    let mut runner = graphbench_repro::runner();
+    // The paper's approximate runs use the tolerance criterion at the
+    // initial-rank threshold; our compensated tolerance keeps iteration
+    // counts comparable (see Runner::pr_tolerance).
+    runner.pr_tolerance = 1e-3;
+    for kind in [DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn] {
+        let n = runner.env.prepare(kind).graph.num_vertices() as u64;
+        let approx = runner.run(&ExperimentSpec {
+            system: SystemId::GraphLab { sync: true, auto: true, stop: GlStop::Tolerance },
+            workload: WorkloadKind::PageRank,
+            dataset: kind,
+            machines: 32,
+        });
+        if !approx.metrics.status.is_ok() {
+            println!("{}: {}", kind.name(), approx.metrics.status.code());
+            continue;
+        }
+        println!(
+            "{}",
+            viz::update_fraction_series(
+                &format!(
+                    "{} — % of vertices updated per iteration (approximate; exact = 100% for all {} iterations)",
+                    kind.name(),
+                    approx.updates_per_iteration.len()
+                ),
+                &approx.updates_per_iteration,
+                n,
+                40
+            )
+        );
+    }
+    graphbench_repro::paper_note(
+        "most vertices converge within the first few iterations, so approximate \
+         PageRank does a shrinking fraction of the exact version's updates — the only \
+         implementation that ever beat Blogel's exact one (§5.2).",
+    );
+}

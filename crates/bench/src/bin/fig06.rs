@@ -1,0 +1,41 @@
+//! Figure 6: PageRank across WRN / UK0705 / Twitter and all cluster sizes,
+//! with the full GraphLab variant grid.
+
+use graphbench::report::{figure_grid, phase_table};
+use graphbench::system::SystemId;
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::DatasetKind;
+
+fn main() {
+    graphbench_repro::banner("fig06", "PageRank grid (3 datasets x 4 cluster sizes x 13 systems)");
+    let mut runner = graphbench_repro::runner();
+    let records = runner.run_matrix(
+        &SystemId::pagerank_lineup(),
+        &[WorkloadKind::PageRank],
+        &[DatasetKind::Wrn, DatasetKind::Uk0705, DatasetKind::Twitter],
+        &[16, 32, 64, 128],
+    );
+    for table in figure_grid(&records) {
+        println!("{}", table.render());
+    }
+    // One phase breakdown, as the figure's stacked bars show.
+    let tw16: Vec<_> = records
+        .iter()
+        .filter(|r| r.dataset == "Twitter" && r.machines == 16)
+        .cloned()
+        .collect();
+    println!("{}", phase_table("Twitter @16 phase breakdown (stacked-bar data)", &tw16).render());
+    let stacks: Vec<(String, [f64; 4])> = tw16
+        .iter()
+        .filter(|r| r.metrics.status.is_ok())
+        .map(|r| {
+            let p = r.metrics.phases;
+            (r.system.clone(), [p.load, p.execute, p.save, p.overhead])
+        })
+        .collect();
+    println!("{}", graphbench::viz::stacked_bars("Twitter @16 (as stacked bars)", &stacks, 60));
+    graphbench_repro::paper_note(
+        "expected failures: GL tolerance variants OOM on UK@16 (random) and WRN@16 \
+         (both); HaLoop SHFL at 64/128; the rest complete, with BV leading end-to-end.",
+    );
+}

@@ -1,0 +1,48 @@
+//! Run the full reproduction matrix and dump machine-readable results.
+//!
+//! Produces `repro_results.json` (all records) plus every figure/table's
+//! rows on stdout. Expect this to take a while at larger scales.
+
+use graphbench::report::{figure_grid, to_json};
+use graphbench::system::SystemId;
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::DatasetKind;
+
+fn main() {
+    graphbench_repro::banner("repro_all", "full experiment matrix");
+    let mut runner = graphbench_repro::runner();
+    let mut records = Vec::new();
+    // Traversal workloads: 9-system line-up.
+    for workload in [WorkloadKind::KHop, WorkloadKind::Sssp, WorkloadKind::Wcc] {
+        records.extend(runner.run_matrix(
+            &SystemId::traversal_lineup(),
+            &[workload],
+            &[DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn],
+            &[16, 32, 64, 128],
+        ));
+    }
+    // PageRank: 13-variant line-up.
+    records.extend(runner.run_matrix(
+        &SystemId::pagerank_lineup(),
+        &[WorkloadKind::PageRank],
+        &[DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn],
+        &[16, 32, 64, 128],
+    ));
+    // ClueWeb: only the 128-machine cluster can hold it (Table 7).
+    for workload in WorkloadKind::ALL {
+        for system in [SystemId::BlogelV, SystemId::Giraph, SystemId::Gelly, SystemId::Hadoop] {
+            records.push(runner.run(&graphbench::runner::ExperimentSpec {
+                system,
+                workload,
+                dataset: DatasetKind::ClueWeb,
+                machines: 128,
+            }));
+        }
+    }
+    for table in figure_grid(&records) {
+        println!("{}", table.render());
+    }
+    let json = to_json(&records);
+    std::fs::write("repro_results.json", &json).expect("write repro_results.json");
+    println!("wrote {} records to repro_results.json", records.len());
+}

@@ -1,0 +1,41 @@
+//! Table 3: dataset characteristics — |E|, average/maximum degree, diameter
+//! — for the four generated stand-ins, next to the paper's real values.
+
+use graphbench::report::Table;
+use graphbench_gen::{Dataset, DatasetKind};
+use graphbench_graph::stats;
+
+fn main() {
+    graphbench_repro::banner("table3", "dataset characteristics");
+    let scale = graphbench_repro::scale();
+    let seed = graphbench_repro::seed();
+    let mut t = Table::new(
+        "Table 3 — generated datasets vs the paper's",
+        &["dataset", "|E|", "avg deg", "max deg", "diam", "eff. diam (90%)", "paper |E|", "paper avg/max", "paper diam"],
+    );
+    for kind in DatasetKind::ALL {
+        let ds = Dataset::generate(kind, scale, seed);
+        let g = ds.to_csr();
+        let s = stats::compute_stats(&g);
+        let eff = stats::effective_diameter(&g, 0.9, 4, seed);
+        let (pe, pavg, pmax, pdiam) = kind.paper_stats();
+        t.row(vec![
+            kind.name().into(),
+            s.num_edges.to_string(),
+            format!("{:.2}", s.avg_out_degree),
+            s.max_out_degree.to_string(),
+            s.diameter.to_string(),
+            format!("{eff:.2}"),
+            format!("{:.2e}", pe as f64),
+            format!("{pavg} / {pmax}"),
+            format!("{pdiam}"),
+        ]);
+    }
+    println!("{}", t.render());
+    graphbench_repro::paper_note(
+        "the reproduction preserves the paper's relative characteristics: the road \
+         network's diameter is orders of magnitude above the power-law graphs', its max \
+         degree is bounded; web/social graphs are heavy-tailed with tiny diameters. \
+         Absolute counts are scaled down by design.",
+    );
+}

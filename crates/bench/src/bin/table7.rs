@@ -1,0 +1,62 @@
+//! Table 7: Blogel-V phase times on ClueWeb at 128 machines — the only
+//! system/dataset pairing that worked at all (§5.9).
+
+use graphbench::report::Table;
+use graphbench::runner::ExperimentSpec;
+use graphbench::system::SystemId;
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::DatasetKind;
+
+fn main() {
+    graphbench_repro::banner("table7", "Blogel-V on ClueWeb @128");
+    let mut runner = graphbench_repro::runner();
+    let mut t = Table::new(
+        "Table 7 — Blogel-V phase seconds on ClueWeb, 128 machines",
+        &["workload", "read", "execute", "save", "others", "paper (r/e/s/o)"],
+    );
+    let paper = [
+        ("pagerank", "132.5 / 139.7 / 10.5 / 15.3"),
+        ("wcc", "134.1 / 152.5 / 11.5 / 10.6"),
+        ("sssp", "158.3 / 89.3 / 2.2 / 20.7"),
+        ("khop", "161.6 / 0.03 / 0.2 / 16.4"),
+    ];
+    for (i, workload) in
+        [WorkloadKind::PageRank, WorkloadKind::Wcc, WorkloadKind::Sssp, WorkloadKind::KHop]
+            .into_iter()
+            .enumerate()
+    {
+        let rec = runner.run(&ExperimentSpec {
+            system: SystemId::BlogelV,
+            workload,
+            dataset: DatasetKind::ClueWeb,
+            machines: 128,
+        });
+        assert!(rec.metrics.status.is_ok(), "{:?}", rec.metrics.status);
+        let p = rec.metrics.phases;
+        t.row(vec![
+            workload.name().into(),
+            format!("{:.1}", p.load),
+            format!("{:.1}", p.execute),
+            format!("{:.1}", p.save),
+            format!("{:.1}", p.overhead),
+            paper[i].1.into(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The paper's companions: every other in-memory system fails here.
+    println!("Other systems on ClueWeb @128 (PageRank):");
+    for system in [SystemId::Giraph, SystemId::Gelly, SystemId::BlogelB] {
+        let rec = runner.run(&ExperimentSpec {
+            system,
+            workload: WorkloadKind::PageRank,
+            dataset: DatasetKind::ClueWeb,
+            machines: 128,
+        });
+        println!("  {:<4} {}", rec.system, rec.metrics.status.code());
+    }
+    graphbench_repro::paper_note(
+        "Blogel-V is the only system that completes any ClueWeb workload; traversals \
+         spend almost everything on load, K-hop's execute is negligible.",
+    );
+}

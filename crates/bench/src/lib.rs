@@ -1,0 +1,85 @@
+//! Reproduction harness: one binary per table and figure of the paper.
+//!
+//! Every binary regenerates the rows/series its table or figure reports,
+//! printing measured values next to the paper's where the paper gives
+//! numbers. Absolute seconds come from the simulated cluster (see
+//! `graphbench-sim`); the claims under reproduction are the *relative*
+//! ones — who wins, by roughly what factor, and where systems fail.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table3` | dataset characteristics |
+//! | `table4` | GraphLab replication factors (random vs auto) |
+//! | `table5` | GraphX partition counts |
+//! | `table6` | per-iteration times, Giraph & GraphX on WRN |
+//! | `table7` | Blogel-V phase times on ClueWeb @128 |
+//! | `table8` | Giraph total memory vs cluster size |
+//! | `table9` | COST: single thread vs best parallel |
+//! | `fig01` | GraphLab compute-cores sweep, sync vs async |
+//! | `fig02` | GraphX partition-count sweep |
+//! | `fig03` | Blogel-B without the HDFS round-trip |
+//! | `fig04` | approximate vs exact PageRank update fractions |
+//! | `fig05` | Twitter: all workloads × cluster sizes |
+//! | `fig06`-`fig09` | PageRank / K-hop / SSSP / WCC grids |
+//! | `fig10` | GraphLab memory time series, sync vs async |
+//! | `fig11` | GraphX partition imbalance |
+//! | `fig12` | Vertica vs graph systems |
+//! | `fig13` | resource utilization breakdowns |
+//! | `repro_all` | everything above, plus a JSON dump |
+//! | `render` | replay a saved `repro_results.json` without re-running |
+//!
+//! Ablations beyond the paper (questions it raises but could not run):
+//!
+//! | target | question |
+//! |---|---|
+//! | `ablation_partitioning` | Blogel's dataset-specific partitioners vs GVD (§2.3) |
+//! | `ablation_language` | C++ vs Java with identical execution structure (§1/§7) |
+//! | `ablation_checkpointing` | GraphX lineage vs checkpoints vs hash-to-min (§5.6) |
+//! | `ablation_fault_tolerance` | Table 1's FT mechanisms, priced under a real fault |
+//! | `ablation_weak_scaling` | the LDBC-style weak experiment (§5.12) |
+//! | `ablation_khop_sweep` | why K = 3 (§3.3) |
+//!
+//! Scale is controlled with `GRAPHBENCH_BASE` (Twitter-like vertex count;
+//! default 1500) and `GRAPHBENCH_SEED` (default 42).
+
+use graphbench::paper::PaperEnv;
+use graphbench::runner::Runner;
+use graphbench_gen::Scale;
+
+/// Environment-configured scale (`GRAPHBENCH_BASE`, default 1500 — the
+/// calibrated test scale; raise for heavier runs).
+pub fn scale() -> Scale {
+    let base = std::env::var("GRAPHBENCH_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500);
+    Scale { base }
+}
+
+/// Environment-configured seed (`GRAPHBENCH_SEED`, default 42).
+pub fn seed() -> u64 {
+    std::env::var("GRAPHBENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A runner at the configured scale.
+pub fn runner() -> Runner {
+    Runner::new(PaperEnv::new(scale(), seed()))
+}
+
+/// Standard banner: what this target reproduces and at what scale.
+pub fn banner(target: &str, what: &str) {
+    println!("=== {target}: {what} ===");
+    println!(
+        "scale base {} (set GRAPHBENCH_BASE to change), seed {}\n",
+        scale().base,
+        seed()
+    );
+}
+
+/// Paper-vs-measured footnote.
+pub fn paper_note(note: &str) {
+    println!("\npaper: {note}");
+}

@@ -1,0 +1,238 @@
+//! Paper-style table rendering and machine-readable export.
+
+use crate::runner::RunRecord;
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{:>width$}  ", c, width = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Seconds formatted the way the paper annotates bars.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+/// The paper's per-run cell: total time or a failure code.
+pub fn cell(rec: &RunRecord) -> String {
+    rec.cell()
+}
+
+/// A Figures-5-to-9-style grid: rows = system labels, columns = cluster
+/// sizes, one table per (dataset, workload) present in the records.
+pub fn figure_grid(records: &[RunRecord]) -> Vec<Table> {
+    let mut keys: Vec<(&str, &str)> = Vec::new();
+    for r in records {
+        if !keys.contains(&(r.dataset, r.workload)) {
+            keys.push((r.dataset, r.workload));
+        }
+    }
+    let mut tables = Vec::new();
+    for (dataset, workload) in keys {
+        let subset: Vec<&RunRecord> =
+            records.iter().filter(|r| r.dataset == dataset && r.workload == workload).collect();
+        let mut sizes: Vec<usize> = subset.iter().map(|r| r.machines).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let mut systems: Vec<&str> = Vec::new();
+        for r in &subset {
+            if !systems.contains(&r.system.as_str()) {
+                systems.push(&r.system);
+            }
+        }
+        let mut headers = vec!["system".to_string()];
+        headers.extend(sizes.iter().map(|s| format!("{s} machines")));
+        let mut table = Table {
+            title: format!("{workload} on {dataset} (total response time, seconds)"),
+            headers,
+            rows: Vec::new(),
+        };
+        for sys in systems {
+            let mut row = vec![sys.to_string()];
+            for &size in &sizes {
+                let cell = subset
+                    .iter()
+                    .find(|r| r.system == sys && r.machines == size)
+                    .map(|r| r.cell())
+                    .unwrap_or_else(|| "-".into());
+                row.push(cell);
+            }
+            table.rows.push(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Phase breakdown table for a set of records (load / execute / save /
+/// overhead / total), the stacked-bar data of Figures 6-9.
+pub fn phase_table(title: &str, records: &[RunRecord]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["system", "machines", "load", "execute", "save", "overhead", "total", "status"],
+    );
+    for r in records {
+        let p = r.metrics.phases;
+        t.row(vec![
+            r.system.clone(),
+            r.machines.to_string(),
+            fmt_secs(p.load),
+            fmt_secs(p.execute),
+            fmt_secs(p.save),
+            fmt_secs(p.overhead),
+            fmt_secs(p.total()),
+            r.metrics.status.code().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Export records as a JSON array.
+pub fn to_json(records: &[RunRecord]) -> String {
+    serde_json::to_string_pretty(records).expect("records serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_sim::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus, Trace};
+
+    fn record(system: &str, machines: usize, total: f64, ok: bool) -> RunRecord {
+        RunRecord {
+            system: system.into(),
+            workload: "wcc",
+            dataset: "Twitter",
+            machines,
+            metrics: RunMetrics {
+                status: if ok {
+                    RunStatus::Ok
+                } else {
+                    RunStatus::Failed { code: "OOM".into(), detail: String::new() }
+                },
+                phases: PhaseTimes { load: total / 4.0, execute: total / 2.0, save: total / 8.0, overhead: total / 8.0 },
+                iterations: 3,
+                network_bytes: 10,
+                messages: 2,
+                mem_peaks: vec![1, 2],
+                cpu: CpuBreakdown::default(),
+            },
+            notes: vec![],
+            updates_per_iteration: vec![],
+            trace: Trace::new(),
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["x"]);
+        t.row(vec!["a,b".into()]);
+        assert!(t.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn figure_grid_groups_by_dataset_and_workload() {
+        let records = vec![
+            record("BV", 16, 100.0, true),
+            record("BV", 32, 60.0, true),
+            record("G", 16, 0.0, false),
+        ];
+        let tables = figure_grid(&records);
+        assert_eq!(tables.len(), 1);
+        let s = tables[0].render();
+        assert!(s.contains("16 machines") && s.contains("32 machines"));
+        assert!(s.contains("OOM"));
+        // Missing (G, 32) renders as '-'.
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn phase_table_has_all_phases() {
+        let t = phase_table("x", &[record("HD", 16, 80.0, true)]);
+        let s = t.render();
+        assert!(s.contains("20.0s") && s.contains("40.0s") && s.contains("80.0s"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The systems under study and their paper variants.
+
+use graphbench_algos::workload::StopCriterion;
+use graphbench_engines::blogel::{BlogelB, BlogelV};
+use graphbench_engines::gas::{GasMode, GraphLab};
+use graphbench_engines::gelly::Gelly;
+use graphbench_engines::graphx::GraphX;
+use graphbench_engines::hadoop::{Hadoop, HaLoop};
+use graphbench_engines::pregel::Giraph;
+use graphbench_engines::single::SingleThread;
+use graphbench_engines::vertica::Vertica;
+use graphbench_engines::Engine;
+use graphbench_partition::VertexCutStrategy;
+
+/// PageRank stopping criterion for GraphLab variants (the paper's `-T` /
+/// `-I` suffix; §5). Other workloads ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GlStop {
+    /// `-T`: tolerance (the paper's convergence definition).
+    Tolerance,
+    /// `-I`: fixed iteration count, "similar to Giraph" (§5.5).
+    Iterations,
+}
+
+/// One system/variant from the paper's result figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemId {
+    /// Blogel block-centric (BB).
+    BlogelB,
+    /// Blogel block-centric without the HDFS round-trip (the paper's
+    /// modification, Figure 3).
+    BlogelBModified,
+    /// Blogel vertex-centric (BV).
+    BlogelV,
+    /// Giraph (G).
+    Giraph,
+    /// GraphLab variants (GL-{S,A}-{R,A}-{T,I}).
+    GraphLab { sync: bool, auto: bool, stop: GlStop },
+    /// Hadoop (HD).
+    Hadoop,
+    /// HaLoop (HL).
+    HaLoop,
+    /// GraphX / Spark (S). Partition count comes from the paper profile.
+    GraphX,
+    /// Flink Gelly (FG).
+    Gelly,
+    /// Vertica (V).
+    Vertica,
+    /// Single-thread COST baseline (ST, §5.13).
+    SingleThread,
+}
+
+impl SystemId {
+    /// The paper's label for this variant (the x-axis of Figures 5-9).
+    pub fn label(&self) -> String {
+        match self {
+            SystemId::BlogelB => "BB".into(),
+            SystemId::BlogelBModified => "BB*".into(),
+            SystemId::BlogelV => "BV".into(),
+            SystemId::Giraph => "G".into(),
+            SystemId::GraphLab { sync, auto, stop } => format!(
+                "GL-{}-{}-{}",
+                if *sync { 'S' } else { 'A' },
+                if *auto { 'A' } else { 'R' },
+                match stop {
+                    GlStop::Tolerance => 'T',
+                    GlStop::Iterations => 'I',
+                }
+            ),
+            SystemId::Hadoop => "HD".into(),
+            SystemId::HaLoop => "HL".into(),
+            SystemId::GraphX => "S".into(),
+            SystemId::Gelly => "FG".into(),
+            SystemId::Vertica => "V".into(),
+            SystemId::SingleThread => "ST".into(),
+        }
+    }
+
+    /// The systems of Figures 5, 7, 8, 9 (K-hop / SSSP / WCC line-up).
+    pub fn traversal_lineup() -> Vec<SystemId> {
+        vec![
+            SystemId::BlogelB,
+            SystemId::BlogelV,
+            SystemId::Giraph,
+            SystemId::GraphLab { sync: true, auto: true, stop: GlStop::Iterations },
+            SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Iterations },
+            SystemId::Hadoop,
+            SystemId::HaLoop,
+            SystemId::GraphX,
+            SystemId::Gelly,
+        ]
+    }
+
+    /// The systems of Figure 6 (PageRank, including the full GraphLab grid).
+    pub fn pagerank_lineup() -> Vec<SystemId> {
+        vec![
+            SystemId::BlogelB,
+            SystemId::BlogelV,
+            SystemId::Giraph,
+            SystemId::GraphLab { sync: false, auto: true, stop: GlStop::Tolerance },
+            SystemId::GraphLab { sync: false, auto: false, stop: GlStop::Tolerance },
+            SystemId::GraphLab { sync: true, auto: true, stop: GlStop::Iterations },
+            SystemId::GraphLab { sync: true, auto: true, stop: GlStop::Tolerance },
+            SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Iterations },
+            SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Tolerance },
+            SystemId::Hadoop,
+            SystemId::HaLoop,
+            SystemId::GraphX,
+            SystemId::Gelly,
+        ]
+    }
+
+    /// GraphLab's PageRank stop criterion for this variant (`None` for other
+    /// systems: they use the paper's default tolerance).
+    pub fn pagerank_stop(&self, fixed_iterations: u32) -> Option<StopCriterion> {
+        match self {
+            SystemId::GraphLab { stop: GlStop::Iterations, .. } => {
+                Some(StopCriterion::Iterations(fixed_iterations))
+            }
+            SystemId::GraphLab { stop: GlStop::Tolerance, .. } => None,
+            _ => None,
+        }
+    }
+
+    /// Whether this system runs approximate PageRank (GraphLab tolerance
+    /// variants; §5.2).
+    pub fn approximate_pagerank(&self) -> bool {
+        matches!(self, SystemId::GraphLab { stop: GlStop::Tolerance, .. })
+    }
+
+    /// Build the engine. `graphx_partitions` carries the paper's Table 5
+    /// tuning when the system is GraphX.
+    pub fn build(&self, graphx_partitions: Option<usize>) -> Box<dyn Engine> {
+        match self {
+            SystemId::BlogelB => Box::new(BlogelB::default()),
+            SystemId::BlogelBModified => {
+                Box::new(BlogelB { modified: true, ..BlogelB::default() })
+            }
+            SystemId::BlogelV => Box::new(BlogelV),
+            SystemId::Giraph => Box::new(Giraph::default()),
+            SystemId::GraphLab { sync, auto, stop } => {
+                let mut gl = GraphLab {
+                    mode: if *sync { GasMode::Sync } else { GasMode::Async },
+                    partitioning: if *auto {
+                        VertexCutStrategy::Auto
+                    } else {
+                        VertexCutStrategy::Random
+                    },
+                    ..GraphLab::sync_random()
+                };
+                gl.approximate_pagerank = *stop == GlStop::Tolerance;
+                Box::new(gl)
+            }
+            SystemId::Hadoop => Box::new(Hadoop),
+            SystemId::HaLoop => Box::new(HaLoop),
+            SystemId::GraphX => {
+                Box::new(GraphX { num_partitions: graphx_partitions, ..GraphX::default() })
+            }
+            SystemId::Gelly => Box::new(Gelly::default()),
+            SystemId::Vertica => Box::new(Vertica::default()),
+            SystemId::SingleThread => Box::new(SingleThread),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(SystemId::BlogelV.label(), "BV");
+        assert_eq!(
+            SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Iterations }.label(),
+            "GL-S-R-I"
+        );
+        assert_eq!(
+            SystemId::GraphLab { sync: false, auto: true, stop: GlStop::Tolerance }.label(),
+            "GL-A-A-T"
+        );
+    }
+
+    #[test]
+    fn lineups_have_paper_cardinality() {
+        assert_eq!(SystemId::traversal_lineup().len(), 9);
+        assert_eq!(SystemId::pagerank_lineup().len(), 13);
+    }
+
+    #[test]
+    fn engines_build() {
+        for s in SystemId::pagerank_lineup() {
+            let e = s.build(None);
+            assert!(!e.name().is_empty());
+        }
+        let gx = SystemId::GraphX.build(Some(440));
+        assert_eq!(gx.short_name(), "S");
+    }
+}

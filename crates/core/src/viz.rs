@@ -1,0 +1,197 @@
+//! The paper's log-visualization tool, rendered as ASCII.
+//!
+//! The original study shipped a tool that parses system logs and plots
+//! resource usage (the paper lists it as a contribution). Here the
+//! simulator's traces are first-class, so the tool reduces to rendering:
+//! per-machine memory time series (Figure 10), horizontal bar groups
+//! (Figures 1-3, 12), and utilization breakdowns (Figure 13).
+
+use graphbench_sim::{CpuBreakdown, Trace};
+use std::fmt::Write as _;
+
+/// Render a memory trace as an ASCII time series: one column per sample
+/// bucket, `height` rows, plotting the max / mean / min across machines.
+/// The asynchronous-GraphLab failure signature (Figure 10) is a max line
+/// that runs away from the mean.
+pub fn memory_timeseries(trace: &Trace, width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2);
+    if trace.is_empty() {
+        return "(empty trace)\n".into();
+    }
+    let samples = trace.samples();
+    let buckets: Vec<(f64, f64, f64)> = (0..width)
+        .map(|i| {
+            // Inclusive bucketing: the first column maps to the first
+            // sample, the last column to the last sample.
+            let idx = i * (samples.len() - 1) / (width - 1);
+            let s = &samples[idx];
+            let max = s.mem_per_machine.iter().copied().max().unwrap_or(0) as f64;
+            let min = s.mem_per_machine.iter().copied().min().unwrap_or(0) as f64;
+            let mean = s.mem_per_machine.iter().sum::<u64>() as f64
+                / s.mem_per_machine.len().max(1) as f64;
+            (max, mean, min)
+        })
+        .collect();
+    let peak = buckets.iter().map(|b| b.0).fold(0.0f64, f64::max).max(1.0);
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, &(max, mean, min)) in buckets.iter().enumerate() {
+        let to_row = |v: f64| -> usize {
+            let frac = (v / peak).clamp(0.0, 1.0);
+            height - 1 - ((frac * (height - 1) as f64).round() as usize)
+        };
+        grid[to_row(min)][x] = '.';
+        grid[to_row(mean)][x] = '-';
+        grid[to_row(max)][x] = '#';
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "peak {} B   (#=max per machine, -=mean, .=min)", peak as u64);
+    for row in grid {
+        let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        " 0s{}{:.0}s",
+        " ".repeat(width.saturating_sub(8)),
+        samples.last().map(|s| s.time).unwrap_or(0.0)
+    );
+    out
+}
+
+/// Horizontal bar chart for labelled values (seconds, counts, ...).
+pub fn bars(title: &str, items: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let max = items.iter().map(|i| i.1).fold(0.0f64, f64::max).max(1e-12);
+    let label_w = items.iter().map(|i| i.0.len()).max().unwrap_or(0);
+    for (label, value) in items {
+        let n = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(out, "{label:>label_w$}  {} {value:.1}", "#".repeat(n));
+    }
+    out
+}
+
+/// Stacked horizontal bars (Figures 6-9's load/execute/save/overhead
+/// stacks): each segment uses its own glyph; the legend is printed first.
+pub fn stacked_bars(
+    title: &str,
+    items: &[(String, [f64; 4])],
+    width: usize,
+) -> String {
+    const GLYPHS: [char; 4] = ['L', 'X', 's', 'o'];
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "   L = load, X = execute, s = save, o = overhead");
+    let max: f64 = items
+        .iter()
+        .map(|(_, segs)| segs.iter().sum::<f64>())
+        .fold(0.0, f64::max)
+        .max(1e-12);
+    let label_w = items.iter().map(|i| i.0.len()).max().unwrap_or(0);
+    for (label, segs) in items {
+        let total: f64 = segs.iter().sum();
+        let mut bar = String::new();
+        for (seg, glyph) in segs.iter().zip(GLYPHS) {
+            let chars = ((seg / max) * width as f64).round() as usize;
+            bar.extend(std::iter::repeat_n(glyph, chars));
+        }
+        let _ = writeln!(out, "{label:>label_w$}  {bar} {total:.1}");
+    }
+    out
+}
+
+/// Figure-13-style utilization summary for one run.
+pub fn utilization(label: &str, cpu: &CpuBreakdown) -> String {
+    format!(
+        "{label}: user {:5.1}%  io-wait {:5.1}%  network {:5.1}%  (max user {:5.1}%, max io {:5.1}%)\n",
+        cpu.user_avg * 100.0,
+        cpu.io_wait_avg * 100.0,
+        cpu.net_avg * 100.0,
+        cpu.user_max * 100.0,
+        cpu.io_wait_max * 100.0
+    )
+}
+
+/// Figure-4-style series: the fraction of vertices updated per iteration.
+pub fn update_fraction_series(
+    title: &str,
+    updates: &[u64],
+    num_vertices: u64,
+    width: usize,
+) -> String {
+    let items: Vec<(String, f64)> = updates
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (format!("iter {:>3}", i + 1), 100.0 * u as f64 / num_vertices.max(1) as f64))
+        .collect();
+    bars(title, &items, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeseries_renders_and_scales() {
+        let mut t = Trace::new();
+        for i in 0..50 {
+            t.record(i as f64, &[i * 10, i * 5, 1]);
+        }
+        let s = memory_timeseries(&t, 40, 10);
+        assert!(s.contains("peak 490 B"));
+        assert!(s.contains('#') && s.contains('-'));
+        assert_eq!(s.lines().count(), 13);
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        assert_eq!(memory_timeseries(&Trace::new(), 10, 5), "(empty trace)\n");
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let s = bars(
+            "t",
+            &[("a".into(), 10.0), ("bb".into(), 5.0)],
+            20,
+        );
+        assert!(s.contains("#".repeat(20).as_str()));
+        assert!(s.contains("#".repeat(10).as_str()));
+        assert!(s.contains("10.0") && s.contains("5.0"));
+    }
+
+    #[test]
+    fn stacked_bars_scale_segments() {
+        let s = stacked_bars(
+            "t",
+            &[
+                ("a".into(), [10.0, 20.0, 5.0, 5.0]),
+                ("b".into(), [0.0, 10.0, 0.0, 0.0]),
+            ],
+            40,
+        );
+        // Segment glyphs present and proportional: 'X' (execute) should be
+        // the longest run for row a.
+        assert!(s.contains("LLLLLLLLLLXXXXXXXXXX"));
+        assert!(s.contains("40.0"));
+        assert!(s.contains("10.0"));
+        // Zero segments render nothing.
+        let b_line = s.lines().find(|l| l.trim_start().starts_with("b")).unwrap();
+        assert!(!b_line.contains('L') || b_line.starts_with('b'));
+    }
+
+    #[test]
+    fn utilization_formats_percentages() {
+        let s = utilization(
+            "V",
+            &CpuBreakdown { user_avg: 0.25, io_wait_avg: 0.5, net_avg: 0.1, user_max: 0.3, io_wait_max: 0.6 },
+        );
+        assert!(s.contains("25.0%") && s.contains("50.0%"));
+    }
+
+    #[test]
+    fn update_series_is_percent_of_vertices() {
+        let s = update_fraction_series("f4", &[100, 50], 200, 10);
+        assert!(s.contains("50.0") && s.contains("25.0"));
+    }
+}

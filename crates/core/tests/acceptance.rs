@@ -1,0 +1,104 @@
+//! Acceptance matrix: the paper's qualitative result pattern (DESIGN.md
+//! "Findings we must reproduce") checked end-to-end at test scale.
+
+use graphbench::paper::PaperEnv;
+use graphbench::runner::{ExperimentSpec, Runner};
+use graphbench::system::{GlStop, SystemId};
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::{DatasetKind, Scale};
+
+fn gl(sync: bool, auto: bool) -> SystemId {
+    SystemId::GraphLab { sync, auto, stop: GlStop::Iterations }
+}
+
+fn gl_t(sync: bool, auto: bool) -> SystemId {
+    SystemId::GraphLab { sync, auto, stop: GlStop::Tolerance }
+}
+
+/// Probe the key cells of the paper's matrix and report every mismatch at
+/// once.
+#[test]
+fn failure_matrix_matches_the_paper() {
+    let mut runner = Runner::new(PaperEnv::new(Scale::tiny(), 42));
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |name: &str,
+                     system: SystemId,
+                     workload: WorkloadKind,
+                     dataset: DatasetKind,
+                     machines: usize,
+                     expect: &str,
+                     runner: &mut Runner| {
+        let rec = runner.run(&ExperimentSpec { system, workload, dataset, machines });
+        let got = rec.metrics.status.code().to_string();
+        let peak = rec.metrics.max_machine_memory();
+        let budget = runner.env.memory_per_machine();
+        eprintln!(
+            "{name:<46} got {got:<5} want {expect:<5} total {:>9.0}s peak/budget {:.2}",
+            rec.metrics.total_time(),
+            peak as f64 / budget as f64,
+        );
+        if got != expect {
+            failures.push(format!("{name}: got {got}, want {expect}"));
+        }
+    };
+
+    use DatasetKind::*;
+    use WorkloadKind::*;
+
+    // Giraph (§5.8, Table 8).
+    check("Giraph PR Twitter@16", SystemId::Giraph, PageRank, Twitter, 16, "OK", &mut runner);
+    check("Giraph PR UK@16", SystemId::Giraph, PageRank, Uk0705, 16, "OK", &mut runner);
+    check("Giraph PR WRN@16", SystemId::Giraph, PageRank, Wrn, 16, "OK", &mut runner);
+    check("Giraph WCC Twitter@16", SystemId::Giraph, Wcc, Twitter, 16, "OK", &mut runner);
+    check("Giraph WCC UK@16", SystemId::Giraph, Wcc, Uk0705, 16, "OOM", &mut runner);
+    check("Giraph WCC UK@32", SystemId::Giraph, Wcc, Uk0705, 32, "OOM", &mut runner);
+    check("Giraph WCC UK@64", SystemId::Giraph, Wcc, Uk0705, 64, "OK", &mut runner);
+    check("Giraph WCC WRN@16", SystemId::Giraph, Wcc, Wrn, 16, "OOM", &mut runner);
+    check("Giraph PR ClueWeb@128", SystemId::Giraph, PageRank, ClueWeb, 128, "OOM", &mut runner);
+
+    // GraphLab (§5.2, §5.4, Table 4).
+    check("GL-S-R-T PR Twitter@16", gl_t(true, false), PageRank, Twitter, 16, "OK", &mut runner);
+    // The approximate variant's gather cache is what breaks UK-random@16
+    // (§5.2); the fixed-iteration variant fits.
+    check("GL-S-R-T PR UK@16", gl_t(true, false), PageRank, Uk0705, 16, "OOM", &mut runner);
+    check("GL-S-R-I PR UK@16", gl(true, false), PageRank, Uk0705, 16, "OK", &mut runner);
+    check("GL-S-A-T PR UK@16", gl_t(true, true), PageRank, Uk0705, 16, "OK", &mut runner);
+    check("GL-S-R-T PR UK@32", gl_t(true, false), PageRank, Uk0705, 32, "OK", &mut runner);
+    // §5.2's WRN statement is about the approximate (tolerance) runs:
+    // "fails to load ... regardless of the partitioning algorithm".
+    check("GL-S-R-T PR WRN@16", gl_t(true, false), PageRank, Wrn, 16, "OOM", &mut runner);
+    check("GL-S-A-T PR WRN@16", gl_t(true, true), PageRank, Wrn, 16, "OOM", &mut runner);
+    check("GL PR ClueWeb@128", gl(true, false), PageRank, ClueWeb, 128, "OOM", &mut runner);
+
+    // Blogel (§5.1, Table 7).
+    check("BV WCC WRN@16", SystemId::BlogelV, Wcc, Wrn, 16, "OK", &mut runner);
+    check("BV PR ClueWeb@128", SystemId::BlogelV, PageRank, ClueWeb, 128, "OK", &mut runner);
+    check("BV WCC ClueWeb@128", SystemId::BlogelV, Wcc, ClueWeb, 128, "OK", &mut runner);
+    check("BB WCC Twitter@16", SystemId::BlogelB, Wcc, Twitter, 16, "OK", &mut runner);
+    check("BB WCC WRN@16", SystemId::BlogelB, Wcc, Wrn, 16, "MPI", &mut runner);
+    check("BB WCC ClueWeb@128", SystemId::BlogelB, Wcc, ClueWeb, 128, "MPI", &mut runner);
+
+    // GraphX (§5.6).
+    check("S WCC Twitter@16", SystemId::GraphX, Wcc, Twitter, 16, "OK", &mut runner);
+    check("S WCC WRN@16", SystemId::GraphX, Wcc, Wrn, 16, "OOM", &mut runner);
+    check("S WCC WRN@128", SystemId::GraphX, Wcc, Wrn, 128, "OOM", &mut runner);
+
+    // Gelly (§5.8): WCC on the road network times out below 128 machines
+    // and finishes "in slightly less than 24 hours" at 128.
+    check("FG WCC Twitter@16", SystemId::Gelly, Wcc, Twitter, 16, "OK", &mut runner);
+    check("FG WCC UK@16", SystemId::Gelly, Wcc, Uk0705, 16, "OK", &mut runner);
+    check("FG WCC WRN@16", SystemId::Gelly, Wcc, Wrn, 16, "TO", &mut runner);
+    check("FG WCC WRN@128", SystemId::Gelly, Wcc, Wrn, 128, "OK", &mut runner);
+
+    // Hadoop family (§5.10): diameter-bound workloads on WRN time out.
+    check("HD WCC Twitter@16", SystemId::Hadoop, Wcc, Twitter, 16, "OK", &mut runner);
+    check("HD SSSP WRN@16", SystemId::Hadoop, Sssp, Wrn, 16, "TO", &mut runner);
+    check("HL PR Twitter@64", SystemId::HaLoop, PageRank, Twitter, 64, "SHFL", &mut runner);
+    check("HL KHop Twitter@64", SystemId::HaLoop, KHop, Twitter, 64, "OK", &mut runner);
+
+    // Vertica & single-thread sanity.
+    check("V PR Twitter@16", SystemId::Vertica, PageRank, Twitter, 16, "OK", &mut runner);
+    check("ST WCC WRN", SystemId::SingleThread, Wcc, Wrn, 1, "OK", &mut runner);
+
+    assert!(failures.is_empty(), "matrix mismatches:\n{}", failures.join("\n"));
+}

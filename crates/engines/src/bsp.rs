@@ -1,0 +1,599 @@
+//! Generic vertex-centric BSP runtime ("think like a vertex", §2.1).
+//!
+//! Giraph and Blogel-V both expose a `compute(vertex, messages)` API over
+//! hash-partitioned vertices; they differ in cost constants (JVM vs C++) and
+//! framework overheads, not in execution structure. This runtime executes a
+//! [`VertexProgram`] superstep by superstep, exactly as Pregel would:
+//!
+//! * messages sent in superstep `s` are delivered in `s + 1`;
+//! * a vertex halts by returning `false` and is woken by incoming messages;
+//! * message *combiners* merge messages per `(destination machine, target)`
+//!   pair at the sender, when the program allows it for that superstep
+//!   (WCC's in-neighbour discovery superstep must not combine, §5.8);
+//! * every vertex execution, message, and buffer allocation is charged to
+//!   the simulated cluster, so supersteps cost what their slowest machine
+//!   costs and message floods can OOM a machine.
+//!
+//! Execution is single-threaded and deterministic; parallelism exists in the
+//! *cost model* (per-machine op vectors), which is what the study measures.
+
+use graphbench_graph::{CsrGraph, VertexId};
+use graphbench_partition::EdgeCutPartition;
+use graphbench_sim::{Cluster, SimError};
+use std::collections::HashMap;
+
+/// Per-superstep context handed to [`VertexProgram::compute`].
+pub struct Ctx<'a, M> {
+    /// Current superstep (0-based).
+    pub superstep: u64,
+    sends: &'a mut Vec<(VertexId, M)>,
+    extra_bytes: &'a mut u64,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Send a message, delivered at the start of the next superstep.
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Permanently allocate `bytes` on the executing vertex's machine
+    /// (e.g. WCC storing discovered in-neighbours).
+    pub fn alloc(&mut self, bytes: u64) {
+        *self.extra_bytes += bytes;
+    }
+}
+
+/// A Pregel-style vertex program.
+pub trait VertexProgram {
+    /// Per-vertex state.
+    type Value: Clone;
+    /// Message payload.
+    type Msg: Copy;
+
+    /// Initialize a vertex; returns its state and whether it starts active.
+    fn init(&mut self, v: VertexId, g: &CsrGraph) -> (Self::Value, bool);
+
+    /// One vertex execution. Return `true` to stay active.
+    fn compute(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        g: &CsrGraph,
+        v: VertexId,
+        value: &mut Self::Value,
+        msgs: &[Self::Msg],
+    ) -> bool;
+
+    /// Merge two messages bound for the same vertex.
+    fn combine(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;
+
+    /// Whether messages sent in `superstep` may be combined.
+    fn combinable(&self, _superstep: u64) -> bool {
+        true
+    }
+
+    /// Called after each superstep with the superstep index; returning
+    /// `true` stops the computation (program-level aggregator decision,
+    /// e.g. PageRank's max-delta tolerance or a fixed iteration count).
+    fn finished(&mut self, _superstep: u64) -> bool {
+        false
+    }
+
+    /// Bytes of one message value on the wire (a 4-byte target id is added
+    /// by the runtime).
+    fn wire_bytes(&self) -> u64;
+}
+
+/// Runtime knobs that differ between systems.
+#[derive(Debug, Clone)]
+pub struct BspConfig {
+    /// Cores used for compute on each machine.
+    pub cores_for_compute: u32,
+    /// Record a memory-trace sample every this many supersteps.
+    pub trace_every: u64,
+    /// Hard cap on supersteps (runaway guard).
+    pub max_supersteps: u64,
+    /// Bytes read+written through local disk on every superstep, split
+    /// across machines and multiplied by the cluster's superstep scale
+    /// (Flink Gelly's delta iterations pass the solution set through
+    /// managed memory / disk each round; 0 for in-memory BSP systems).
+    pub per_superstep_spill_bytes: u64,
+    /// Write a global checkpoint to HDFS every this many supersteps —
+    /// Table 1's fault-tolerance mechanism for the Pregel family. `None`
+    /// disables checkpointing (the study's configuration): an injected
+    /// failure then restarts the whole execution.
+    pub checkpoint_every: Option<u64>,
+    /// State bytes a checkpoint persists (vertex values + graph), total
+    /// across the cluster.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig {
+            cores_for_compute: 4,
+            trace_every: 1,
+            max_supersteps: 200_000,
+            per_superstep_spill_bytes: 0,
+            checkpoint_every: None,
+            checkpoint_bytes: 0,
+        }
+    }
+}
+
+/// Result of a BSP execution.
+pub struct BspOutcome<V> {
+    /// Final state per vertex.
+    pub states: Vec<V>,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Total messages produced (before combining).
+    pub raw_messages: u64,
+    /// Whether an injected machine failure was recovered from.
+    pub recovered_from_failure: bool,
+}
+
+enum OutBuf<M> {
+    Combined(HashMap<VertexId, M>),
+    Raw(Vec<(VertexId, M)>),
+}
+
+impl<M: Copy> OutBuf<M> {
+    fn len(&self) -> usize {
+        match self {
+            OutBuf::Combined(m) => m.len(),
+            OutBuf::Raw(v) => v.len(),
+        }
+    }
+}
+
+/// Execute `prog` to completion over `g` partitioned by `part`.
+///
+/// The caller is responsible for phase bookkeeping and for charging the
+/// permanent graph/state memory during its load phase; this function charges
+/// compute, network, barriers, and transient message buffers.
+pub fn run_bsp<P: VertexProgram>(
+    cluster: &mut Cluster,
+    g: &CsrGraph,
+    part: &EdgeCutPartition,
+    prog: &mut P,
+    cfg: &BspConfig,
+) -> Result<BspOutcome<P::Value>, SimError> {
+    let n = g.num_vertices();
+    let machines = cluster.machines();
+    assert_eq!(part.machines(), machines, "partition and cluster disagree");
+    let msg_mem = cluster.profile().bytes_per_message;
+    let wire = prog.wire_bytes() + 4;
+
+    let mut states: Vec<P::Value> = Vec::with_capacity(n);
+    let mut active: Vec<bool> = Vec::with_capacity(n);
+    for v in 0..n as VertexId {
+        let (s, a) = prog.init(v, g);
+        states.push(s);
+        active.push(a);
+    }
+    let verts_by_machine = part.vertices_per_machine();
+
+    // inbox[v] range into `inbox_msgs`, rebuilt per superstep.
+    let mut inbox: Vec<(VertexId, P::Msg)> = Vec::new();
+    let mut inbox_bytes_per_machine = vec![0u64; machines];
+    let mut supersteps = 0u64;
+    let mut raw_messages = 0u64;
+    // Fault-tolerance bookkeeping: the recovery point is the last global
+    // checkpoint (or the start of execution without checkpointing).
+    let execute_start = cluster.elapsed();
+    let mut recovery_point = execute_start;
+    let mut failed_once = false;
+
+    loop {
+        if supersteps >= cfg.max_supersteps {
+            return Err(SimError::Timeout);
+        }
+        // Group this superstep's inbox by target for O(1) lookup.
+        inbox.sort_unstable_by_key(|&(t, _)| t);
+        let mut ops = vec![0.0f64; machines];
+        let mut out: Vec<Vec<OutBuf<P::Msg>>> = (0..machines)
+            .map(|_| {
+                (0..machines)
+                    .map(|_| {
+                        if prog.combinable(supersteps) {
+                            OutBuf::Combined(HashMap::new())
+                        } else {
+                            OutBuf::Raw(Vec::new())
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut extra_alloc = vec![0u64; machines];
+        let mut sends: Vec<(VertexId, P::Msg)> = Vec::new();
+        let mut any_ran = false;
+
+        for (m, verts) in verts_by_machine.iter().enumerate() {
+            let mut machine_ops = 0u64;
+            for &v in verts {
+                // Binary search the sorted inbox for this vertex's messages.
+                let lo = inbox.partition_point(|&(t, _)| t < v);
+                let hi = inbox.partition_point(|&(t, _)| t <= v);
+                let has_msgs = hi > lo;
+                if !active[v as usize] && !has_msgs {
+                    continue;
+                }
+                any_ran = true;
+                // Borrow the message slice without copying.
+                let msg_slice: Vec<P::Msg> = inbox[lo..hi].iter().map(|&(_, m)| m).collect();
+                sends.clear();
+                let mut extra = 0u64;
+                let still_active = {
+                    let mut ctx = Ctx {
+                        superstep: supersteps,
+                        sends: &mut sends,
+                        extra_bytes: &mut extra,
+                    };
+                    prog.compute(&mut ctx, g, v, &mut states[v as usize], &msg_slice)
+                };
+                active[v as usize] = still_active;
+                extra_alloc[m] += extra;
+                machine_ops += 1 + (hi - lo) as u64 + sends.len() as u64;
+                raw_messages += sends.len() as u64;
+                for &(to, msg) in sends.iter() {
+                    let dst = part.machine_of(to) as usize;
+                    match &mut out[m][dst] {
+                        OutBuf::Combined(map) => {
+                            map.entry(to)
+                                .and_modify(|old| *old = prog.combine(*old, msg))
+                                .or_insert(msg);
+                        }
+                        OutBuf::Raw(v) => v.push((to, msg)),
+                    }
+                }
+            }
+            ops[m] = machine_ops as f64;
+        }
+
+        // Free last superstep's consumed inbox buffers.
+        cluster.free_all(&inbox_bytes_per_machine);
+        inbox_bytes_per_machine = vec![0u64; machines];
+
+        // Wire accounting + delivery.
+        let mut sent = vec![0u64; machines];
+        let mut recv = vec![0u64; machines];
+        let mut msg_counts = vec![0u64; machines];
+        let mut next_inbox: Vec<(VertexId, P::Msg)> = Vec::new();
+        let mut send_buffer_bytes = vec![0u64; machines];
+        let combinable_now = prog.combinable(supersteps);
+        let mut per_dst: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); machines];
+        for src in 0..machines {
+            for dst in 0..machines {
+                let buf = &out[src][dst];
+                let count = buf.len() as u64;
+                if count == 0 {
+                    continue;
+                }
+                send_buffer_bytes[src] += count * msg_mem;
+                if src != dst {
+                    sent[src] += count * wire;
+                    recv[dst] += count * wire;
+                    msg_counts[src] += count;
+                }
+                match &out[src][dst] {
+                    OutBuf::Combined(map) => {
+                        let mut items: Vec<(VertexId, P::Msg)> =
+                            map.iter().map(|(&k, &v)| (k, v)).collect();
+                        items.sort_unstable_by_key(|&(t, _)| t);
+                        per_dst[dst].extend(items);
+                    }
+                    OutBuf::Raw(v) => per_dst[dst].extend_from_slice(v),
+                }
+            }
+        }
+        drop(out);
+        // Receiver-side combining: with a combiner, the inbox holds one
+        // entry per distinct target; without one, every message is buffered
+        // (the WCC discovery superstep's memory spike, §5.8).
+        for (dst, mut items) in per_dst.into_iter().enumerate() {
+            if combinable_now && !items.is_empty() {
+                items.sort_unstable_by_key(|&(t, _)| t);
+                let mut merged: Vec<(VertexId, P::Msg)> = Vec::with_capacity(items.len());
+                for (t, m) in items {
+                    match merged.last_mut() {
+                        Some((lt, lm)) if *lt == t => *lm = prog.combine(*lm, m),
+                        _ => merged.push((t, m)),
+                    }
+                }
+                items = merged;
+            }
+            inbox_bytes_per_machine[dst] = items.len() as u64 * msg_mem;
+            next_inbox.extend(items);
+        }
+
+        // Charge this superstep: sender buffers are flushed to the wire
+        // whenever they fill (Giraph's message cache), so their resident
+        // footprint is bounded; receiver buffers live until consumed next
+        // superstep.
+        let flush_cap = (cluster.spec().memory_per_machine as f64 * 0.03) as u64;
+        for b in &mut send_buffer_bytes {
+            *b = (*b).min(flush_cap);
+        }
+        cluster.alloc_all(&send_buffer_bytes)?;
+        cluster.alloc_all(&inbox_bytes_per_machine)?;
+        cluster.advance_compute(&ops, cfg.cores_for_compute)?;
+        cluster.alloc_all(&extra_alloc)?; // permanent program allocations
+        cluster.exchange(&sent, &recv, &msg_counts)?;
+        cluster.free_all(&send_buffer_bytes);
+        if cfg.per_superstep_spill_bytes > 0 {
+            let scaled = (cfg.per_superstep_spill_bytes as f64
+                * cluster.spec().superstep_scale) as u64;
+            let share = crate::even_share(scaled, machines);
+            cluster.local_read(&share)?;
+            cluster.local_write(&share)?;
+        }
+        cluster.barrier()?;
+        if cfg.trace_every > 0 && supersteps.is_multiple_of(cfg.trace_every) {
+            cluster.sample_trace();
+        }
+
+        supersteps += 1;
+        // Global checkpoint: all machines persist state to HDFS and the
+        // recovery point moves forward.
+        if let Some(k) = cfg.checkpoint_every {
+            if k > 0 && supersteps.is_multiple_of(k) && cfg.checkpoint_bytes > 0 {
+                cluster.hdfs_write(&crate::even_share(cfg.checkpoint_bytes, machines))?;
+                recovery_point = cluster.elapsed();
+            }
+        }
+        // Failure detection happens at the barrier. Recovery in the Pregel
+        // model: a replacement worker reloads the last checkpoint (or the
+        // input, without checkpointing) and every superstep since then is
+        // re-executed — modelled as a stall of that length. Results are
+        // unaffected: the replayed computation is deterministic.
+        if let Some(_machine) = cluster.take_failure() {
+            failed_once = true;
+            if cfg.checkpoint_bytes > 0 {
+                cluster.hdfs_read(&crate::even_share(cfg.checkpoint_bytes, machines))?;
+            }
+            let replay = cluster.elapsed() - recovery_point;
+            cluster.advance_stall(replay)?;
+        }
+        let no_more_work = next_inbox.is_empty() && !active.iter().any(|&a| a);
+        let program_done = prog.finished(supersteps - 1);
+        inbox = next_inbox;
+        if program_done || no_more_work || !any_ran {
+            // Free any undelivered inbox buffers before returning.
+            cluster.free_all(&inbox_bytes_per_machine);
+            break;
+        }
+    }
+
+    Ok(BspOutcome { states, supersteps, raw_messages, recovered_from_failure: failed_once })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_graph::builder::csr_from_pairs;
+    use graphbench_sim::{ClusterSpec, CostProfile};
+
+    /// Propagate the maximum vertex id through the graph (a tiny well-
+    /// understood fixpoint program for exercising the runtime).
+    struct MaxProp;
+
+    impl VertexProgram for MaxProp {
+        type Value = VertexId;
+        type Msg = VertexId;
+
+        fn init(&mut self, v: VertexId, _g: &CsrGraph) -> (VertexId, bool) {
+            (v, true)
+        }
+
+        fn compute(
+            &mut self,
+            ctx: &mut Ctx<'_, VertexId>,
+            g: &CsrGraph,
+            v: VertexId,
+            value: &mut VertexId,
+            msgs: &[VertexId],
+        ) -> bool {
+            let best = msgs.iter().copied().max().unwrap_or(*value).max(*value);
+            let changed = best > *value || ctx.superstep == 0;
+            *value = best;
+            if changed {
+                for &t in g.out_neighbors(v) {
+                    ctx.send(t, best);
+                }
+            }
+            false // halt; messages reactivate
+        }
+
+        fn combine(&self, a: VertexId, b: VertexId) -> VertexId {
+            a.max(b)
+        }
+
+        fn wire_bytes(&self) -> u64 {
+            4
+        }
+    }
+
+    fn run_maxprop(machines: usize) -> (Vec<VertexId>, u64, Cluster) {
+        // A directed cycle plus a chord: max id 5 reaches everyone.
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 0)]);
+        let part = EdgeCutPartition::random(6, machines, 1);
+        let mut cluster =
+            Cluster::new(ClusterSpec::r3_xlarge(machines, 1 << 30), CostProfile::cpp_mpi());
+        let mut prog = MaxProp;
+        let out = run_bsp(&mut cluster, &g, &part, &mut prog, &BspConfig::default()).unwrap();
+        (out.states, out.supersteps, cluster)
+    }
+
+    #[test]
+    fn fixpoint_reaches_everyone() {
+        let (states, supersteps, _) = run_maxprop(4);
+        assert_eq!(states, vec![5, 5, 5, 5, 5, 5]);
+        // The cycle needs about one superstep per hop.
+        assert!((5..=9).contains(&supersteps), "supersteps {supersteps}");
+    }
+
+    #[test]
+    fn result_is_identical_across_cluster_sizes() {
+        let (a, _, _) = run_maxprop(1);
+        let (b, _, _) = run_maxprop(4);
+        let (c, _, _) = run_maxprop(3);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn single_machine_sends_no_network_bytes() {
+        let (_, _, cluster) = run_maxprop(1);
+        assert_eq!(cluster.total_net_bytes(), 0);
+        assert_eq!(cluster.total_messages(), 0);
+    }
+
+    #[test]
+    fn multi_machine_uses_the_network() {
+        let (_, _, cluster) = run_maxprop(3);
+        assert!(cluster.total_net_bytes() > 0);
+        assert!(cluster.total_messages() > 0);
+    }
+
+    #[test]
+    fn message_buffers_are_transient() {
+        let (_, _, cluster) = run_maxprop(2);
+        // All message memory must be freed by the end.
+        for m in 0..2 {
+            assert_eq!(cluster.mem_in_use(m), 0);
+        }
+        // But peaks were non-zero.
+        assert!(cluster.mem_peaks().iter().any(|&p| p > 0));
+    }
+
+    #[test]
+    fn oom_when_message_buffers_exceed_budget() {
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let part = EdgeCutPartition::random(4, 2, 1);
+        let mut cluster = Cluster::new(
+            ClusterSpec::r3_xlarge(2, 4), // 4 bytes: nothing fits
+            CostProfile::jvm_hadoop(),
+        );
+        let err = run_bsp(&mut cluster, &g, &part, &mut MaxProp, &BspConfig::default());
+        assert_eq!(err.err().map(|e| e.code().to_string()), Some("OOM".into()));
+    }
+
+    /// A program that never quiesces on its own but stops via `finished`.
+    struct FixedRounds {
+        rounds: u64,
+    }
+
+    impl VertexProgram for FixedRounds {
+        type Value = u64;
+        type Msg = u64;
+
+        fn init(&mut self, _v: VertexId, _g: &CsrGraph) -> (u64, bool) {
+            (0, true)
+        }
+
+        fn compute(
+            &mut self,
+            ctx: &mut Ctx<'_, u64>,
+            g: &CsrGraph,
+            v: VertexId,
+            value: &mut u64,
+            _msgs: &[u64],
+        ) -> bool {
+            *value += 1;
+            for &t in g.out_neighbors(v) {
+                ctx.send(t, *value);
+            }
+            true
+        }
+
+        fn combine(&self, a: u64, b: u64) -> u64 {
+            a.max(b)
+        }
+
+        fn finished(&mut self, superstep: u64) -> bool {
+            superstep + 1 >= self.rounds
+        }
+
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn finished_hook_stops_the_loop() {
+        let g = csr_from_pairs(&[(0, 1), (1, 0)]);
+        let part = EdgeCutPartition::random(2, 1, 1);
+        let mut cluster =
+            Cluster::new(ClusterSpec::r3_xlarge(1, 1 << 30), CostProfile::cpp_mpi());
+        let out = run_bsp(
+            &mut cluster,
+            &g,
+            &part,
+            &mut FixedRounds { rounds: 5 },
+            &BspConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.supersteps, 5);
+        assert_eq!(out.states, vec![5, 5]);
+        assert_eq!(cluster.supersteps(), 5);
+    }
+
+    #[test]
+    fn combiner_reduces_wire_messages() {
+        // Two sources both message vertex 2 every superstep.
+        let g = csr_from_pairs(&[(0, 2), (1, 2)]);
+        let part = EdgeCutPartition::random(3, 2, 3);
+        // Find a seed where 0 and 1 share a machine and 2 does not.
+        let combined = {
+            let mut cluster =
+                Cluster::new(ClusterSpec::r3_xlarge(2, 1 << 30), CostProfile::cpp_mpi());
+            run_bsp(&mut cluster, &g, &part, &mut FixedRounds { rounds: 3 }, &BspConfig::default())
+                .unwrap();
+            cluster.total_messages()
+        };
+        struct NoCombine(FixedRounds);
+        impl VertexProgram for NoCombine {
+            type Value = u64;
+            type Msg = u64;
+            fn init(&mut self, v: VertexId, g: &CsrGraph) -> (u64, bool) {
+                self.0.init(v, g)
+            }
+            fn compute(
+                &mut self,
+                ctx: &mut Ctx<'_, u64>,
+                g: &CsrGraph,
+                v: VertexId,
+                value: &mut u64,
+                msgs: &[u64],
+            ) -> bool {
+                self.0.compute(ctx, g, v, value, msgs)
+            }
+            fn combine(&self, a: u64, b: u64) -> u64 {
+                self.0.combine(a, b)
+            }
+            fn combinable(&self, _s: u64) -> bool {
+                false
+            }
+            fn finished(&mut self, s: u64) -> bool {
+                self.0.finished(s)
+            }
+            fn wire_bytes(&self) -> u64 {
+                8
+            }
+        }
+        let raw = {
+            let mut cluster =
+                Cluster::new(ClusterSpec::r3_xlarge(2, 1 << 30), CostProfile::cpp_mpi());
+            run_bsp(
+                &mut cluster,
+                &g,
+                &part,
+                &mut NoCombine(FixedRounds { rounds: 3 }),
+                &BspConfig::default(),
+            )
+            .unwrap();
+            cluster.total_messages()
+        };
+        assert!(raw >= combined, "raw {raw} combined {combined}");
+    }
+}

@@ -1,0 +1,693 @@
+//! GraphX on Spark (§2.5.2).
+//!
+//! Graph operations compiled onto Spark's RDD machinery. Per iteration the
+//! driver schedules fresh stages whose task count is the **partition count**
+//! — the paper's central tuning story (§4.4.3, Figure 2, Table 5):
+//!
+//! * too few partitions under-utilize the cluster's cores;
+//! * too many multiply per-task overhead and force HDFS blocks to be read
+//!   by several tasks;
+//! * partitions land on executors with a bias toward the HDFS client
+//!   machine's replicas, so imbalance *grows with cluster size* — at 128
+//!   machines one executor can hold 5-6x the mean (Figure 11) and BSP
+//!   supersteps wait for that straggler.
+//!
+//! Fault tolerance is by **RDD lineage**: every iteration appends to the
+//! lineage and pins shuffle state in memory. Long-running workloads (WCC on
+//! the road network) therefore grow memory without bound and die — the
+//! paper's §5.6 — unless checkpointing trades the lineage for HDFS writes
+//! (and then times out instead).
+
+use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
+use graphbench_algos::workload::{PageRankConfig, StopCriterion};
+use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
+use graphbench_graph::format::GraphFormat;
+use graphbench_graph::VertexId;
+use graphbench_partition::{VertexCutPartition, VertexCutStrategy};
+use graphbench_sim::{Cluster, CostProfile, Phase, SimError};
+
+/// GraphX / Spark configuration.
+#[derive(Debug, Clone)]
+pub struct GraphX {
+    /// Number of RDD partitions. `None` = one per HDFS block (the default
+    /// the paper found sub-optimal, §4.4.3).
+    pub num_partitions: Option<usize>,
+    /// HDFS block size used to derive the default partition count.
+    pub hdfs_block_bytes: u64,
+    /// Checkpoint the graph every N iterations, truncating the lineage at
+    /// the cost of a full HDFS write (GraphFrames-style). `None` = never
+    /// (stock GraphX Pregel).
+    pub checkpoint_every: Option<u32>,
+    /// Fraction of partitions pinned to the HDFS client machine's replicas
+    /// (the block-placement locality bias behind Figure 11).
+    pub gateway_bias: f64,
+    /// Use GraphFrames' hash-to-min WCC instead of plain HashMin (§5.6):
+    /// labels additionally pointer-jump through the label graph each
+    /// iteration, converging in far fewer rounds on long paths — "we tested
+    /// this implementation as well and found that it was competitive with
+    /// hash-min in Blogel".
+    pub wcc_hash_to_min: bool,
+}
+
+impl Default for GraphX {
+    fn default() -> Self {
+        GraphX {
+            num_partitions: None,
+            hdfs_block_bytes: 64 << 20,
+            checkpoint_every: None,
+            gateway_bias: 0.03,
+            wcc_hash_to_min: false,
+        }
+    }
+}
+
+impl GraphX {
+    /// Partition count for a dataset (Table 5's tuned values are passed via
+    /// [`GraphX::num_partitions`]; the default is the HDFS block count).
+    pub fn partitions_for(&self, dataset_bytes: u64) -> usize {
+        self.num_partitions
+            .unwrap_or_else(|| (dataset_bytes.div_ceil(self.hdfs_block_bytes)).max(1) as usize)
+    }
+
+    /// Assign partitions to machines: hash placement with a bias toward the
+    /// gateway machine whose local HDFS replicas attract tasks.
+    pub fn assign_partitions(&self, partitions: usize, machines: usize, seed: u64) -> Vec<usize> {
+        (0..partitions)
+            .map(|p| {
+                let h = splitmix(p as u64 ^ seed);
+                if (h % 10_000) as f64 / 10_000.0 < self.gateway_bias {
+                    0 // gateway machine
+                } else {
+                    (splitmix(h) % machines as u64) as usize
+                }
+            })
+            .collect()
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Engine for GraphX {
+    fn short_name(&self) -> String {
+        "S".into()
+    }
+
+    fn name(&self) -> String {
+        "GraphX (Spark)".into()
+    }
+
+    fn run(&self, input: &EngineInput<'_>) -> RunOutput {
+        let mut cluster = Cluster::new(input.cluster.clone(), CostProfile::jvm_spark());
+        let mut notes = Vec::new();
+        let outcome = execute(self, &mut cluster, input, &mut notes);
+        crate::util::output_from(cluster, outcome, notes)
+    }
+}
+
+/// Everything the per-iteration loop needs.
+struct SparkCtx<'a> {
+    /// Use the hash-to-min label-propagation variant for WCC.
+    hash_to_min: bool,
+    part: &'a VertexCutPartition,
+    /// Machine of each RDD partition.
+    machine_of_slot: &'a [usize],
+    /// Partitions per machine.
+    slots_per_machine: Vec<u64>,
+    /// Directed edges grouped per machine.
+    edges_by_machine: Vec<Vec<(VertexId, VertexId)>>,
+    machines: usize,
+    cores: u32,
+    n: usize,
+    state_bytes_per_machine: Vec<u64>,
+    lineage_per_machine: Vec<u64>,
+    checkpoint_every: Option<u32>,
+    result_state_bytes: u64,
+    /// Simulated time of the last checkpoint (or execution start): the
+    /// point lineage recovery replays from.
+    recovery_point: f64,
+}
+
+impl SparkCtx<'_> {
+    /// Effective parallelism on machine `m`: limited by both its cores and
+    /// the partitions it actually holds (§4.4.3).
+    fn slots(&self, m: usize) -> f64 {
+        (self.slots_per_machine[m].min(self.cores as u64)).max(1) as f64
+    }
+
+    /// Per-iteration Spark overhead: driver scheduling one stage per step
+    /// plus per-task launch costs. Stage boundaries are also where executor
+    /// loss surfaces: recovery recomputes from lineage, i.e. everything
+    /// since the last checkpoint (shuffles are wide dependencies, so a lost
+    /// partition drags its whole upstream history along).
+    fn charge_stage(&mut self, cluster: &mut Cluster) -> Result<(), SimError> {
+        let tasks: u64 = self.slots_per_machine.iter().sum();
+        // Task serialization + launch; one executed stage stands in for
+        // `superstep_scale` paper stages on diameter-compressed datasets.
+        let driver = 0.0015 * tasks as f64 * cluster.spec().superstep_scale;
+        cluster.advance_network_wait(&vec![driver; self.machines])?;
+        if cluster.take_failure().is_some() {
+            let replay = cluster.elapsed() - self.recovery_point;
+            cluster.advance_stall(replay)?;
+        }
+        cluster.barrier()
+    }
+
+    /// Grow the lineage: each iteration pins the shuffle outputs it
+    /// produced (proportional to the vertices that changed), so fast-
+    /// converging workloads stay bounded while O(diameter) workloads grow
+    /// without limit (§5.6).
+    fn charge_lineage(
+        &mut self,
+        cluster: &mut Cluster,
+        iteration: u32,
+        changed: u64,
+    ) -> Result<(), SimError> {
+        if let Some(k) = self.checkpoint_every {
+            if k > 0 && (iteration + 1).is_multiple_of(k) {
+                // Checkpoint: write the full graph + state to HDFS and
+                // truncate the lineage.
+                let bytes = self.result_state_bytes;
+                cluster.hdfs_write(&even_share(bytes, self.machines))?;
+                cluster.free_all(&self.lineage_per_machine);
+                for l in &mut self.lineage_per_machine {
+                    *l = 0;
+                }
+                self.recovery_point = cluster.elapsed();
+                return Ok(());
+            }
+        }
+        // Changed-vertex deltas plus fixed per-stage metadata, spread over
+        // the machines in proportion to their state share.
+        let total_state: u64 = self.state_bytes_per_machine.iter().sum::<u64>().max(1);
+        let delta_bytes = changed * 24;
+        let grow: Vec<u64> = self
+            .state_bytes_per_machine
+            .iter()
+            .map(|&b| delta_bytes * b / total_state + 2_048)
+            .collect();
+        cluster.alloc_all(&grow)?;
+        for (l, g) in self.lineage_per_machine.iter_mut().zip(&grow) {
+            *l += g;
+        }
+        Ok(())
+    }
+}
+
+fn execute(
+    engine: &GraphX,
+    cluster: &mut Cluster,
+    input: &EngineInput<'_>,
+    notes: &mut Vec<String>,
+) -> Result<WorkloadResult, SimError> {
+    let machines = cluster.machines();
+    let n = input.graph.num_vertices();
+    let profile = *cluster.profile();
+
+    cluster.begin_phase(Phase::Overhead);
+    cluster.charge_startup()?;
+
+    cluster.begin_phase(Phase::Load);
+    let bytes = dataset_bytes(input.edges, GraphFormat::EdgeListFormat);
+    let slots = engine.partitions_for(bytes);
+    // Reading the same HDFS block from several tasks re-reads it.
+    let read_amplification = (slots as u64).div_ceil((bytes / engine.hdfs_block_bytes).max(1)).min(4);
+    cluster.hdfs_read(&even_share(bytes * read_amplification, machines))?;
+
+    // Vertex-cut over RDD partitions, partitions placed on executors.
+    // GraphX's default EdgePartition2D: bounds the replication factor at
+    // ~2 sqrt(partitions), like GraphLab's grid but for any partition count.
+    let part = VertexCutPartition::build(
+        input.edges,
+        slots.min(u16::MAX as usize + 1),
+        VertexCutStrategy::Grid2D,
+        input.seed,
+    )
+    .expect("grid2d vertex cut cannot fail");
+    let machine_of_slot = engine.assign_partitions(part.machines(), machines, input.seed);
+    let mut slots_per_machine = vec![0u64; machines];
+    for &m in &machine_of_slot {
+        slots_per_machine[m] += 1;
+    }
+    notes.push(format!(
+        "partitions: {} over {} machines, max/machine {}, replication factor {:.2}",
+        part.machines(),
+        machines,
+        slots_per_machine.iter().max().unwrap(),
+        part.replication_factor()
+    ));
+
+    // Shuffle edges into partitions + materialize RDD caches.
+    let moved = bytes - bytes / machines as u64;
+    cluster.exchange(
+        &even_share(moved, machines),
+        &even_share(moved, machines),
+        &even_share(input.edges.num_edges(), machines),
+    )?;
+    let mut edges_by_machine: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); machines];
+    let mut resident = vec![0u64; machines];
+    for (i, e) in input.edges.edges.iter().enumerate() {
+        let m = machine_of_slot[part.machine_of_edge(i) as usize];
+        edges_by_machine[m].push((e.src, e.dst));
+        resident[m] += profile.bytes_per_edge;
+    }
+    let mut state_bytes_per_machine = vec![0u64; machines];
+    for v in 0..n as VertexId {
+        let mut seen = [false; 1024];
+        let mut machines_of_v = 0u64;
+        for &s in part.replicas_of(v) {
+            let m = machine_of_slot[s as usize];
+            resident[m] += profile.bytes_per_vertex;
+            if !seen[m % 1024] {
+                seen[m % 1024] = true;
+                machines_of_v += 1;
+            }
+            state_bytes_per_machine[m] += 16;
+        }
+        let _ = machines_of_v;
+    }
+    cluster.alloc_all(&resident)?;
+    cluster.sample_trace();
+
+    let mut ctx = SparkCtx {
+        hash_to_min: engine.wcc_hash_to_min,
+        part: &part,
+        machine_of_slot: &machine_of_slot,
+        slots_per_machine,
+        edges_by_machine,
+        machines,
+        cores: input.cluster.cores,
+        n,
+        state_bytes_per_machine,
+        lineage_per_machine: vec![0u64; machines],
+        checkpoint_every: engine.checkpoint_every,
+        result_state_bytes: n as u64 * 16,
+        recovery_point: 0.0,
+    };
+
+    cluster.begin_phase(Phase::Execute);
+    ctx.recovery_point = cluster.elapsed();
+    let result = match input.workload {
+        Workload::PageRank(pr) => WorkloadResult::Ranks(spark_pagerank(cluster, &mut ctx, input, pr)?),
+        Workload::Wcc => WorkloadResult::Labels(spark_wcc(cluster, &mut ctx)?),
+        Workload::Sssp { source } => {
+            WorkloadResult::Distances(spark_traversal(cluster, &mut ctx, source, u32::MAX)?)
+        }
+        Workload::KHop { source, k } => {
+            WorkloadResult::Distances(spark_traversal(cluster, &mut ctx, source, k)?)
+        }
+    };
+
+    cluster.begin_phase(Phase::Save);
+    cluster.hdfs_write(&even_share(result_bytes(n as u64), machines))?;
+    Ok(result)
+}
+
+/// Charge compute where each machine's wall time is its ops divided by its
+/// effective slot parallelism (stragglers emerge from partition imbalance).
+fn charge_compute(cluster: &mut Cluster, ctx: &SparkCtx<'_>, ops: &[f64]) -> Result<(), SimError> {
+    // RDD stages scan whole partitions each iteration, so per-superstep
+    // compute scales with the superstep-count compensation.
+    let sscale = cluster.spec().superstep_scale;
+    let adjusted: Vec<f64> = ops
+        .iter()
+        .enumerate()
+        .map(|(m, &o)| o * sscale / ctx.slots(m))
+        .collect();
+    cluster.advance_compute(&adjusted, 1)
+}
+
+/// Mirror synchronization across machines for changed vertices.
+fn mirror_sync(
+    cluster: &mut Cluster,
+    ctx: &SparkCtx<'_>,
+    changed: &[VertexId],
+) -> Result<(), SimError> {
+    let mut sent = vec![0u64; ctx.machines];
+    let mut recv = vec![0u64; ctx.machines];
+    let mut msgs = vec![0u64; ctx.machines];
+    for &v in changed {
+        let mut ms: Vec<usize> = ctx
+            .part
+            .replicas_of(v)
+            .iter()
+            .map(|&s| ctx.machine_of_slot[s as usize])
+            .collect();
+        ms.sort_unstable();
+        ms.dedup();
+        if ms.len() > 1 {
+            // Hash-select the coordinating copy (always taking the lowest
+            // machine id would pile coordination onto machine 0).
+            let master = ms[(splitmix(v as u64 ^ 0xc0de) % ms.len() as u64) as usize];
+            for &m in &ms {
+                if m != master {
+                    sent[master] += 16;
+                    recv[m] += 16;
+                    msgs[master] += 1;
+                }
+            }
+        }
+    }
+    cluster.exchange(&sent, &recv, &msgs)
+}
+
+fn spark_pagerank(
+    cluster: &mut Cluster,
+    ctx: &mut SparkCtx<'_>,
+    input: &EngineInput<'_>,
+    cfg: PageRankConfig,
+) -> Result<Vec<f64>, SimError> {
+    let n = ctx.n;
+    let g = input.graph;
+    let mut ranks = vec![1.0f64; n];
+    let (tol, max_iters) = match cfg.stop {
+        StopCriterion::Tolerance(t) => (t, u32::MAX),
+        StopCriterion::Iterations(k) => (0.0, k),
+    };
+    let mut iter = 0u32;
+    loop {
+        if iter >= max_iters {
+            break;
+        }
+        ctx.charge_stage(cluster)?;
+        let mut incoming = vec![0.0f64; n];
+        let mut ops = vec![0.0f64; ctx.machines];
+        for (m, edges) in ctx.edges_by_machine.iter().enumerate() {
+            for &(u, v) in edges {
+                incoming[v as usize] += ranks[u as usize] / g.out_degree(u) as f64;
+            }
+            ops[m] = edges.len() as f64;
+        }
+        charge_compute(cluster, ctx, &ops)?;
+        let mut max_delta = 0.0f64;
+        let mut changed = Vec::with_capacity(n);
+        for v in 0..n {
+            let new = cfg.damping + (1.0 - cfg.damping) * incoming[v];
+            max_delta = max_delta.max((new - ranks[v]).abs());
+            ranks[v] = new;
+            changed.push(v as VertexId);
+        }
+        mirror_sync(cluster, ctx, &changed)?;
+        ctx.charge_lineage(cluster, iter, changed.len() as u64)?;
+        cluster.sample_trace();
+        iter += 1;
+        if tol > 0.0 && max_delta < tol {
+            break;
+        }
+    }
+    Ok(ranks)
+}
+
+fn spark_wcc(
+    cluster: &mut Cluster,
+    ctx: &mut SparkCtx<'_>,
+) -> Result<Vec<VertexId>, SimError> {
+    let n = ctx.n;
+    let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut iter = 0u32;
+    loop {
+        ctx.charge_stage(cluster)?;
+        let mut next = label.clone();
+        let mut ops = vec![0.0f64; ctx.machines];
+        for (m, edges) in ctx.edges_by_machine.iter().enumerate() {
+            for &(u, v) in edges {
+                if label[u as usize] < next[v as usize] {
+                    next[v as usize] = label[u as usize];
+                }
+                if label[v as usize] < next[u as usize] {
+                    next[u as usize] = label[v as usize];
+                }
+            }
+            ops[m] = edges.len() as f64;
+        }
+        if ctx.hash_to_min {
+            // hash-to-min's shortcutting: labels are vertex ids, so every
+            // vertex can also adopt its label's label (pointer jumping),
+            // collapsing long chains in O(log d) rounds.
+            for v in 0..n {
+                let l = next[v] as usize;
+                if next[l] < next[v] {
+                    next[v] = next[l];
+                }
+            }
+            for o in &mut ops {
+                *o += (n / ctx.machines) as f64;
+            }
+        }
+        charge_compute(cluster, ctx, &ops)?;
+        let changed: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| next[v as usize] < label[v as usize])
+            .collect();
+        label = next;
+        mirror_sync(cluster, ctx, &changed)?;
+        ctx.charge_lineage(cluster, iter, changed.len() as u64)?;
+        cluster.sample_trace();
+        iter += 1;
+        if changed.is_empty() {
+            break;
+        }
+    }
+    Ok(label)
+}
+
+fn spark_traversal(
+    cluster: &mut Cluster,
+    ctx: &mut SparkCtx<'_>,
+    source: VertexId,
+    bound: u32,
+) -> Result<Vec<u32>, SimError> {
+    let n = ctx.n;
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut active = vec![false; n];
+    active[source as usize] = true;
+    let mut iter = 0u32;
+    while !frontier.is_empty() {
+        ctx.charge_stage(cluster)?;
+        let mut ops = vec![0.0f64; ctx.machines];
+        let mut improved: Vec<(VertexId, u32)> = Vec::new();
+        // mapReduceTriplets with an active-set filter still scans each
+        // partition's edges to test activity.
+        for (m, edges) in ctx.edges_by_machine.iter().enumerate() {
+            let mut machine_ops = 0u64;
+            for &(u, v) in edges {
+                machine_ops += 1;
+                if active[u as usize] {
+                    let d = dist[u as usize];
+                    if d < bound && d + 1 < dist[v as usize] {
+                        improved.push((v, d + 1));
+                    }
+                }
+            }
+            ops[m] = machine_ops as f64 / 4.0; // filtered scan is cheap per edge
+        }
+        charge_compute(cluster, ctx, &ops)?;
+        for v in &frontier {
+            active[*v as usize] = false;
+        }
+        let mut changed = Vec::new();
+        for (v, d) in improved {
+            if d < dist[v as usize] {
+                dist[v as usize] = d;
+                active[v as usize] = true;
+                changed.push(v);
+            }
+        }
+        mirror_sync(cluster, ctx, &changed)?;
+        ctx.charge_lineage(cluster, iter, changed.len() as u64)?;
+        cluster.sample_trace();
+        iter += 1;
+        frontier = changed;
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScaleInfo;
+    use graphbench_algos::reference;
+    use graphbench_gen::{Dataset, DatasetKind, Scale};
+    use graphbench_graph::{CsrGraph, EdgeList};
+    use graphbench_sim::ClusterSpec;
+
+    fn dataset(kind: DatasetKind) -> (EdgeList, CsrGraph) {
+        let d = Dataset::generate(kind, Scale { base: 400 }, 3);
+        let g = d.to_csr();
+        (d.edges, g)
+    }
+
+    fn input<'a>(
+        ds: &'a (EdgeList, CsrGraph),
+        workload: Workload,
+        machines: usize,
+        mem: u64,
+    ) -> EngineInput<'a> {
+        EngineInput {
+            edges: &ds.0,
+            graph: &ds.1,
+            workload,
+            cluster: ClusterSpec::r3_xlarge(machines, mem),
+            seed: 7,
+            scale: ScaleInfo::actual(&ds.0),
+        }
+    }
+
+    fn gx(parts: usize) -> GraphX {
+        GraphX { num_partitions: Some(parts), ..GraphX::default() }
+    }
+
+    #[test]
+    fn graphx_results_match_reference() {
+        let ds = dataset(DatasetKind::Twitter);
+        let pr = PageRankConfig {
+            stop: StopCriterion::Tolerance(0.01),
+            ..PageRankConfig::paper_exact()
+        };
+        let out = gx(16).run(&input(&ds, Workload::PageRank(pr), 4, 1 << 30));
+        assert!(out.metrics.status.is_ok(), "{:?}", out.metrics.status);
+        let (want, _) = reference::pagerank(&ds.1, &pr);
+        match out.result.unwrap() {
+            WorkloadResult::Ranks(r) => {
+                for (a, b) in r.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        let wcc = gx(16).run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        assert_eq!(wcc.result.unwrap(), WorkloadResult::Labels(reference::wcc(&ds.1)));
+        let sssp = gx(16).run(&input(&ds, Workload::Sssp { source: 0 }, 4, 1 << 30));
+        assert_eq!(
+            sssp.result.unwrap(),
+            WorkloadResult::Distances(reference::sssp(&ds.1, 0))
+        );
+        let khop = gx(16).run(&input(&ds, Workload::khop3(0), 4, 1 << 30));
+        assert_eq!(
+            khop.result.unwrap(),
+            WorkloadResult::Distances(reference::khop(&ds.1, 0, 3))
+        );
+    }
+
+    #[test]
+    fn hash_to_min_converges_faster_with_the_same_answer() {
+        // A road network's long chains are HashMin's worst case; the
+        // hash-to-min variant shortcuts them (§5.6).
+        let ds = dataset(DatasetKind::Wrn);
+        let plain = gx(32).run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        let h2m = GraphX { num_partitions: Some(32), wcc_hash_to_min: true, ..GraphX::default() }
+            .run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        assert!(plain.metrics.status.is_ok() && h2m.metrics.status.is_ok());
+        assert_eq!(plain.result, h2m.result);
+        assert_eq!(
+            h2m.result.as_ref().unwrap(),
+            &WorkloadResult::Labels(reference::wcc(&ds.1))
+        );
+        assert!(
+            h2m.metrics.iterations * 3 < plain.metrics.iterations,
+            "hash-to-min {} vs hashmin {} iterations",
+            h2m.metrics.iterations,
+            plain.metrics.iterations
+        );
+    }
+
+    #[test]
+    fn partition_imbalance_grows_with_cluster_size() {
+        use graphbench_partition::metrics::imbalance;
+        let engine = GraphX::default();
+        let small = engine.assign_partitions(1200, 16, 1);
+        let large = engine.assign_partitions(1200, 128, 1);
+        let count = |assign: &[usize], machines: usize| -> Vec<u64> {
+            let mut c = vec![0u64; machines];
+            for &m in assign {
+                c[m] += 1;
+            }
+            c
+        };
+        let small_imb = imbalance(&count(&small, 16));
+        let large_imb = imbalance(&count(&large, 128));
+        assert!(
+            large_imb > 2.0 * small_imb,
+            "imbalance should grow with machines: 16 -> {small_imb:.2}, 128 -> {large_imb:.2}"
+        );
+        // Figure 11's signature: the gateway machine hoards partitions.
+        let c = count(&large, 128);
+        assert!(c[0] as f64 > 3.0 * (1200.0 / 128.0), "gateway load {}", c[0]);
+    }
+
+    #[test]
+    fn lineage_grows_until_oom_on_long_workloads() {
+        // WCC on a road network runs for O(diameter) iterations; with a
+        // budget sized for the graph but not for an unbounded lineage the
+        // run must die of OOM (§5.6).
+        let ds = dataset(DatasetKind::Wrn);
+        let out = gx(32).run(&input(&ds, Workload::Wcc, 4, 1300 << 10));
+        assert_eq!(out.metrics.status.code(), "OOM", "{:?}", out.metrics.status);
+        // The same budget easily finishes K-hop (4 iterations).
+        let khop = gx(32).run(&input(&ds, Workload::khop3(0), 4, 1300 << 10));
+        assert!(khop.metrics.status.is_ok(), "{:?}", khop.metrics.status);
+    }
+
+    #[test]
+    fn checkpointing_trades_memory_for_io() {
+        let ds = dataset(DatasetKind::Wrn);
+        let plain = gx(32).run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        let ckpt = GraphX { num_partitions: Some(32), checkpoint_every: Some(2), ..GraphX::default() }
+            .run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        assert!(plain.metrics.status.is_ok());
+        assert!(ckpt.metrics.status.is_ok());
+        assert!(
+            ckpt.metrics.max_machine_memory() < plain.metrics.max_machine_memory(),
+            "checkpointing should bound memory: {} vs {}",
+            ckpt.metrics.max_machine_memory(),
+            plain.metrics.max_machine_memory()
+        );
+        assert!(
+            ckpt.metrics.phases.execute > plain.metrics.phases.execute,
+            "checkpointing should cost time: {} vs {}",
+            ckpt.metrics.phases.execute,
+            plain.metrics.phases.execute
+        );
+    }
+
+    #[test]
+    fn partition_skew_creates_stragglers() {
+        // Figure 11's consequence: the gateway machine hoards partitions, so
+        // synchronous supersteps wait for it. Disabling the placement bias
+        // (a perfectly balanced scheduler) runs measurably faster at the
+        // same partition count.
+        let ds = dataset(DatasetKind::Twitter);
+        let w = Workload::PageRank(PageRankConfig::fixed(10));
+        let mut inp = input(&ds, w, 16, 1 << 30);
+        inp.cluster.work_scale = 5_000.0;
+        let biased =
+            GraphX { num_partitions: Some(64), gateway_bias: 0.2, ..GraphX::default() }.run(&inp);
+        let balanced =
+            GraphX { num_partitions: Some(64), gateway_bias: 0.0, ..GraphX::default() }.run(&inp);
+        assert!(
+            biased.metrics.phases.execute > balanced.metrics.phases.execute,
+            "biased {} vs balanced {}",
+            biased.metrics.phases.execute,
+            balanced.metrics.phases.execute
+        );
+    }
+
+    #[test]
+    fn far_too_many_partitions_hurt_too() {
+        let ds = dataset(DatasetKind::Twitter);
+        let w = Workload::PageRank(PageRankConfig::fixed(10));
+        let right = gx(16).run(&input(&ds, w, 4, 1 << 30));
+        let many = gx(4096).run(&input(&ds, w, 4, 1 << 30));
+        assert!(
+            many.metrics.total_time() > right.metrics.total_time(),
+            "4096 partitions {} vs 16 partitions {}",
+            many.metrics.total_time(),
+            right.metrics.total_time()
+        );
+    }
+}

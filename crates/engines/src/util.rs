@@ -1,0 +1,28 @@
+//! Shared engine plumbing.
+
+use crate::RunOutput;
+use graphbench_algos::WorkloadResult;
+use graphbench_sim::{Cluster, RunMetrics, RunStatus, SimError};
+
+/// Build a [`RunOutput`] from a finished (or failed) cluster run.
+pub(crate) fn output_from(
+    cluster: Cluster,
+    outcome: Result<WorkloadResult, SimError>,
+    notes: Vec<String>,
+) -> RunOutput {
+    let (status, result) = match outcome {
+        Ok(r) => (RunStatus::Ok, Some(r)),
+        Err(e) => (RunStatus::from_error(&e), None),
+    };
+    let metrics = RunMetrics {
+        status,
+        phases: cluster.phase_times(),
+        iterations: cluster.supersteps(),
+        network_bytes: cluster.total_net_bytes(),
+        messages: cluster.total_messages(),
+        mem_peaks: cluster.mem_peaks(),
+        cpu: cluster.cpu_breakdown(),
+    };
+    let trace = cluster.trace().clone();
+    RunOutput { metrics, result, trace, notes, updates_per_iteration: Vec::new() }
+}

@@ -1,0 +1,157 @@
+//! Engine robustness on degenerate inputs: single vertices, self-loop-only
+//! graphs, sources with no out-edges, and single-machine clusters. Every
+//! engine must return reference-equal results, not panic.
+
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_algos::{reference, Workload, WorkloadResult};
+use graphbench_engines::blogel::{BlogelB, BlogelV};
+use graphbench_engines::gas::GraphLab;
+use graphbench_engines::gelly::Gelly;
+use graphbench_engines::graphx::GraphX;
+use graphbench_engines::hadoop::{Hadoop, HaLoop};
+use graphbench_engines::pregel::Giraph;
+use graphbench_engines::single::SingleThread;
+use graphbench_engines::vertica::Vertica;
+use graphbench_engines::{Engine, EngineInput, ScaleInfo};
+use graphbench_graph::builder::edge_list_from_pairs;
+use graphbench_graph::{CsrGraph, EdgeList};
+use graphbench_sim::ClusterSpec;
+
+fn engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(BlogelV),
+        Box::new(BlogelB::default()),
+        Box::new(Giraph::default()),
+        Box::new(GraphLab::sync_random()),
+        Box::new(GraphLab::async_auto()),
+        Box::new(Hadoop),
+        Box::new(HaLoop),
+        Box::new(GraphX { num_partitions: Some(4), ..GraphX::default() }),
+        Box::new(Gelly::default()),
+        Box::new(Vertica::default()),
+        Box::new(SingleThread),
+    ]
+}
+
+fn run_all(el: &EdgeList, workload: Workload) -> Vec<(String, WorkloadResult)> {
+    let g = CsrGraph::from_edge_list(el);
+    engines()
+        .into_iter()
+        .map(|e| {
+            let machines = if e.short_name() == "ST" { 1 } else { 3 };
+            let out = e.run(&EngineInput {
+                edges: el,
+                graph: &g,
+                workload,
+                cluster: ClusterSpec::r3_xlarge(machines, 1 << 30),
+                seed: 3,
+                scale: ScaleInfo::actual(el),
+            });
+            assert!(
+                out.metrics.status.is_ok(),
+                "{}: {:?}",
+                e.short_name(),
+                out.metrics.status
+            );
+            (e.short_name(), out.result.expect("successful runs return results"))
+        })
+        .collect()
+}
+
+#[test]
+fn single_vertex_no_edges() {
+    let mut el = edge_list_from_pairs(&[]);
+    el.num_vertices = 1;
+    for (name, r) in run_all(&el, Workload::Wcc) {
+        assert_eq!(r, WorkloadResult::Labels(vec![0]), "{name}");
+    }
+    for (name, r) in run_all(&el, Workload::Sssp { source: 0 }) {
+        assert_eq!(r, WorkloadResult::Distances(vec![0]), "{name}");
+    }
+}
+
+#[test]
+fn self_loops_only() {
+    let el = edge_list_from_pairs(&[(0, 0), (1, 1), (2, 2)]);
+    let g = CsrGraph::from_edge_list(&el);
+    let want = WorkloadResult::Labels(reference::wcc(&g));
+    for (name, r) in run_all(&el, Workload::Wcc) {
+        assert_eq!(r, want, "{name}");
+    }
+}
+
+#[test]
+fn source_with_no_out_edges() {
+    // Vertex 2 only has in-edges: SSSP from it reaches nothing else.
+    let el = edge_list_from_pairs(&[(0, 1), (1, 2)]);
+    let g = CsrGraph::from_edge_list(&el);
+    let want = WorkloadResult::Distances(reference::sssp(&g, 2));
+    for (name, r) in run_all(&el, Workload::Sssp { source: 2 }) {
+        assert_eq!(r, want, "{name}");
+    }
+}
+
+#[test]
+fn khop_zero_reaches_only_the_source() {
+    let el = edge_list_from_pairs(&[(0, 1), (1, 2), (2, 0)]);
+    let g = CsrGraph::from_edge_list(&el);
+    let want = WorkloadResult::Distances(reference::khop(&g, 1, 0));
+    for (name, r) in run_all(&el, Workload::KHop { source: 1, k: 0 }) {
+        assert_eq!(r, want, "{name}");
+    }
+}
+
+#[test]
+fn more_machines_than_vertices() {
+    let el = edge_list_from_pairs(&[(0, 1), (1, 0)]);
+    let g = CsrGraph::from_edge_list(&el);
+    for e in engines() {
+        if e.short_name() == "ST" {
+            continue;
+        }
+        let out = e.run(&EngineInput {
+            edges: &el,
+            graph: &g,
+            workload: Workload::Wcc,
+            cluster: ClusterSpec::r3_xlarge(8, 1 << 30),
+            seed: 3,
+            scale: ScaleInfo::actual(&el),
+        });
+        assert!(out.metrics.status.is_ok(), "{}", e.short_name());
+        assert_eq!(
+            out.result.unwrap(),
+            WorkloadResult::Labels(vec![0, 0]),
+            "{}",
+            e.short_name()
+        );
+    }
+}
+
+#[test]
+fn pagerank_zero_iterations_returns_initial_ranks() {
+    let el = edge_list_from_pairs(&[(0, 1), (1, 0)]);
+    let g = CsrGraph::from_edge_list(&el);
+    let w = Workload::PageRank(PageRankConfig::fixed(0));
+    for e in engines() {
+        // GraphLab's tolerance machinery requires >= 1 iteration, and
+        // Blogel-B's two-phase algorithm rewrites the initial ranks before
+        // the vertex phase even starts (§3.1.2); both are exempt by design.
+        if e.short_name().starts_with("GL") || e.short_name() == "BB" {
+            continue;
+        }
+        let machines = if e.short_name() == "ST" { 1 } else { 2 };
+        let out = e.run(&EngineInput {
+            edges: &el,
+            graph: &g,
+            workload: w,
+            cluster: ClusterSpec::r3_xlarge(machines, 1 << 30),
+            seed: 3,
+            scale: ScaleInfo::actual(&el),
+        });
+        assert!(out.metrics.status.is_ok(), "{}", e.short_name());
+        match out.result.unwrap() {
+            WorkloadResult::Ranks(r) => assert_eq!(r, vec![1.0, 1.0], "{}", e.short_name()),
+            other => panic!("{}: {other:?}", e.short_name()),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic dataset generators.
+//!
+//! The paper evaluates four real datasets (Table 3): Twitter (social
+//! network), World Road Network, UK200705 and ClueWeb (web graphs). Those
+//! datasets are gated behind multi-hundred-GB downloads, so this crate
+//! generates *synthetic equivalents that preserve the characteristics the
+//! paper's findings depend on*:
+//!
+//! | Paper dataset | Generator | Preserved characteristics |
+//! |---|---|---|
+//! | Twitter | [`powerlaw::chung_lu`] + giant-component stitching | power-law degrees, max degree ≫ avg, one giant component, tiny diameter |
+//! | UK200705 | [`web::web_graph`] | power-law degrees, host locality (good partitions exist), self-edges, several components, small diameter |
+//! | WRN | [`road::road_network`] | near-constant low degree, bounded max degree, *huge* diameter, 2-D coordinates, island components |
+//! | ClueWeb | [`web::web_graph`] at a scale that exceeds all but the largest cluster | as UK, plus sheer size |
+//!
+//! All generators are deterministic given a seed. [`dataset`] maps the four
+//! paper datasets to generator configurations at a chosen [`dataset::Scale`].
+
+pub mod alias;
+pub mod dataset;
+pub mod powerlaw;
+pub mod rmat;
+pub mod road;
+pub mod web;
+
+pub use dataset::{Dataset, DatasetKind, Scale};

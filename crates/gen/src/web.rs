@@ -1,0 +1,202 @@
+//! Web-graph generator (UK200705 / ClueWeb stand-ins).
+//!
+//! Web graphs differ from social networks in three ways that matter to the
+//! paper's experiments:
+//!
+//! 1. **Host locality** — pages cluster by host (URL prefix), so locality-
+//!    aware partitioners (Blogel's Voronoi blocks, GraphLab's Grid/PDS at the
+//!    right machine counts) find far better cuts than random hashing. The
+//!    generator assigns vertices to hosts with power-law host sizes and draws
+//!    most edges within the host.
+//! 2. **Self-edges** — pages link to themselves; GraphLab cannot load these
+//!    (paper §3.1.1). A configurable fraction of self-loops is injected.
+//! 3. **Several components** — unlike Twitter, the UK graph is not a single
+//!    weakly connected component (§4.4.1); the generator does not stitch.
+
+use crate::alias::AliasTable;
+use graphbench_graph::{EdgeList, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`web_graph`].
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    pub num_vertices: u64,
+    pub num_edges: u64,
+    /// Number of hosts; host sizes follow a power law.
+    pub num_hosts: u32,
+    /// Probability that an edge stays inside its source's host.
+    pub intra_host_prob: f64,
+    /// Weight exponent for the in-host and cross-host endpoint choice.
+    pub alpha: f64,
+    /// Fraction of `num_edges` emitted as self-loops.
+    pub self_edge_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            num_vertices: 20_000,
+            num_edges: 700_000,
+            num_hosts: 200,
+            intra_host_prob: 0.8,
+            alpha: 0.75,
+            self_edge_fraction: 1e-4,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated web graph: edges plus the host id of every vertex (the
+/// locality structure partitioners can exploit).
+#[derive(Debug, Clone)]
+pub struct WebGraph {
+    pub edges: EdgeList,
+    /// Host id per vertex.
+    pub hosts: Vec<u32>,
+}
+
+/// Generate a web graph.
+pub fn web_graph(cfg: &WebConfig) -> WebGraph {
+    assert!(cfg.num_vertices > 0 && cfg.num_hosts > 0);
+    assert!((0.0..=1.0).contains(&cfg.intra_host_prob));
+    let n = cfg.num_vertices as usize;
+    let h = cfg.num_hosts as usize;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Host sizes ~ power law; vertices are laid out host-contiguously, the
+    // way a URL-sorted crawl file is.
+    let host_weights: Vec<f64> = (0..h).map(|i| ((i + 1) as f64).powf(-0.9)).collect();
+    let host_total: f64 = host_weights.iter().sum();
+    let mut hosts = vec![0u32; n];
+    let mut host_start = vec![0usize; h + 1];
+    {
+        let mut cursor = 0usize;
+        for (i, w) in host_weights.iter().enumerate() {
+            host_start[i] = cursor;
+            let mut share = ((w / host_total) * n as f64).round() as usize;
+            if i == h - 1 {
+                share = n - cursor; // absorb rounding in the final host
+            }
+            let share = share.min(n - cursor);
+            hosts[cursor..cursor + share].fill(i as u32);
+            cursor += share;
+        }
+        host_start[h] = n;
+        // Rounding may exhaust vertices before the final host; any leftover
+        // slots already default to the last assigned host's id via the loop.
+        for i in (0..h).rev() {
+            if host_start[i] > host_start[i + 1] {
+                host_start[i] = host_start[i + 1];
+            }
+        }
+    }
+
+    // Global endpoint distribution (cross-host edges). Weight ranks are
+    // permuted so popularity is independent of host membership — otherwise
+    // the first host would hold all the globally heaviest pages and its
+    // front page would compound both skews into an outsized hub.
+    let mut rank: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        rank.swap(i, j);
+    }
+    let weights: Vec<f64> =
+        (0..n).map(|i| ((rank[i] + 1) as f64).powf(-cfg.alpha)).collect();
+    let global = AliasTable::new(&weights);
+
+    let self_edges = (cfg.num_edges as f64 * cfg.self_edge_fraction).round() as u64;
+    let normal_edges = cfg.num_edges.saturating_sub(self_edges);
+    let mut el = EdgeList::with_capacity(cfg.num_vertices, cfg.num_edges as usize);
+    for _ in 0..normal_edges {
+        let s = global.sample(&mut rng) as usize;
+        let d = if rng.gen::<f64>() < cfg.intra_host_prob {
+            // Within the source's host, popularity is itself power-law
+            // (front pages dominate): u^3 biases toward the host's first
+            // members, giving the in-degree skew real web graphs have.
+            let host = hosts[s] as usize;
+            let (lo, hi) = (host_start[host], host_start[host + 1]);
+            if hi > lo {
+                let u: f64 = rng.gen();
+                lo + ((u * u * u) * (hi - lo) as f64) as usize
+            } else {
+                global.sample(&mut rng) as usize
+            }
+        } else {
+            global.sample(&mut rng) as usize
+        };
+        el.push(s as VertexId, d as VertexId);
+    }
+    for _ in 0..self_edges {
+        let v = global.sample(&mut rng);
+        el.push(v, v);
+    }
+    WebGraph { edges: el, hosts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_graph::{stats, CsrGraph};
+
+    fn gen() -> WebGraph {
+        web_graph(&WebConfig {
+            num_vertices: 5_000,
+            num_edges: 150_000,
+            num_hosts: 50,
+            self_edge_fraction: 1e-3,
+            ..WebConfig::default()
+        })
+    }
+
+    #[test]
+    fn counts_and_self_edges() {
+        let w = gen();
+        assert_eq!(w.edges.num_edges(), 150_000);
+        let g = CsrGraph::from_edge_list(&w.edges);
+        let s = stats::compute_stats(&g);
+        // 150 injected loops (1e-3 of 150k) plus whatever the endpoint
+        // sampler produces by chance.
+        assert!(s.self_edges >= 150, "self edges {}", s.self_edges);
+    }
+
+    #[test]
+    fn host_locality_dominates() {
+        let w = gen();
+        let intra = w
+            .edges
+            .edges
+            .iter()
+            .filter(|e| w.hosts[e.src as usize] == w.hosts[e.dst as usize])
+            .count() as f64;
+        let frac = intra / w.edges.num_edges() as f64;
+        assert!(frac > 0.6, "intra-host fraction {frac}");
+    }
+
+    #[test]
+    fn heavy_tailed_degrees() {
+        let w = gen();
+        let g = CsrGraph::from_edge_list(&w.edges);
+        let s = stats::compute_stats(&g);
+        assert!(s.max_out_degree as f64 > 20.0 * s.avg_out_degree);
+    }
+
+    #[test]
+    fn host_assignment_is_contiguous_and_total() {
+        let w = gen();
+        assert_eq!(w.hosts.len(), 5_000);
+        // Contiguous: host ids are non-decreasing along vertex ids.
+        for pair in w.hosts.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen();
+        let b = gen();
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.hosts, b.hosts);
+    }
+}

@@ -1,0 +1,220 @@
+//! Compressed-sparse-row graph representation.
+
+use crate::{EdgeList, VertexId};
+
+/// A directed graph in CSR form with an optional in-edge (reverse) index.
+///
+/// ```
+/// use graphbench_graph::builder::csr_from_pairs;
+///
+/// let mut g = csr_from_pairs(&[(0, 1), (0, 2), (1, 2)]);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// g.build_in_edges();
+/// assert_eq!(g.in_neighbors(2), &[0, 1]);
+/// ```
+///
+/// Every engine operates on `CsrGraph` or on per-machine fragments derived
+/// from it. The out-adjacency is always present; the in-adjacency is built
+/// on demand because only some systems need it (GraphLab exposes both edge
+/// directions natively, while Giraph/Blogel discover in-neighbours with an
+/// extra superstep — the memory difference matters to the simulation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    out_offsets: Vec<u64>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Option<Vec<u64>>,
+    in_targets: Option<Vec<VertexId>>,
+}
+
+impl CsrGraph {
+    /// Build the out-CSR from an edge list. Edge order within a vertex's
+    /// adjacency follows the input order; duplicates are preserved.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let n = el.num_vertices as usize;
+        let mut degrees = vec![0u64; n];
+        for e in &el.edges {
+            degrees[e.src as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; el.edges.len()];
+        for e in &el.edges {
+            let c = &mut cursor[e.src as usize];
+            targets[*c as usize] = e.dst;
+            *c += 1;
+        }
+        CsrGraph {
+            num_vertices: n,
+            out_offsets: offsets,
+            out_targets: targets,
+            in_offsets: None,
+            in_targets: None,
+        }
+    }
+
+    /// Number of vertices (the dense range `0..n`).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.out_targets.len() as u64
+    }
+
+    /// Out-neighbours of `v` in input order.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.out_offsets[v as usize] as usize;
+        let e = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[s..e]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> u64 {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// True once [`CsrGraph::build_in_edges`] has run.
+    pub fn has_in_edges(&self) -> bool {
+        self.in_offsets.is_some()
+    }
+
+    /// Build the reverse (in-edge) index. Idempotent.
+    pub fn build_in_edges(&mut self) {
+        if self.in_offsets.is_some() {
+            return;
+        }
+        let n = self.num_vertices;
+        let mut degrees = vec![0u64; n];
+        for &t in &self.out_targets {
+            degrees[t as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; self.out_targets.len()];
+        for v in 0..n {
+            let s = self.out_offsets[v] as usize;
+            let e = self.out_offsets[v + 1] as usize;
+            for &t in &self.out_targets[s..e] {
+                let c = &mut cursor[t as usize];
+                targets[*c as usize] = v as VertexId;
+                *c += 1;
+            }
+        }
+        self.in_offsets = Some(offsets);
+        self.in_targets = Some(targets);
+    }
+
+    /// In-neighbours of `v`. Panics unless [`CsrGraph::build_in_edges`] ran.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let offsets = self.in_offsets.as_ref().expect("in-edge index not built");
+        let targets = self.in_targets.as_ref().unwrap();
+        let s = offsets[v as usize] as usize;
+        let e = offsets[v as usize + 1] as usize;
+        &targets[s..e]
+    }
+
+    /// In-degree of `v`. Panics unless the in-edge index was built.
+    pub fn in_degree(&self, v: VertexId) -> u64 {
+        let offsets = self.in_offsets.as_ref().expect("in-edge index not built");
+        offsets[v as usize + 1] - offsets[v as usize]
+    }
+
+    /// Iterate all edges as `(src, dst)` pairs in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices as VertexId)
+            .flat_map(move |v| self.out_neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Bytes of the raw CSR arrays (the "C++ compact" memory baseline the
+    /// simulator scales per-system).
+    pub fn raw_bytes(&self) -> u64 {
+        let out = (self.out_offsets.len() * 8 + self.out_targets.len() * 4) as u64;
+        let inn = self
+            .in_offsets
+            .as_ref()
+            .map(|o| (o.len() * 8 + self.in_targets.as_ref().unwrap().len() * 4) as u64)
+            .unwrap_or(0);
+        out + inn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(0, 2);
+        el.push(1, 3);
+        el.push(2, 3);
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn out_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[VertexId]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn in_adjacency() {
+        let mut g = diamond();
+        assert!(!g.has_in_edges());
+        g.build_in_edges();
+        assert!(g.has_in_edges());
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[VertexId]);
+        assert_eq!(g.in_degree(3), 2);
+        // Idempotent.
+        g.build_in_edges();
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_legal() {
+        let mut el = EdgeList::new(5);
+        el.push(0, 4);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.num_vertices(), 5);
+        for v in 1..4 {
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn raw_bytes_counts_both_directions() {
+        let mut g = diamond();
+        let out_only = g.raw_bytes();
+        g.build_in_edges();
+        assert!(g.raw_bytes() > out_only);
+    }
+}

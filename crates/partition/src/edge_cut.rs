@@ -1,0 +1,125 @@
+//! Random edge-cut partitioning: each vertex is hashed to one machine and
+//! owns its out-edges there. This is the default in Pregel/Giraph, Hadoop,
+//! HaLoop, and Gelly.
+
+use crate::{hash_to_machine, MachineId};
+use graphbench_graph::{CsrGraph, VertexId};
+
+/// A vertex-to-machine assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeCutPartition {
+    assignment: Vec<MachineId>,
+    machines: usize,
+}
+
+impl EdgeCutPartition {
+    /// Hash-partition `num_vertices` vertices onto `machines` machines.
+    pub fn random(num_vertices: u64, machines: usize, seed: u64) -> Self {
+        assert!(machines > 0 && machines <= MachineId::MAX as usize + 1);
+        let assignment = (0..num_vertices)
+            .map(|v| hash_to_machine(v, seed, machines))
+            .collect();
+        EdgeCutPartition { assignment, machines }
+    }
+
+    /// Wrap an explicit vertex→machine assignment (e.g. Blogel-B reusing its
+    /// block placement for a vertex-level phase).
+    pub fn from_assignment(assignment: Vec<MachineId>, machines: usize) -> Self {
+        assert!(machines > 0);
+        debug_assert!(assignment.iter().all(|&m| (m as usize) < machines));
+        EdgeCutPartition { assignment, machines }
+    }
+
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Machine owning vertex `v`.
+    pub fn machine_of(&self, v: VertexId) -> MachineId {
+        self.assignment[v as usize]
+    }
+
+    /// Vertices owned by each machine.
+    pub fn vertices_per_machine(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.machines];
+        for (v, &m) in self.assignment.iter().enumerate() {
+            out[m as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Count of vertices per machine (load balance check).
+    pub fn counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.machines];
+        for &m in &self.assignment {
+            counts[m as usize] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of edges whose endpoints live on different machines — the
+    /// traffic a message-passing superstep puts on the network.
+    pub fn cut_fraction(&self, g: &CsrGraph) -> f64 {
+        if g.num_edges() == 0 {
+            return 0.0;
+        }
+        let cut = g
+            .edges()
+            .filter(|&(s, d)| self.machine_of(s) != self.machine_of(d))
+            .count();
+        cut as f64 / g.num_edges() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_graph::builder::csr_from_pairs;
+
+    #[test]
+    fn covers_all_vertices() {
+        let p = EdgeCutPartition::random(1_000, 16, 3);
+        assert_eq!(p.num_vertices(), 1_000);
+        let per = p.vertices_per_machine();
+        let total: usize = per.iter().map(Vec::len).sum();
+        assert_eq!(total, 1_000);
+        assert_eq!(p.counts().iter().sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let p = EdgeCutPartition::random(16_000, 16, 3);
+        for &c in &p.counts() {
+            assert!((800..1_200).contains(&c));
+        }
+    }
+
+    #[test]
+    fn single_machine_has_no_cut() {
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 0)]);
+        let p = EdgeCutPartition::random(3, 1, 0);
+        assert_eq!(p.cut_fraction(&g), 0.0);
+    }
+
+    #[test]
+    fn random_cut_fraction_near_expected() {
+        // With k machines a random edge crosses with probability 1 - 1/k.
+        let n = 2_000u32;
+        let pairs: Vec<(u32, u32)> = (0..n).map(|i| (i, (i * 7 + 1) % n)).collect();
+        let g = csr_from_pairs(&pairs);
+        let p = EdgeCutPartition::random(n as u64, 8, 5);
+        let f = p.cut_fraction(&g);
+        assert!((0.80..0.95).contains(&f), "cut fraction {f}");
+    }
+
+    #[test]
+    fn empty_graph_cut_is_zero() {
+        let g = csr_from_pairs(&[]);
+        let p = EdgeCutPartition::random(0, 4, 0);
+        assert_eq!(p.cut_fraction(&g), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Dataset-specific block partitioners (§2.3).
+//!
+//! Blogel's paper describes two partitioners that exploit vertex metadata
+//! instead of sampling: a **2-D partitioner** for road networks (cut the
+//! plane into cells) and a **URL/host-prefix partitioner** for web graphs
+//! (a host's pages form a block). The study under reproduction explicitly
+//! does *not* use them ("we do not use these dataset-specific techniques"),
+//! so the main harness never calls these — they exist for the ablation
+//! benches that ask how much the general GVD partitioner leaves on the
+//! table.
+
+use crate::voronoi::BlockPartition;
+use crate::MachineId;
+use graphbench_graph::{EdgeList, VertexId};
+
+/// Partition a road network into rectangular cells of the coordinate plane.
+///
+/// `cells_per_side` controls granularity: the plane is cut into
+/// `cells_per_side x cells_per_side` rectangles, each a block. Blocks are
+/// then greedily bin-packed onto machines like GVD blocks. Cells follow
+/// physical locality, so almost every street stays inside its block.
+pub fn two_d_blocks(
+    el: &EdgeList,
+    coords: &[(u32, u32)],
+    machines: usize,
+    cells_per_side: u32,
+) -> BlockPartition {
+    assert_eq!(coords.len(), el.num_vertices as usize, "one coordinate per vertex");
+    assert!(cells_per_side > 0 && machines > 0);
+    let n = el.num_vertices as usize;
+    let (mut max_x, mut max_y) = (1u32, 1u32);
+    for &(x, y) in coords {
+        max_x = max_x.max(x + 1);
+        max_y = max_y.max(y + 1);
+    }
+    let cell_of = |x: u32, y: u32| -> u32 {
+        let cx = (x as u64 * cells_per_side as u64 / max_x as u64) as u32;
+        let cy = (y as u64 * cells_per_side as u64 / max_y as u64) as u32;
+        cy * cells_per_side + cx
+    };
+    let block_of: Vec<u32> = coords.iter().map(|&(x, y)| cell_of(x, y)).collect();
+    from_block_assignment(n, block_of, machines)
+}
+
+/// Partition a web graph into host blocks: every host's pages form one
+/// block (the URL-prefix partitioner).
+pub fn host_blocks(el: &EdgeList, hosts: &[u32], machines: usize) -> BlockPartition {
+    assert_eq!(hosts.len(), el.num_vertices as usize, "one host per vertex");
+    assert!(machines > 0);
+    from_block_assignment(el.num_vertices as usize, hosts.to_vec(), machines)
+}
+
+/// Shared tail: compact block ids, build member lists, and bin-pack blocks
+/// onto machines by size.
+fn from_block_assignment(n: usize, raw: Vec<u32>, machines: usize) -> BlockPartition {
+    // Compact non-contiguous ids (empty cells, sparse host ids).
+    let mut remap = std::collections::HashMap::new();
+    let mut block_of = Vec::with_capacity(n);
+    for r in raw {
+        let next = remap.len() as u32;
+        let id = *remap.entry(r).or_insert(next);
+        block_of.push(id);
+    }
+    let num_blocks = remap.len();
+    let mut blocks: Vec<Vec<VertexId>> = vec![Vec::new(); num_blocks];
+    for (v, &b) in block_of.iter().enumerate() {
+        blocks[b as usize].push(v as VertexId);
+    }
+    let mut order: Vec<usize> = (0..num_blocks).collect();
+    order.sort_unstable_by_key(|&b| std::cmp::Reverse(blocks[b].len()));
+    let mut loads = vec![0u64; machines];
+    let mut machine_of_block = vec![0 as MachineId; num_blocks];
+    for b in order {
+        let m = (0..machines).min_by_key(|&m| (loads[m], m)).unwrap();
+        machine_of_block[b] = m as MachineId;
+        loads[m] += blocks[b].len() as u64;
+    }
+    BlockPartition {
+        block_of,
+        blocks,
+        machine_of_block,
+        rounds: 0, // metadata partitioning needs no sampling rounds
+        aggregate_items: n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VoronoiConfig;
+    use graphbench_graph::builder::edge_list_from_pairs;
+
+    fn grid(side: u32) -> (EdgeList, Vec<(u32, u32)>) {
+        let mut pairs = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                let v = y * side + x;
+                if x + 1 < side {
+                    pairs.push((v, v + 1));
+                    pairs.push((v + 1, v));
+                }
+                if y + 1 < side {
+                    pairs.push((v, v + side));
+                    pairs.push((v + side, v));
+                }
+            }
+        }
+        let el = edge_list_from_pairs(&pairs);
+        let coords = (0..side).flat_map(|y| (0..side).map(move |x| (x, y))).collect();
+        (el, coords)
+    }
+
+    #[test]
+    fn two_d_cells_partition_all_vertices() {
+        let (el, coords) = grid(16);
+        let p = two_d_blocks(&el, &coords, 4, 4);
+        assert_eq!(p.num_blocks(), 16);
+        let total: usize = p.blocks.iter().map(Vec::len).sum();
+        assert_eq!(total, 256);
+        // Every cell is a contiguous 4x4 square of 16 vertices.
+        for b in &p.blocks {
+            assert_eq!(b.len(), 16);
+        }
+    }
+
+    #[test]
+    fn two_d_beats_gvd_at_equal_granularity() {
+        // At comparable block counts (~16), physical cells cut fewer edges
+        // and balance perfectly; GVD blocks are sampled and uneven.
+        let (el, coords) = grid(24);
+        let two_d = two_d_blocks(&el, &coords, 4, 4);
+        let gvd = crate::BlockPartition::build(
+            &el,
+            4,
+            &VoronoiConfig { max_block_size: 24 * 24 / 16, ..VoronoiConfig::default() },
+        );
+        assert!(
+            two_d.boundary_fraction(&el) <= gvd.boundary_fraction(&el),
+            "2d {} vs gvd {}",
+            two_d.boundary_fraction(&el),
+            gvd.boundary_fraction(&el)
+        );
+        let sizes = |p: &crate::BlockPartition| -> Vec<u64> {
+            p.blocks.iter().map(|b| b.len() as u64).collect()
+        };
+        let cv_2d = crate::metrics::coefficient_of_variation(&sizes(&two_d));
+        let cv_gvd = crate::metrics::coefficient_of_variation(&sizes(&gvd));
+        assert!(cv_2d < cv_gvd, "2d cv {cv_2d} vs gvd cv {cv_gvd}");
+    }
+
+    #[test]
+    fn host_blocks_group_by_host() {
+        let el = edge_list_from_pairs(&[(0, 1), (2, 3), (4, 5)]);
+        let hosts = vec![7, 7, 9, 9, 9, 2];
+        let p = host_blocks(&el, &hosts, 2);
+        assert_eq!(p.num_blocks(), 3);
+        for (v, &h) in hosts.iter().enumerate() {
+            for (w, &h2) in hosts.iter().enumerate() {
+                let same_block = p.block_of[v] == p.block_of[w];
+                assert_eq!(same_block, h == h2, "{v} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_balances_machines() {
+        let (el, coords) = grid(20);
+        let p = two_d_blocks(&el, &coords, 4, 5);
+        let counts = p.vertices_per_machine(4);
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 100, "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one coordinate per vertex")]
+    fn coordinate_length_checked() {
+        let el = edge_list_from_pairs(&[(0, 1)]);
+        two_d_blocks(&el, &[(0, 0)], 2, 2);
+    }
+}

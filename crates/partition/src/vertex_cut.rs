@@ -1,0 +1,534 @@
+//! Vertex-cut (edge-disjoint) partitioning, as in GraphLab/PowerGraph.
+//!
+//! Edges are assigned to machines; a vertex is *replicated* on every machine
+//! that holds one of its edges. One replica is the master, the rest are
+//! mirrors that synchronize with it every superstep — so the **replication
+//! factor** (average replicas per vertex, the paper's Table 4) directly
+//! drives both memory footprint and network traffic.
+//!
+//! Strategies (§4.4.1):
+//!
+//! * **Random** — hash each edge.
+//! * **Grid** — machines form an `X × Y` rectangle with `|X - Y| <= 2`; a
+//!   vertex's candidate set is the row plus column of its hash machine,
+//!   bounding replicas at `X + Y - 1`.
+//! * **PDS** — requires `M = p^2 + p + 1`; candidate sets are translates of
+//!   a perfect difference set, so any two sets intersect in exactly one
+//!   machine, bounding replicas at `p + 1`.
+//! * **Oblivious** — greedy placement using the replica sets built so far.
+//! * **Auto** — PDS if the machine count qualifies, else Grid, else
+//!   Oblivious (GraphLab's preference order).
+
+use crate::pds::perfect_difference_set;
+use crate::{hash_to_machine, mix64, MachineId};
+use graphbench_graph::{EdgeList, VertexId};
+
+/// Partitioning strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexCutStrategy {
+    Random,
+    Grid,
+    /// GraphX's EdgePartition2D: the same row-column sharding as Grid but
+    /// without GraphLab's `|X - Y| <= 2` restriction — any factorization
+    /// works, bounding replication at roughly `2 * sqrt(partitions)`.
+    Grid2D,
+    Pds,
+    Oblivious,
+    /// PDS if available, else Grid, else Oblivious.
+    Auto,
+}
+
+impl VertexCutStrategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            VertexCutStrategy::Random => "random",
+            VertexCutStrategy::Grid => "grid",
+            VertexCutStrategy::Grid2D => "grid2d",
+            VertexCutStrategy::Pds => "pds",
+            VertexCutStrategy::Oblivious => "oblivious",
+            VertexCutStrategy::Auto => "auto",
+        }
+    }
+}
+
+/// Why a requested strategy cannot run on this machine count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VertexCutError {
+    /// Grid needs `X * Y = machines` with `|X - Y| <= 2`.
+    GridUnavailable { machines: usize },
+    /// PDS needs `machines = p^2 + p + 1`.
+    PdsUnavailable { machines: usize },
+}
+
+impl std::fmt::Display for VertexCutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VertexCutError::GridUnavailable { machines } => {
+                write!(f, "grid partitioning unavailable for {machines} machines")
+            }
+            VertexCutError::PdsUnavailable { machines } => {
+                write!(f, "PDS partitioning unavailable for {machines} machines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VertexCutError {}
+
+/// The result of vertex-cut partitioning.
+///
+/// ```
+/// use graphbench_graph::builder::edge_list_from_pairs;
+/// use graphbench_partition::{VertexCutPartition, VertexCutStrategy};
+///
+/// let el = edge_list_from_pairs(&[(0, 1), (1, 2), (2, 0)]);
+/// let p = VertexCutPartition::build(&el, 4, VertexCutStrategy::Random, 7).unwrap();
+/// // Every edge lives on a machine both endpoints are replicated to.
+/// let m = p.machine_of_edge(0);
+/// assert!(p.replicas_of(0).contains(&m) && p.replicas_of(1).contains(&m));
+/// assert!(p.replication_factor() >= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VertexCutPartition {
+    machines: usize,
+    resolved: VertexCutStrategy,
+    /// Machine of each edge, parallel to the input edge list.
+    edge_assignment: Vec<MachineId>,
+    /// Sorted machine set per vertex (empty for isolated vertices).
+    replicas: Vec<Vec<MachineId>>,
+    /// Master machine per vertex: the hash machine if it holds a replica,
+    /// otherwise the first replica, otherwise the hash machine.
+    masters: Vec<MachineId>,
+}
+
+impl VertexCutPartition {
+    /// Partition `el` onto `machines` machines.
+    pub fn build(
+        el: &EdgeList,
+        machines: usize,
+        strategy: VertexCutStrategy,
+        seed: u64,
+    ) -> Result<Self, VertexCutError> {
+        assert!(machines > 0 && machines <= MachineId::MAX as usize + 1);
+        let resolved = resolve(strategy, machines)?;
+        let edge_assignment = match resolved {
+            VertexCutStrategy::Random => assign_random(el, machines, seed),
+            VertexCutStrategy::Grid => {
+                let (x, y) = grid_shape(machines)
+                    .ok_or(VertexCutError::GridUnavailable { machines })?;
+                assign_constrained(el, machines, seed, &grid_candidates(x, y))
+            }
+            VertexCutStrategy::Grid2D => {
+                let (x, y) = grid2d_shape(machines);
+                assign_constrained(el, machines, seed, &grid_candidates(x, y))
+            }
+            VertexCutStrategy::Pds => {
+                let set = perfect_difference_set(machines)
+                    .ok_or(VertexCutError::PdsUnavailable { machines })?;
+                assign_constrained(el, machines, seed, &pds_candidates(&set, machines))
+            }
+            VertexCutStrategy::Oblivious => assign_oblivious(el, machines, seed),
+            VertexCutStrategy::Auto => unreachable!("resolved above"),
+        };
+        let n = el.num_vertices as usize;
+        let mut replicas: Vec<Vec<MachineId>> = vec![Vec::new(); n];
+        for (e, &m) in el.edges.iter().zip(&edge_assignment) {
+            for v in [e.src, e.dst] {
+                let r = &mut replicas[v as usize];
+                if !r.contains(&m) {
+                    r.push(m);
+                }
+            }
+        }
+        let mut masters = Vec::with_capacity(n);
+        for (v, r) in replicas.iter_mut().enumerate() {
+            r.sort_unstable();
+            let h = hash_to_machine(v as u64, seed, machines);
+            // Master = the hash machine when it holds a replica, otherwise a
+            // *hashed* member of the replica set (picking the first member
+            // would pile masters — and their gather/apply traffic — onto
+            // low-numbered machines).
+            let master = if r.is_empty() || r.contains(&h) {
+                h
+            } else {
+                r[(mix64(v as u64 ^ seed.rotate_left(17)) % r.len() as u64) as usize]
+            };
+            masters.push(master);
+        }
+        Ok(VertexCutPartition { machines, resolved, edge_assignment, replicas, masters })
+    }
+
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The strategy actually used (Auto resolved).
+    pub fn resolved_strategy(&self) -> VertexCutStrategy {
+        self.resolved
+    }
+
+    pub fn machine_of_edge(&self, edge_index: usize) -> MachineId {
+        self.edge_assignment[edge_index]
+    }
+
+    pub fn edge_assignment(&self) -> &[MachineId] {
+        &self.edge_assignment
+    }
+
+    /// Sorted replica set of `v`.
+    pub fn replicas_of(&self, v: VertexId) -> &[MachineId] {
+        &self.replicas[v as usize]
+    }
+
+    pub fn master_of(&self, v: VertexId) -> MachineId {
+        self.masters[v as usize]
+    }
+
+    /// Total replicas across all vertices.
+    pub fn total_replicas(&self) -> u64 {
+        self.replicas.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Average replicas per vertex that has at least one edge — the paper's
+    /// replication factor (Table 4).
+    pub fn replication_factor(&self) -> f64 {
+        let (sum, cnt) = self
+            .replicas
+            .iter()
+            .filter(|r| !r.is_empty())
+            .fold((0u64, 0u64), |(s, c), r| (s + r.len() as u64, c + 1));
+        if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        }
+    }
+
+    /// Edge count per machine (load balance).
+    pub fn edges_per_machine(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.machines];
+        for &m in &self.edge_assignment {
+            counts[m as usize] += 1;
+        }
+        counts
+    }
+}
+
+fn resolve(
+    strategy: VertexCutStrategy,
+    machines: usize,
+) -> Result<VertexCutStrategy, VertexCutError> {
+    Ok(match strategy {
+        VertexCutStrategy::Auto => {
+            if perfect_difference_set(machines).is_some() {
+                VertexCutStrategy::Pds
+            } else if grid_shape(machines).is_some() {
+                VertexCutStrategy::Grid
+            } else {
+                VertexCutStrategy::Oblivious
+            }
+        }
+        #[allow(clippy::if_same_then_else)]
+        VertexCutStrategy::Grid if grid_shape(machines).is_none() => {
+            return Err(VertexCutError::GridUnavailable { machines })
+        }
+        VertexCutStrategy::Pds if perfect_difference_set(machines).is_none() => {
+            return Err(VertexCutError::PdsUnavailable { machines })
+        }
+        s => s,
+    })
+}
+
+/// Any `X * Y = machines` factorization closest to square (Grid2D); falls
+/// back to `1 x machines` for primes.
+pub fn grid2d_shape(machines: usize) -> (usize, usize) {
+    let root = (machines as f64).sqrt() as usize;
+    for x in (1..=root).rev() {
+        if machines.is_multiple_of(x) {
+            return (x, machines / x);
+        }
+    }
+    (1, machines)
+}
+
+/// `X * Y = machines` with `|X - Y| <= 2`, preferring the squarest shape.
+pub fn grid_shape(machines: usize) -> Option<(usize, usize)> {
+    let root = (machines as f64).sqrt() as usize;
+    for x in (1..=root).rev() {
+        if machines.is_multiple_of(x) {
+            let y = machines / x;
+            if y.abs_diff(x) <= 2 {
+                return Some((x, y));
+            }
+            // Divisors only get further apart below the square root.
+            return None;
+        }
+    }
+    None
+}
+
+fn assign_random(el: &EdgeList, machines: usize, seed: u64) -> Vec<MachineId> {
+    el.edges
+        .iter()
+        .map(|e| {
+            let key = ((e.src as u64) << 32) | e.dst as u64;
+            (mix64(key ^ seed) % machines as u64) as MachineId
+        })
+        .collect()
+}
+
+/// Candidate machine set per hash machine for Grid: the row plus column of
+/// the machine in the X x Y rectangle.
+fn grid_candidates(x: usize, y: usize) -> Vec<Vec<MachineId>> {
+    let machines = x * y;
+    (0..machines)
+        .map(|m| {
+            let (r, c) = (m / y, m % y);
+            let mut set: Vec<MachineId> = (0..y).map(|cc| (r * y + cc) as MachineId).collect();
+            for rr in 0..x {
+                let cand = (rr * y + c) as MachineId;
+                if !set.contains(&cand) {
+                    set.push(cand);
+                }
+            }
+            set.sort_unstable();
+            set
+        })
+        .collect()
+}
+
+/// Candidate machine set per hash machine for PDS: the difference-set
+/// translate containing the machine.
+fn pds_candidates(set: &[u16], machines: usize) -> Vec<Vec<MachineId>> {
+    (0..machines)
+        .map(|m| {
+            let mut cands: Vec<MachineId> = set
+                .iter()
+                .map(|&s| ((m + s as usize) % machines) as MachineId)
+                .collect();
+            cands.sort_unstable();
+            cands
+        })
+        .collect()
+}
+
+/// Constrained placement shared by Grid and PDS: an edge goes to the least
+/// loaded machine in the intersection of its endpoints' candidate sets
+/// (falling back to the union if the intersection is empty, which cannot
+/// happen for Grid/PDS but keeps the code total).
+fn assign_constrained(
+    el: &EdgeList,
+    machines: usize,
+    seed: u64,
+    candidates: &[Vec<MachineId>],
+) -> Vec<MachineId> {
+    let mut loads = vec![0u64; machines];
+    let mut out = Vec::with_capacity(el.edges.len());
+    for e in &el.edges {
+        let su = &candidates[hash_to_machine(e.src as u64, seed, machines) as usize];
+        let sv = &candidates[hash_to_machine(e.dst as u64, seed, machines) as usize];
+        let mut best: Option<MachineId> = None;
+        for &m in su {
+            if sv.binary_search(&m).is_ok() {
+                let better = match best {
+                    None => true,
+                    Some(b) => loads[m as usize] < loads[b as usize],
+                };
+                if better {
+                    best = Some(m);
+                }
+            }
+        }
+        let pick = best.unwrap_or_else(|| {
+            *su.iter()
+                .chain(sv.iter())
+                .min_by_key(|&&m| loads[m as usize])
+                .expect("candidate sets are non-empty")
+        });
+        loads[pick as usize] += 1;
+        out.push(pick);
+    }
+    out
+}
+
+/// Greedy "Oblivious" placement (paper §4.4.1): use the replica sets built
+/// so far, preferring machines that already host both endpoints, then either
+/// endpoint, then the least loaded machine overall.
+fn assign_oblivious(el: &EdgeList, machines: usize, _seed: u64) -> Vec<MachineId> {
+    let n = el.num_vertices as usize;
+    let mut replica_sets: Vec<Vec<MachineId>> = vec![Vec::new(); n];
+    let mut loads = vec![0u64; machines];
+    let mut out = Vec::with_capacity(el.edges.len());
+    let least_loaded = |set: &mut dyn Iterator<Item = MachineId>, loads: &[u64]| -> Option<MachineId> {
+        set.min_by_key(|&m| (loads[m as usize], m))
+    };
+    for e in &el.edges {
+        let (u, v) = (e.src as usize, e.dst as usize);
+        let pick = {
+            let su = &replica_sets[u];
+            let sv = &replica_sets[v];
+            let mut inter = su.iter().copied().filter(|m| sv.contains(m)).peekable();
+            if inter.peek().is_some() {
+                least_loaded(&mut inter, &loads).unwrap()
+            } else if su.is_empty() && sv.is_empty() {
+                least_loaded(&mut (0..machines as MachineId), &loads).unwrap()
+            } else if su.is_empty() {
+                least_loaded(&mut sv.iter().copied(), &loads).unwrap()
+            } else if sv.is_empty() {
+                least_loaded(&mut su.iter().copied(), &loads).unwrap()
+            } else {
+                least_loaded(&mut su.iter().copied().chain(sv.iter().copied()), &loads).unwrap()
+            }
+        };
+        loads[pick as usize] += 1;
+        for w in [u, v] {
+            if !replica_sets[w].contains(&pick) {
+                replica_sets[w].push(pick);
+            }
+        }
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_graph::builder::edge_list_from_pairs;
+
+    fn ring(n: u32) -> EdgeList {
+        edge_list_from_pairs(&(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    /// A small power-law-ish star-heavy graph.
+    fn skewed() -> EdgeList {
+        let mut pairs = Vec::new();
+        for i in 1..400u32 {
+            pairs.push((0, i)); // hub
+            pairs.push((i, (i * 13 + 1) % 400));
+        }
+        edge_list_from_pairs(&pairs)
+    }
+
+    #[test]
+    fn grid_shape_matches_the_paper() {
+        assert_eq!(grid_shape(16), Some((4, 4)));
+        assert_eq!(grid_shape(64), Some((8, 8)));
+        assert_eq!(grid_shape(12), Some((3, 4)));
+        assert_eq!(grid_shape(32), None);
+        assert_eq!(grid_shape(128), None);
+    }
+
+    #[test]
+    fn auto_resolution_matches_the_paper() {
+        // 16 and 64 machines -> Grid; 32 and 128 -> Oblivious (§5.4).
+        for (m, want) in [
+            (16, VertexCutStrategy::Grid),
+            (32, VertexCutStrategy::Oblivious),
+            (64, VertexCutStrategy::Grid),
+            (128, VertexCutStrategy::Oblivious),
+            (7, VertexCutStrategy::Pds),
+        ] {
+            let p = VertexCutPartition::build(&ring(100), m, VertexCutStrategy::Auto, 1).unwrap();
+            assert_eq!(p.resolved_strategy(), want, "machines = {m}");
+        }
+    }
+
+    #[test]
+    fn every_edge_assigned_and_replicas_cover_endpoints() {
+        let el = skewed();
+        for strat in [
+            VertexCutStrategy::Random,
+            VertexCutStrategy::Grid,
+            VertexCutStrategy::Oblivious,
+        ] {
+            let p = VertexCutPartition::build(&el, 16, strat, 1).unwrap();
+            assert_eq!(p.edge_assignment().len(), el.edges.len());
+            for (i, e) in el.edges.iter().enumerate() {
+                let m = p.machine_of_edge(i);
+                assert!(p.replicas_of(e.src).contains(&m), "{strat:?}");
+                assert!(p.replicas_of(e.dst).contains(&m), "{strat:?}");
+            }
+            // Master is always a replica for connected vertices.
+            for v in 0..el.num_vertices as VertexId {
+                if !p.replicas_of(v).is_empty() {
+                    assert!(p.replicas_of(v).contains(&p.master_of(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_bounds_replication() {
+        let el = skewed();
+        let p = VertexCutPartition::build(&el, 16, VertexCutStrategy::Grid, 1).unwrap();
+        // Grid 4x4: at most X + Y - 1 = 7 replicas.
+        for v in 0..el.num_vertices as VertexId {
+            assert!(p.replicas_of(v).len() <= 7);
+        }
+    }
+
+    #[test]
+    fn pds_bounds_replication() {
+        let el = skewed();
+        let p = VertexCutPartition::build(&el, 13, VertexCutStrategy::Pds, 1).unwrap();
+        // PDS with p=3: at most p + 1 = 4 replicas.
+        for v in 0..el.num_vertices as VertexId {
+            assert!(p.replicas_of(v).len() <= 4, "v={v}: {:?}", p.replicas_of(v));
+        }
+    }
+
+    #[test]
+    fn smarter_strategies_beat_random_on_skewed_graphs() {
+        let el = skewed();
+        let rf = |s| {
+            VertexCutPartition::build(&el, 16, s, 1)
+                .unwrap()
+                .replication_factor()
+        };
+        let random = rf(VertexCutStrategy::Random);
+        let grid = rf(VertexCutStrategy::Grid);
+        let obl = rf(VertexCutStrategy::Oblivious);
+        assert!(grid < random, "grid {grid} vs random {random}");
+        assert!(obl < random, "oblivious {obl} vs random {random}");
+    }
+
+    #[test]
+    fn unavailable_strategies_error() {
+        let el = ring(10);
+        assert_eq!(
+            VertexCutPartition::build(&el, 32, VertexCutStrategy::Grid, 1).unwrap_err(),
+            VertexCutError::GridUnavailable { machines: 32 }
+        );
+        assert_eq!(
+            VertexCutPartition::build(&el, 32, VertexCutStrategy::Pds, 1).unwrap_err(),
+            VertexCutError::PdsUnavailable { machines: 32 }
+        );
+    }
+
+    #[test]
+    fn single_machine_replication_factor_is_one() {
+        let p = VertexCutPartition::build(&ring(50), 1, VertexCutStrategy::Random, 1).unwrap();
+        assert!((p.replication_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let el = skewed();
+        let a = VertexCutPartition::build(&el, 16, VertexCutStrategy::Random, 1).unwrap();
+        let b = VertexCutPartition::build(&el, 16, VertexCutStrategy::Random, 1).unwrap();
+        assert_eq!(a.edge_assignment(), b.edge_assignment());
+        let c = VertexCutPartition::build(&el, 16, VertexCutStrategy::Random, 2).unwrap();
+        assert_ne!(a.edge_assignment(), c.edge_assignment());
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_replicas() {
+        let mut el = ring(4);
+        el.num_vertices = 10;
+        let p = VertexCutPartition::build(&el, 4, VertexCutStrategy::Random, 1).unwrap();
+        assert!(p.replicas_of(9).is_empty());
+        // Replication factor ignores isolated vertices.
+        assert!(p.replication_factor() >= 1.0);
+    }
+}

@@ -1,0 +1,526 @@
+//! The cluster simulator engines drive.
+
+use crate::cost::CostProfile;
+use crate::metrics::{CpuBreakdown, PhaseTimes};
+use crate::spec::ClusterSpec;
+use crate::trace::Trace;
+use crate::{MachineId, SimError};
+
+/// End-to-end processing phases, matching the paper's reporting (§4.2):
+/// load (read + partition), execute, save, and overhead (everything else —
+/// start-up, synchronization, repartitioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Load,
+    Execute,
+    Save,
+    Overhead,
+}
+
+/// Per-machine running state.
+#[derive(Debug, Clone, Default)]
+struct Machine {
+    mem_in_use: u64,
+    mem_peak: u64,
+    busy_user: f64,
+    busy_io: f64,
+    busy_net: f64,
+}
+
+/// A simulated cluster executing one workload run.
+///
+/// ```
+/// use graphbench_sim::{Cluster, ClusterSpec, CostProfile, Phase};
+///
+/// let mut c = Cluster::new(ClusterSpec::r3_xlarge(4, 1 << 20), CostProfile::cpp_mpi());
+/// c.begin_phase(Phase::Execute);
+/// c.advance_compute(&[1e6, 2e6, 1e6, 1e6], 4).unwrap();   // BSP: slowest machine wins
+/// c.barrier().unwrap();
+/// assert_eq!(c.supersteps(), 1);
+/// assert!(c.phase_times().execute > 0.0);
+/// c.alloc(0, 1 << 19).unwrap();
+/// assert!(c.alloc(0, 1 << 20).is_err()); // over budget -> OOM
+/// ```
+///
+/// Engines call the `advance_*` methods to charge work; the cluster advances
+/// a simulated wall clock, enforces per-machine memory budgets and the
+/// 24-hour deadline, and records resource traces. All time-advancing methods
+/// return `Err(SimError::Timeout)` once the deadline passes, so engine code
+/// simply propagates with `?`.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    profile: CostProfile,
+    clock: f64,
+    machines: Vec<Machine>,
+    phase: Phase,
+    phase_times: PhaseTimes,
+    trace: Trace,
+    supersteps: u64,
+    total_net_bytes: u64,
+    total_messages: u64,
+    fault_taken: bool,
+}
+
+impl Cluster {
+    pub fn new(spec: ClusterSpec, profile: CostProfile) -> Self {
+        let machines = vec![Machine::default(); spec.machines];
+        Cluster {
+            spec,
+            profile,
+            clock: 0.0,
+            machines,
+            phase: Phase::Overhead,
+            phase_times: PhaseTimes::default(),
+            trace: Trace::new(),
+            supersteps: 0,
+            total_net_bytes: 0,
+            total_messages: 0,
+            fault_taken: false,
+        }
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn profile(&self) -> &CostProfile {
+        &self.profile
+    }
+
+    /// Number of worker machines.
+    pub fn machines(&self) -> usize {
+        self.spec.machines
+    }
+
+    /// Simulated seconds since the run started.
+    pub fn elapsed(&self) -> f64 {
+        self.clock
+    }
+
+    /// Supersteps / iterations recorded via [`Cluster::barrier`].
+    pub fn supersteps(&self) -> u64 {
+        self.supersteps
+    }
+
+    /// Total bytes that crossed the network.
+    pub fn total_net_bytes(&self) -> u64 {
+        self.total_net_bytes
+    }
+
+    /// Total application messages exchanged.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Switch the accounting phase.
+    pub fn begin_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Accumulated time per phase so far.
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phase_times
+    }
+
+    fn advance(&mut self, dt: f64) -> Result<(), SimError> {
+        debug_assert!(dt >= 0.0 && dt.is_finite(), "bad time delta {dt}");
+        self.clock += dt;
+        match self.phase {
+            Phase::Load => self.phase_times.load += dt,
+            Phase::Execute => self.phase_times.execute += dt,
+            Phase::Save => self.phase_times.save += dt,
+            Phase::Overhead => self.phase_times.overhead += dt,
+        }
+        if self.clock > self.spec.deadline {
+            return Err(SimError::Timeout);
+        }
+        Ok(())
+    }
+
+    /// Charge the framework's one-time start-up for this cluster size.
+    pub fn charge_startup(&mut self) -> Result<(), SimError> {
+        let dt = self.profile.startup_for(self.spec.machines);
+        self.advance(dt)
+    }
+
+    /// Charge compute work: `ops[i]` elementary operations on machine `i`,
+    /// spread over `cores` cores. Wall time is the slowest machine's time
+    /// (BSP semantics); every machine's busy time is recorded for the
+    /// utilization breakdown.
+    pub fn advance_compute(&mut self, ops: &[f64], cores: u32) -> Result<(), SimError> {
+        assert_eq!(ops.len(), self.spec.machines, "one ops entry per machine");
+        assert!(cores >= 1);
+        let per_core = self.profile.sec_per_op * self.spec.work_scale;
+        let mut max_t = 0.0f64;
+        for (m, &o) in self.machines.iter_mut().zip(ops) {
+            let t = o * per_core / cores as f64;
+            m.busy_user += t;
+            max_t = max_t.max(t);
+        }
+        self.advance(max_t)
+    }
+
+    /// Charge serial compute on a single machine (e.g. master-side work).
+    pub fn advance_compute_on(&mut self, machine: MachineId, ops: f64) -> Result<(), SimError> {
+        let t = ops * self.profile.sec_per_op * self.spec.work_scale;
+        self.machines[machine].busy_user += t;
+        self.advance(t)
+    }
+
+    /// Charge a message exchange: machine `i` sends `sent[i]` bytes in
+    /// `msgs[i]` messages and receives `recv[i]` bytes. Each machine's NIC
+    /// is the bottleneck: its transfer time is
+    /// `max(sent+overhead, recv+overhead) / bandwidth`; the superstep takes
+    /// as long as the busiest NIC.
+    pub fn exchange(&mut self, sent: &[u64], recv: &[u64], msgs: &[u64]) -> Result<(), SimError> {
+        assert_eq!(sent.len(), self.spec.machines);
+        assert_eq!(recv.len(), self.spec.machines);
+        assert_eq!(msgs.len(), self.spec.machines);
+        let bw = self.spec.net.bandwidth / self.spec.work_scale;
+        let ovh = self.spec.net.per_message_overhead;
+        let mut max_t = 0.0f64;
+        for i in 0..self.machines.len() {
+            let wire_sent = sent[i] + ovh * msgs[i];
+            let t = (wire_sent.max(recv[i])) as f64 / bw;
+            self.machines[i].busy_net += t;
+            max_t = max_t.max(t);
+            // Reported bytes are paper-equivalent (scaled) totals.
+            self.total_net_bytes += (wire_sent as f64 * self.spec.work_scale) as u64;
+            self.total_messages += (msgs[i] as f64 * self.spec.work_scale) as u64;
+        }
+        self.advance(max_t)
+    }
+
+    /// Report the injected machine failure once its time has passed.
+    /// Returns the dead machine exactly once; engines call this at their
+    /// recovery points (superstep barriers, iteration boundaries) and then
+    /// charge whatever their fault-tolerance mechanism costs.
+    pub fn take_failure(&mut self) -> Option<MachineId> {
+        match self.spec.fault {
+            Some(f) if !self.fault_taken && self.clock >= f.at_time => {
+                self.fault_taken = true;
+                Some(f.machine)
+            }
+            _ => None,
+        }
+    }
+
+    /// Advance the clock without attributing busy time to any machine:
+    /// recovery stalls where workers wait for a replacement to catch up.
+    pub fn advance_stall(&mut self, secs: f64) -> Result<(), SimError> {
+        assert!(secs >= 0.0 && secs.is_finite());
+        self.advance(secs)
+    }
+
+    /// Charge latency-bound waiting (e.g. distributed-lock round trips)
+    /// per machine; wall time is the slowest machine's wait, accounted as
+    /// network time.
+    pub fn advance_network_wait(&mut self, secs: &[f64]) -> Result<(), SimError> {
+        assert_eq!(secs.len(), self.spec.machines);
+        let mut max_t = 0.0f64;
+        for (m, &t) in self.machines.iter_mut().zip(secs) {
+            m.busy_net += t;
+            max_t = max_t.max(t);
+        }
+        self.advance(max_t)
+    }
+
+    /// Charge one BSP barrier and count a superstep. The barrier cost is
+    /// multiplied by `superstep_scale`: one executed superstep stands in for
+    /// that many paper-scale supersteps on diameter-compressed datasets.
+    pub fn barrier(&mut self) -> Result<(), SimError> {
+        self.supersteps += 1;
+        let n = self.spec.machines as f64;
+        let dt = (self.spec.net.barrier_base
+            + self.spec.net.barrier_per_machine * n
+            + self.profile.superstep_overhead)
+            * self.spec.superstep_scale;
+        self.advance(dt)
+    }
+
+    fn disk(&mut self, bytes: &[u64], bps: f64) -> Result<(), SimError> {
+        assert_eq!(bytes.len(), self.spec.machines);
+        let mut max_t = 0.0f64;
+        for (m, &b) in self.machines.iter_mut().zip(bytes) {
+            let t = b as f64 * self.spec.work_scale / bps;
+            m.busy_io += t;
+            max_t = max_t.max(t);
+        }
+        self.advance(max_t)
+    }
+
+    /// Charge a parallel HDFS read (`bytes[i]` read by machine `i`).
+    pub fn hdfs_read(&mut self, bytes: &[u64]) -> Result<(), SimError> {
+        let bps = self.spec.disk.hdfs_read;
+        self.disk(bytes, bps)
+    }
+
+    /// Charge a parallel HDFS write (3-way replicated, the slowest channel).
+    pub fn hdfs_write(&mut self, bytes: &[u64]) -> Result<(), SimError> {
+        let bps = self.spec.disk.hdfs_write;
+        self.disk(bytes, bps)
+    }
+
+    /// Charge a parallel local-disk read.
+    pub fn local_read(&mut self, bytes: &[u64]) -> Result<(), SimError> {
+        let bps = self.spec.disk.local_read;
+        self.disk(bytes, bps)
+    }
+
+    /// Charge a parallel local-disk write.
+    pub fn local_write(&mut self, bytes: &[u64]) -> Result<(), SimError> {
+        let bps = self.spec.disk.local_write;
+        self.disk(bytes, bps)
+    }
+
+    /// Allocate `bytes` on `machine`, failing with OOM past the budget.
+    pub fn alloc(&mut self, machine: MachineId, bytes: u64) -> Result<(), SimError> {
+        let m = &mut self.machines[machine];
+        if m.mem_in_use + bytes > self.spec.memory_per_machine {
+            return Err(SimError::Oom {
+                machine,
+                requested: bytes,
+                in_use: m.mem_in_use,
+                budget: self.spec.memory_per_machine,
+            });
+        }
+        m.mem_in_use += bytes;
+        m.mem_peak = m.mem_peak.max(m.mem_in_use);
+        Ok(())
+    }
+
+    /// Allocate on every machine at once (`bytes[i]` on machine `i`).
+    pub fn alloc_all(&mut self, bytes: &[u64]) -> Result<(), SimError> {
+        assert_eq!(bytes.len(), self.spec.machines);
+        for (i, &b) in bytes.iter().enumerate() {
+            self.alloc(i, b)?;
+        }
+        Ok(())
+    }
+
+    /// Release memory on `machine`. Saturates at zero (frees of estimated
+    /// sizes may round differently than the matching alloc).
+    pub fn free(&mut self, machine: MachineId, bytes: u64) {
+        let m = &mut self.machines[machine];
+        m.mem_in_use = m.mem_in_use.saturating_sub(bytes);
+    }
+
+    /// Release memory on every machine.
+    pub fn free_all(&mut self, bytes: &[u64]) {
+        assert_eq!(bytes.len(), self.spec.machines);
+        for (i, &b) in bytes.iter().enumerate() {
+            self.free(i, b);
+        }
+    }
+
+    /// Current memory in use on `machine`.
+    pub fn mem_in_use(&self, machine: MachineId) -> u64 {
+        self.machines[machine].mem_in_use
+    }
+
+    /// Peak memory per machine so far.
+    pub fn mem_peaks(&self) -> Vec<u64> {
+        self.machines.iter().map(|m| m.mem_peak).collect()
+    }
+
+    /// Record a memory-trace sample at the current clock.
+    pub fn sample_trace(&mut self) {
+        let mems: Vec<u64> = self.machines.iter().map(|m| m.mem_in_use).collect();
+        self.trace.record(self.clock, &mems);
+    }
+
+    /// The recorded memory time series.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// CPU/network/disk utilization breakdown over the whole run, averaged
+    /// across machines (the paper's Figure 13 reports the maxima, also
+    /// provided).
+    pub fn cpu_breakdown(&self) -> CpuBreakdown {
+        let elapsed = self.clock.max(1e-12);
+        let n = self.machines.len().max(1) as f64;
+        let mut user_sum = 0.0;
+        let mut io_sum = 0.0;
+        let mut net_sum = 0.0;
+        let mut user_max = 0.0f64;
+        let mut io_max = 0.0f64;
+        for m in &self.machines {
+            // A machine's busy fractions are relative to total elapsed time.
+            user_sum += m.busy_user / elapsed;
+            io_sum += m.busy_io / elapsed;
+            net_sum += m.busy_net / elapsed;
+            user_max = user_max.max(m.busy_user / elapsed);
+            io_max = io_max.max(m.busy_io / elapsed);
+        }
+        CpuBreakdown {
+            user_avg: user_sum / n,
+            io_wait_avg: io_sum / n,
+            net_avg: net_sum / n,
+            user_max,
+            io_wait_max: io_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+
+    fn cluster(machines: usize, mem: u64) -> Cluster {
+        Cluster::new(ClusterSpec::r3_xlarge(machines, mem), CostProfile::cpp_mpi())
+    }
+
+    #[test]
+    fn compute_takes_slowest_machine() {
+        let mut c = cluster(2, 1 << 30);
+        c.advance_compute(&[1.0e9, 2.0e9], 1).unwrap();
+        // The slowest machine (2e9 ops) defines wall time.
+        let want = 2.0e9 * CostProfile::cpp_mpi().sec_per_op;
+        assert!((c.elapsed() - want).abs() < 1e-9, "{}", c.elapsed());
+    }
+
+    #[test]
+    fn cores_divide_compute_time() {
+        let mut a = cluster(1, 1 << 30);
+        a.advance_compute(&[4.0e9], 1).unwrap();
+        let mut b = cluster(1, 1 << 30);
+        b.advance_compute(&[4.0e9], 4).unwrap();
+        assert!((a.elapsed() / b.elapsed() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exchange_charges_busiest_nic_and_overhead() {
+        let mut c = cluster(2, 1 << 30);
+        // Machine 0 sends 125 MB in 1 msg; machine 1 receives it.
+        c.exchange(&[125_000_000, 0], &[0, 125_000_000], &[1, 0]).unwrap();
+        assert!((c.elapsed() - 1.0).abs() < 1e-3, "{}", c.elapsed());
+        assert_eq!(c.total_net_bytes(), 125_000_016);
+        assert_eq!(c.total_messages(), 1);
+    }
+
+    #[test]
+    fn per_message_overhead_dominates_small_messages() {
+        let mut many = cluster(1, 1 << 30);
+        many.exchange(&[1_000], &[0], &[1_000]).unwrap(); // 1000 tiny messages
+        let mut one = cluster(1, 1 << 30);
+        one.exchange(&[1_000], &[0], &[1]).unwrap(); // one 1 kB message
+        assert!(many.elapsed() > 10.0 * one.elapsed());
+    }
+
+    #[test]
+    fn barrier_counts_supersteps_and_scales_with_machines() {
+        let mut small = cluster(16, 1 << 30);
+        small.barrier().unwrap();
+        let mut large = cluster(128, 1 << 30);
+        large.barrier().unwrap();
+        assert_eq!(small.supersteps(), 1);
+        assert!(large.elapsed() > small.elapsed());
+    }
+
+    #[test]
+    fn oom_fires_at_budget() {
+        let mut c = cluster(2, 1_000);
+        c.alloc(0, 900).unwrap();
+        let err = c.alloc(0, 200).unwrap_err();
+        assert_eq!(err.code(), "OOM");
+        // The other machine is unaffected.
+        c.alloc(1, 1_000).unwrap();
+        // Freeing makes room again.
+        c.free(0, 500);
+        c.alloc(0, 500).unwrap();
+        assert_eq!(c.mem_peaks(), vec![900, 1_000]);
+    }
+
+    #[test]
+    fn deadline_produces_timeout() {
+        let mut c = Cluster::new(
+            ClusterSpec { deadline: 1.0, ..ClusterSpec::r3_xlarge(1, 1 << 30) },
+            CostProfile::cpp_mpi(),
+        );
+        let err = c.advance_compute(&[1.0e12], 1).unwrap_err();
+        assert_eq!(err, SimError::Timeout);
+    }
+
+    #[test]
+    fn phase_accounting() {
+        let mut c = cluster(1, 1 << 30);
+        c.begin_phase(Phase::Load);
+        c.hdfs_read(&[100_000_000]).unwrap(); // 1 s at 100 MB/s
+        c.begin_phase(Phase::Execute);
+        let ops = 1.0 / CostProfile::cpp_mpi().sec_per_op; // exactly 1 s
+        c.advance_compute(&[ops], 1).unwrap();
+        let p = c.phase_times();
+        assert!((p.load - 1.0).abs() < 1e-6);
+        assert!((p.execute - 1.0).abs() < 1e-6);
+        assert_eq!(p.save, 0.0);
+    }
+
+    #[test]
+    fn trace_records_memory_over_time() {
+        let mut c = cluster(2, 1 << 30);
+        c.alloc(0, 10).unwrap();
+        c.sample_trace();
+        c.advance_compute(&[1.0e9, 1.0e9], 1).unwrap();
+        c.alloc(1, 20).unwrap();
+        c.sample_trace();
+        let t = c.trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.samples()[0].mem_per_machine, vec![10, 0]);
+        assert_eq!(t.samples()[1].mem_per_machine, vec![10, 20]);
+        assert!(t.samples()[1].time > t.samples()[0].time);
+    }
+
+    #[test]
+    fn cpu_breakdown_distinguishes_categories() {
+        let mut c = cluster(1, 1 << 30);
+        let ops = 1.0 / CostProfile::cpp_mpi().sec_per_op; // 1 s user
+        c.advance_compute(&[ops], 1).unwrap();
+        c.local_read(&[150_000_000]).unwrap(); // 1 s io
+        let b = c.cpu_breakdown();
+        assert!((b.user_avg - 0.5).abs() < 0.01, "{b:?}");
+        assert!((b.io_wait_avg - 0.5).abs() < 0.01, "{b:?}");
+        assert!(b.net_avg < 0.01);
+    }
+
+    #[test]
+    fn fault_is_reported_exactly_once_after_its_time() {
+        let mut c = Cluster::new(
+            ClusterSpec {
+                fault: Some(crate::FaultSpec { at_time: 5.0, machine: 1 }),
+                ..ClusterSpec::r3_xlarge(2, 1 << 30)
+            },
+            CostProfile::cpp_mpi(),
+        );
+        assert_eq!(c.take_failure(), None); // not yet
+        c.advance_stall(10.0).unwrap();
+        assert_eq!(c.take_failure(), Some(1));
+        assert_eq!(c.take_failure(), None); // only once
+    }
+
+    #[test]
+    fn stall_advances_clock_without_busy_time() {
+        let mut c = cluster(2, 1 << 30);
+        c.advance_stall(3.0).unwrap();
+        assert!((c.elapsed() - 3.0).abs() < 1e-12);
+        let b = c.cpu_breakdown();
+        assert_eq!(b.user_avg, 0.0);
+        assert_eq!(b.net_avg, 0.0);
+    }
+
+    #[test]
+    fn startup_charges_profile_cost() {
+        let mut c = Cluster::new(
+            ClusterSpec::r3_xlarge(128, 1 << 30),
+            CostProfile::jvm_hadoop(),
+        );
+        c.charge_startup().unwrap();
+        assert!(c.elapsed() > 60.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-system cost profiles.
+//!
+//! Each engine charges the simulator in *elementary operations* (one vertex
+//! update, one message combine, one table-row comparison…) and raw bytes.
+//! The profile converts operations to seconds and data structures to bytes,
+//! capturing the per-system constants the paper discusses qualitatively:
+//! C++/MPI systems (Blogel, GraphLab) have low per-op cost and no framework
+//! start-up; JVM systems (Giraph, GraphX, Gelly, Hadoop family) pay an
+//! object-overhead memory factor (the paper measured Giraph holding 1322 GB
+//! for a 32 GB input, Table 8) and a job start-up cost that grows with
+//! cluster size (§5.5, §5.7).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost constants for one system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Seconds per elementary operation per core.
+    pub sec_per_op: f64,
+    /// One-time framework start-up + teardown, seconds.
+    pub job_startup: f64,
+    /// Extra start-up per machine (resource negotiation), seconds.
+    pub job_startup_per_machine: f64,
+    /// Master-side coordination per superstep beyond the network barrier,
+    /// seconds.
+    pub superstep_overhead: f64,
+    /// In-memory bytes per vertex (id + state + bookkeeping).
+    pub bytes_per_vertex: u64,
+    /// In-memory bytes per directed edge.
+    pub bytes_per_edge: u64,
+    /// In-memory bytes per buffered message.
+    pub bytes_per_message: u64,
+}
+
+impl CostProfile {
+    /// Native C++ with MPI (Blogel, GraphLab's runtime core): compact
+    /// structs, negligible start-up.
+    pub fn cpp_mpi() -> Self {
+        CostProfile {
+            // Full-system cost per elementary op (compute + serialization +
+            // buffer management): calibrated against Blogel-V's paper
+            // throughput (~10 s/iteration for Twitter PageRank at 16
+            // machines).
+            sec_per_op: 150.0e-9,
+            job_startup: 1.0,
+            job_startup_per_machine: 0.01,
+            superstep_overhead: 0.005,
+            bytes_per_vertex: 16,
+            bytes_per_edge: 4,
+            bytes_per_message: 8,
+        }
+    }
+
+    /// JVM system on the Hadoop MapReduce platform (Giraph): boxed objects,
+    /// GC headroom, and job-tracker negotiation that grows with the cluster.
+    pub fn jvm_hadoop() -> Self {
+        CostProfile {
+            sec_per_op: 400.0e-9,
+            job_startup: 18.0,
+            job_startup_per_machine: 0.35,
+            superstep_overhead: 0.05,
+            // Derived from the paper's Table 8: Giraph held ~15x its input
+            // at 16 machines (boxed vertex/edge objects, GC headroom).
+            bytes_per_vertex: 500,
+            bytes_per_edge: 43,
+            bytes_per_message: 60,
+        }
+    }
+
+    /// JVM system on Spark (GraphX): lighter start-up than Hadoop but
+    /// per-iteration job scheduling (charged by the engine).
+    pub fn jvm_spark() -> Self {
+        CostProfile {
+            sec_per_op: 400.0e-9,
+            job_startup: 6.0,
+            job_startup_per_machine: 0.12,
+            superstep_overhead: 0.25,
+            bytes_per_vertex: 100, // per replica, across RDD partitions
+            bytes_per_edge: 28,
+            bytes_per_message: 40,
+        }
+    }
+
+    /// JVM dataflow system (Flink Gelly): managed memory keeps object
+    /// overhead below vanilla JVM collections.
+    pub fn jvm_flink() -> Self {
+        CostProfile {
+            sec_per_op: 300.0e-9,
+            job_startup: 4.0,
+            job_startup_per_machine: 0.08,
+            superstep_overhead: 0.04,
+            bytes_per_vertex: 250,
+            bytes_per_edge: 20,
+            bytes_per_message: 24,
+        }
+    }
+
+    /// Disk-based MapReduce (Hadoop, HaLoop): rows stream through mappers
+    /// and reducers, so resident memory per record is small, but per-record
+    /// CPU cost is high (serialization, sort).
+    pub fn mapreduce() -> Self {
+        CostProfile {
+            // The MR pipeline costs microseconds per record end-to-end
+            // (serialization, sort, spill bookkeeping); with the sort
+            // factor applied by the engine this lands near the paper's
+            // ~260 s/iteration for Twitter PageRank at 16 machines.
+            sec_per_op: 100.0e-9,
+            job_startup: 18.0,
+            job_startup_per_machine: 0.35,
+            superstep_overhead: 0.0, // charged per MR job instead
+            bytes_per_vertex: 24,
+            bytes_per_edge: 0, // edges live on disk, not in memory
+            bytes_per_message: 0,
+        }
+    }
+
+    /// Columnar relational database (Vertica): vectorized executor (fast per
+    /// row) but every iteration is a join that spills and shuffles.
+    pub fn vertica() -> Self {
+        CostProfile {
+            // Vectorized columnar executor: tens of millions of rows/s/core.
+            sec_per_op: 50.0e-9,
+            job_startup: 2.0,
+            job_startup_per_machine: 0.02,
+            superstep_overhead: 0.1, // statement planning/admission
+            bytes_per_vertex: 12,    // columnar, compressed
+            bytes_per_edge: 0,       // edge table on disk
+            bytes_per_message: 0,
+        }
+    }
+
+    /// Single-threaded native baseline for the COST experiment (§5.13).
+    pub fn single_thread() -> Self {
+        CostProfile {
+            sec_per_op: 10.0e-9, // GAP-style optimized kernels
+            job_startup: 0.0,
+            job_startup_per_machine: 0.0,
+            superstep_overhead: 0.0,
+            bytes_per_vertex: 8,
+            bytes_per_edge: 4,
+            bytes_per_message: 0,
+        }
+    }
+
+    /// Total start-up for a given machine count.
+    pub fn startup_for(&self, machines: usize) -> f64 {
+        self.job_startup + self.job_startup_per_machine * machines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpp_is_cheaper_than_jvm() {
+        let cpp = CostProfile::cpp_mpi();
+        let jvm = CostProfile::jvm_hadoop();
+        assert!(cpp.sec_per_op < jvm.sec_per_op);
+        assert!(cpp.bytes_per_vertex < jvm.bytes_per_vertex);
+        assert!(cpp.startup_for(128) < jvm.startup_for(128));
+    }
+
+    #[test]
+    fn startup_grows_with_cluster_size() {
+        let jvm = CostProfile::jvm_hadoop();
+        assert!(jvm.startup_for(128) > jvm.startup_for(16));
+        // Hadoop-based start-up at 128 machines is substantial (paper §5.5).
+        assert!(jvm.startup_for(128) > 60.0);
+    }
+
+    #[test]
+    fn disk_systems_hold_little_memory() {
+        assert_eq!(CostProfile::mapreduce().bytes_per_edge, 0);
+        assert_eq!(CostProfile::vertica().bytes_per_edge, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Run-level metrics, matching the paper's reporting (§4.2): data-loading
+//! time, execution time, result-saving time, total response time, plus
+//! resource utilization.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated simulated seconds per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    pub load: f64,
+    pub execute: f64,
+    pub save: f64,
+    pub overhead: f64,
+}
+
+impl PhaseTimes {
+    /// End-to-end response time.
+    pub fn total(&self) -> f64 {
+        self.load + self.execute + self.save + self.overhead
+    }
+}
+
+/// CPU utilization breakdown over the run (fractions of elapsed time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuBreakdown {
+    pub user_avg: f64,
+    pub io_wait_avg: f64,
+    pub net_avg: f64,
+    pub user_max: f64,
+    pub io_wait_max: f64,
+}
+
+/// Outcome of one run: success or one of the paper's failure codes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunStatus {
+    Ok,
+    /// Failure, recorded with the paper's code ("OOM", "TO", "MPI", "SHFL")
+    /// and a human-readable description.
+    Failed { code: String, detail: String },
+}
+
+impl RunStatus {
+    pub fn from_error(e: &SimError) -> Self {
+        RunStatus::Failed { code: e.code().to_string(), detail: e.to_string() }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+
+    /// The table cell the paper would print: blank-filling code on failure.
+    pub fn code(&self) -> &str {
+        match self {
+            RunStatus::Ok => "OK",
+            RunStatus::Failed { code, .. } => code,
+        }
+    }
+}
+
+/// Everything measured about one `(system, workload, dataset, cluster)` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub status: RunStatus,
+    pub phases: PhaseTimes,
+    /// Supersteps / iterations executed (0 when not applicable).
+    pub iterations: u64,
+    /// Bytes that crossed the network, including framing overhead.
+    pub network_bytes: u64,
+    /// Application messages exchanged.
+    pub messages: u64,
+    /// Peak memory per machine, bytes.
+    pub mem_peaks: Vec<u64>,
+    pub cpu: CpuBreakdown,
+}
+
+impl RunMetrics {
+    /// Total response time (the paper's headline number per bar).
+    pub fn total_time(&self) -> f64 {
+        self.phases.total()
+    }
+
+    /// Peak memory summed across machines (the paper's Table 8).
+    pub fn total_peak_memory(&self) -> u64 {
+        self.mem_peaks.iter().sum()
+    }
+
+    /// The largest single-machine peak (what OOM thresholds compare to).
+    pub fn max_machine_memory(&self) -> u64 {
+        self.mem_peaks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = RunMetrics {
+            status: RunStatus::Ok,
+            phases: PhaseTimes { load: 1.0, execute: 2.0, save: 0.5, overhead: 0.25 },
+            iterations: 10,
+            network_bytes: 100,
+            messages: 5,
+            mem_peaks: vec![10, 30, 20],
+            cpu: CpuBreakdown::default(),
+        };
+        assert!((m.total_time() - 3.75).abs() < 1e-12);
+        assert_eq!(m.total_peak_memory(), 60);
+        assert_eq!(m.max_machine_memory(), 30);
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(RunStatus::Ok.code(), "OK");
+        let s = RunStatus::from_error(&SimError::Timeout);
+        assert_eq!(s.code(), "TO");
+        assert!(!s.is_ok());
+        let s = RunStatus::from_error(&SimError::Oom {
+            machine: 3,
+            requested: 1,
+            in_use: 2,
+            budget: 3,
+        });
+        assert_eq!(s.code(), "OOM");
+    }
+}

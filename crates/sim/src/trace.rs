@@ -1,0 +1,95 @@
+//! Resource time series (the paper's visualization-tool data, Figure 10).
+
+use serde::{Deserialize, Serialize};
+
+/// One sample: simulated time plus memory in use on every machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    pub time: f64,
+    pub mem_per_machine: Vec<u64>,
+}
+
+/// A memory-usage time series over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub fn record(&mut self, time: f64, mems: &[u64]) {
+        self.samples.push(TraceSample { time, mem_per_machine: mems.to_vec() });
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Peak memory over the trace for each machine.
+    pub fn peaks(&self) -> Vec<u64> {
+        let machines = self.samples.first().map(|s| s.mem_per_machine.len()).unwrap_or(0);
+        let mut peaks = vec![0u64; machines];
+        for s in &self.samples {
+            for (p, &m) in peaks.iter_mut().zip(&s.mem_per_machine) {
+                *p = (*p).max(m);
+            }
+        }
+        peaks
+    }
+
+    /// Maximum spread between the hungriest and leanest machine over the
+    /// trace (the asynchronous-GraphLab signature in Figure 10 is a handful
+    /// of machines ballooning away from the rest).
+    pub fn max_skew(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| {
+                let max = s.mem_per_machine.iter().copied().max().unwrap_or(0);
+                let min = s.mem_per_machine.iter().copied().min().unwrap_or(0);
+                max - min
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_are_per_machine() {
+        let mut t = Trace::new();
+        t.record(0.0, &[5, 1]);
+        t.record(1.0, &[2, 9]);
+        assert_eq!(t.peaks(), vec![5, 9]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn skew_captures_imbalance() {
+        let mut t = Trace::new();
+        t.record(0.0, &[10, 10, 10]);
+        t.record(1.0, &[10, 90, 10]);
+        assert_eq!(t.max_skew(), 80);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.peaks(), Vec::<u64>::new());
+        assert_eq!(t.max_skew(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the cluster simulator's accounting invariants.
+
+use graphbench_sim::{Cluster, ClusterSpec, CostProfile, Phase};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Compute(Vec<u16>),
+    Exchange(Vec<u16>, Vec<u16>),
+    Barrier,
+    HdfsRead(Vec<u16>),
+    Alloc(usize, u16),
+    Free(usize, u16),
+    Phase(u8),
+}
+
+fn arb_op(machines: usize) -> impl Strategy<Value = Op> {
+    let v = move || prop::collection::vec(0u16..1000, machines..=machines);
+    prop_oneof![
+        v().prop_map(Op::Compute),
+        (v(), v()).prop_map(|(a, b)| Op::Exchange(a, b)),
+        Just(Op::Barrier),
+        v().prop_map(Op::HdfsRead),
+        (0..machines, 0u16..1000).prop_map(|(m, b)| Op::Alloc(m, b)),
+        (0..machines, 0u16..1000).prop_map(|(m, b)| Op::Free(m, b)),
+        (0u8..4).prop_map(Op::Phase),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn accounting_invariants_hold_for_any_op_sequence(
+        machines in 1usize..6,
+        ops in prop::collection::vec(arb_op(4), 0..60),
+    ) {
+        let machines = machines.clamp(1, 4);
+        let mut c = Cluster::new(ClusterSpec::r3_xlarge(machines, 1 << 20), CostProfile::cpp_mpi());
+        let mut in_use = vec![0u64; machines];
+        let mut barriers = 0u64;
+        for op in ops {
+            match op {
+                Op::Compute(o) => {
+                    let o: Vec<f64> = o.into_iter().take(machines).map(f64::from).collect();
+                    c.advance_compute(&o, 2).unwrap();
+                }
+                Op::Exchange(a, b) => {
+                    let a: Vec<u64> = a.into_iter().take(machines).map(u64::from).collect();
+                    let b: Vec<u64> = b.into_iter().take(machines).map(u64::from).collect();
+                    let msgs = vec![1; machines];
+                    c.exchange(&a, &b, &msgs).unwrap();
+                }
+                Op::Barrier => {
+                    c.barrier().unwrap();
+                    barriers += 1;
+                }
+                Op::HdfsRead(b) => {
+                    let b: Vec<u64> = b.into_iter().take(machines).map(u64::from).collect();
+                    c.hdfs_read(&b).unwrap();
+                }
+                Op::Alloc(m, bytes) => {
+                    let m = m % machines;
+                    if c.alloc(m, bytes as u64).is_ok() {
+                        in_use[m] += bytes as u64;
+                    }
+                }
+                Op::Free(m, bytes) => {
+                    let m = m % machines;
+                    c.free(m, bytes as u64);
+                    in_use[m] = in_use[m].saturating_sub(bytes as u64);
+                }
+                Op::Phase(p) => c.begin_phase(match p {
+                    0 => Phase::Load,
+                    1 => Phase::Execute,
+                    2 => Phase::Save,
+                    _ => Phase::Overhead,
+                }),
+            }
+            // Clock is monotone and equals the phase-time sum.
+            let pt = c.phase_times();
+            prop_assert!((pt.total() - c.elapsed()).abs() < 1e-6);
+        }
+        prop_assert_eq!(c.supersteps(), barriers);
+        for (m, &want) in in_use.iter().enumerate() {
+            prop_assert_eq!(c.mem_in_use(m), want);
+            prop_assert!(c.mem_peaks()[m] >= c.mem_in_use(m));
+            prop_assert!(c.mem_peaks()[m] <= 1 << 20);
+        }
+        let cpu = c.cpu_breakdown();
+        prop_assert!(cpu.user_avg >= 0.0 && cpu.user_avg <= 1.0 + 1e-9);
+        prop_assert!(cpu.io_wait_avg >= 0.0 && cpu.io_wait_avg <= 1.0 + 1e-9);
+    }
+}
