@@ -157,7 +157,7 @@ mod tests {
         let (ranks, _) = pagerank(&g, &cfg);
         assert!(ranks[2] > ranks[0]);
         assert!((ranks[0] - 0.15).abs() < 1e-6); // no in-edges -> δ
-        // 2's fixpoint: δ + (1-δ)(r0 + r1) with r0 = r1 = 0.15.
+                                                 // 2's fixpoint: δ + (1-δ)(r0 + r1) with r0 = r1 = 0.15.
         assert!((ranks[2] - (0.15 + 0.85 * 0.3)).abs() < 1e-6);
     }
 

@@ -27,7 +27,11 @@ pub struct PageRankConfig {
 impl PageRankConfig {
     /// The paper's exact configuration: δ = 0.15, tolerance = initial rank.
     pub fn paper_exact() -> Self {
-        PageRankConfig { damping: crate::DAMPING, stop: StopCriterion::Tolerance(1.0), approximate: false }
+        PageRankConfig {
+            damping: crate::DAMPING,
+            stop: StopCriterion::Tolerance(1.0),
+            approximate: false,
+        }
     }
 
     /// Fixed-iteration configuration (the paper runs 30- and 55-iteration

@@ -41,6 +41,31 @@ fn bench_engines(c: &mut Criterion) {
     grp.finish();
 }
 
+/// The executor's wall-clock axis: the same simulated run at 1 host thread
+/// (legacy serial path) and at all available cores. Simulated metrics are
+/// identical by construction; only the real-time cost may differ.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut grp = c.benchmark_group("thread_scaling_pagerank_twitter_16");
+    grp.sample_size(10);
+    for system in [SystemId::BlogelV, SystemId::Gelly, SystemId::GraphX, SystemId::Vertica] {
+        for threads in [1, ncores] {
+            grp.bench_function(format!("{}/t{}", system.label(), threads), |b| {
+                let mut runner = Runner::new(PaperEnv::new(Scale { base: 800 }, 42));
+                runner.threads = Some(threads);
+                let spec = ExperimentSpec {
+                    system,
+                    workload: WorkloadKind::PageRank,
+                    dataset: DatasetKind::Twitter,
+                    machines: 16,
+                };
+                b.iter(|| runner.run(&spec))
+            });
+        }
+    }
+    grp.finish();
+}
+
 fn bench_workloads(c: &mut Criterion) {
     let mut grp = c.benchmark_group("blogelv_twitter_16");
     grp.sample_size(10);
@@ -59,5 +84,5 @@ fn bench_workloads(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_workloads);
+criterion_group!(benches, bench_engines, bench_thread_scaling, bench_workloads);
 criterion_main!(benches);

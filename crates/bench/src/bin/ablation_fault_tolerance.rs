@@ -8,7 +8,7 @@ use graphbench::report::Table;
 use graphbench_algos::workload::PageRankConfig;
 use graphbench_algos::{Workload, WorkloadKind};
 use graphbench_engines::graphx::GraphX;
-use graphbench_engines::hadoop::{Hadoop, HaLoop};
+use graphbench_engines::hadoop::{HaLoop, Hadoop};
 use graphbench_engines::pregel::Giraph;
 use graphbench_engines::vertica::Vertica;
 use graphbench_engines::{Engine, EngineInput};
@@ -25,8 +25,7 @@ fn main() {
     );
     let mut runner = graphbench_repro::runner();
     let ds = runner.env.prepare(DatasetKind::Twitter);
-    let base_cluster =
-        runner.env.cluster_for(DatasetKind::Twitter, 16, WorkloadKind::PageRank);
+    let base_cluster = runner.env.cluster_for(DatasetKind::Twitter, 16, WorkloadKind::PageRank);
 
     let systems: Vec<(&str, &str, EngineMaker)> = vec![
         ("G (no ckpt)", "restart from input", Box::new(|| Box::new(Giraph::default()))),

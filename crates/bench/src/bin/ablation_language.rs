@@ -24,7 +24,8 @@ fn main() {
         &["system", "machines", "load", "execute", "total", "peak mem (KB)"],
     );
     for machines in [16usize, 64] {
-        let cluster = runner.env.cluster_for(DatasetKind::Twitter, machines, WorkloadKind::PageRank);
+        let cluster =
+            runner.env.cluster_for(DatasetKind::Twitter, machines, WorkloadKind::PageRank);
         let engines: Vec<(String, Box<dyn Engine>)> = vec![
             ("G (JVM)".into(), Box::new(Giraph::default())),
             ("G (C++)".into(), Box::new(Giraph { native_constants: true, ..Giraph::default() })),

@@ -1,0 +1,109 @@
+//! Wall-clock benchmark for the parallel superstep executor.
+//!
+//! Runs the same simulated experiments at 1 host thread (the legacy serial
+//! path) and at every available core, times them with the host clock, checks
+//! that the serialized records are bit-for-bit identical, and writes
+//! `BENCH_parallel.json`. Simulated metrics never depend on the thread
+//! count — only the real time to produce them does.
+//!
+//! Scale with `GRAPHBENCH_BASE` (default 1500); larger bases give the
+//! executor more per-machine work per superstep and therefore better
+//! speedups.
+
+use graphbench::runner::ExperimentSpec;
+use graphbench::system::SystemId;
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::DatasetKind;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    system: String,
+    workload: &'static str,
+    serial_secs: f64,
+    parallel_secs: f64,
+    speedup: f64,
+    records_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cores: usize,
+    parallel_threads: usize,
+    scale_base: u64,
+    rows: Vec<Row>,
+    /// Geometric mean of per-row speedups.
+    speedup_geomean: f64,
+}
+
+/// Wall-clock seconds for `reps` runs of `spec` at `threads` host threads,
+/// plus the serialized record of the last run (for the identity check).
+fn time_runs(threads: usize, spec: &ExperimentSpec, reps: u32) -> (f64, String) {
+    let mut runner = graphbench_repro::runner();
+    runner.threads = Some(threads);
+    runner.run(spec); // warm the dataset cache outside the timed region
+    let start = Instant::now();
+    let mut json = String::new();
+    for _ in 0..reps {
+        json = serde_json::to_string(&runner.run(spec)).unwrap();
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, json)
+}
+
+fn main() {
+    let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    graphbench_repro::banner(
+        "bench_wallclock",
+        &format!("executor wall-clock, 1 vs {ncores} host threads"),
+    );
+    let cells = [
+        (SystemId::BlogelV, WorkloadKind::PageRank),
+        (SystemId::BlogelV, WorkloadKind::Wcc),
+        (SystemId::Gelly, WorkloadKind::PageRank),
+        (SystemId::GraphX, WorkloadKind::Wcc),
+        (SystemId::Vertica, WorkloadKind::PageRank),
+        (SystemId::Hadoop, WorkloadKind::Wcc),
+    ];
+    let reps = 3;
+    let mut rows = Vec::new();
+    for (system, workload) in cells {
+        let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
+        let (serial_secs, serial_json) = time_runs(1, &spec, reps);
+        let (parallel_secs, parallel_json) = time_runs(ncores, &spec, reps);
+        let row = Row {
+            system: system.label(),
+            workload: workload.name(),
+            serial_secs,
+            parallel_secs,
+            speedup: serial_secs / parallel_secs,
+            records_identical: serial_json == parallel_json,
+        };
+        println!(
+            "{:>4} {:8}  serial {:8.4}s  parallel {:8.4}s  speedup {:5.2}x  identical {}",
+            row.system,
+            row.workload,
+            row.serial_secs,
+            row.parallel_secs,
+            row.speedup,
+            row.records_identical
+        );
+        assert!(row.records_identical, "{}/{} record diverged", row.system, row.workload);
+        rows.push(row);
+    }
+    let speedup_geomean =
+        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let report = Report {
+        host_cores: ncores,
+        parallel_threads: ncores,
+        scale_base: graphbench_repro::scale().base,
+        rows,
+        speedup_geomean,
+    };
+    std::fs::write("BENCH_parallel.json", serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_parallel.json");
+    println!("\ngeomean speedup {speedup_geomean:.2}x -> BENCH_parallel.json");
+    graphbench_repro::paper_note(
+        "simulated seconds are identical at every thread count; the speedup is host wall-clock",
+    );
+}

@@ -12,16 +12,12 @@ fn main() {
     graphbench_repro::banner("fig01", "GraphLab compute-cores sweep (PR, 30 iters, Twitter@16)");
     let mut runner = graphbench_repro::runner();
     let ds = runner.env.prepare(DatasetKind::Twitter);
-    let cluster = runner.env.cluster_for(
-        DatasetKind::Twitter,
-        16,
-        graphbench_algos::WorkloadKind::PageRank,
-    );
+    let cluster =
+        runner.env.cluster_for(DatasetKind::Twitter, 16, graphbench_algos::WorkloadKind::PageRank);
     let mut items_sync = Vec::new();
     let mut items_async = Vec::new();
     for cores in [1u32, 2, 3, 4] {
-        for (mode, items) in
-            [(GasMode::Sync, &mut items_sync), (GasMode::Async, &mut items_async)]
+        for (mode, items) in [(GasMode::Sync, &mut items_sync), (GasMode::Async, &mut items_async)]
         {
             let engine = GraphLab { mode, compute_cores: cores, ..GraphLab::sync_random() };
             let out = engine.run(&EngineInput {

@@ -19,7 +19,8 @@ fn main() {
             &[128, 256, 512, 1024, 1200, 2000]
         };
         for machines in [32usize, 64, 128] {
-            let cluster = runner.env.cluster_for(kind, machines, graphbench_algos::WorkloadKind::PageRank);
+            let cluster =
+                runner.env.cluster_for(kind, machines, graphbench_algos::WorkloadKind::PageRank);
             let mut items = Vec::new();
             for &parts in sweeps {
                 let engine = GraphX { num_partitions: Some(parts), ..GraphX::default() };
@@ -41,7 +42,10 @@ fn main() {
             println!(
                 "{}",
                 viz::bars(
-                    &format!("{} @ {machines} machines: total seconds by partition count", kind.name()),
+                    &format!(
+                        "{} @ {machines} machines: total seconds by partition count",
+                        kind.name()
+                    ),
                     &items,
                     46
                 )

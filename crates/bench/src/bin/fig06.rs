@@ -19,11 +19,8 @@ fn main() {
         println!("{}", table.render());
     }
     // One phase breakdown, as the figure's stacked bars show.
-    let tw16: Vec<_> = records
-        .iter()
-        .filter(|r| r.dataset == "Twitter" && r.machines == 16)
-        .cloned()
-        .collect();
+    let tw16: Vec<_> =
+        records.iter().filter(|r| r.dataset == "Twitter" && r.machines == 16).cloned().collect();
     println!("{}", phase_table("Twitter @16 phase breakdown (stacked-bar data)", &tw16).render());
     let stacks: Vec<(String, [f64; 4])> = tw16
         .iter()

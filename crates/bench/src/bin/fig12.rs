@@ -38,7 +38,11 @@ fn main() {
     // The paper runs PageRank for a fixed 55 iterations here.
     runner.fixed_pr_iterations = 55;
     run_set(&mut runner, WorkloadKind::Sssp, "SSSP on UK @32 — total seconds");
-    run_set(&mut runner, WorkloadKind::PageRank, "PageRank (55 iters for -I) on UK @32 — total seconds");
+    run_set(
+        &mut runner,
+        WorkloadKind::PageRank,
+        "PageRank (55 iters for -I) on UK @32 — total seconds",
+    );
     graphbench_repro::paper_note(
         "unlike the 4-machine study the paper refutes, Vertica is not competitive at \
          cluster scale: per-iteration temp-table churn and join shuffles grow with the \

@@ -31,8 +31,7 @@ struct Rec {
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "repro_results.json".into());
-    let data = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let data = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let recs: Vec<Rec> = serde_json::from_str(&data).expect("valid run-record JSON");
     println!("loaded {} records from {path}\n", recs.len());
 
@@ -60,16 +59,17 @@ fn main() {
     // Failure census: the paper's empty-cell legend.
     let mut census: std::collections::BTreeMap<&str, usize> = Default::default();
     for r in &records {
-        *census.entry(match r.metrics.status.code() {
-            "OK" => "OK",
-            other => match other {
-                "OOM" => "OOM",
-                "TO" => "TO",
-                "MPI" => "MPI",
-                _ => "SHFL",
-            },
-        })
-        .or_default() += 1;
+        *census
+            .entry(match r.metrics.status.code() {
+                "OK" => "OK",
+                other => match other {
+                    "OOM" => "OOM",
+                    "TO" => "TO",
+                    "MPI" => "MPI",
+                    _ => "SHFL",
+                },
+            })
+            .or_default() += 1;
     }
     let mut t = Table::new("outcome census", &["status", "runs"]);
     for (k, v) in census {

@@ -11,7 +11,17 @@ fn main() {
     let seed = graphbench_repro::seed();
     let mut t = Table::new(
         "Table 3 — generated datasets vs the paper's",
-        &["dataset", "|E|", "avg deg", "max deg", "diam", "eff. diam (90%)", "paper |E|", "paper avg/max", "paper diam"],
+        &[
+            "dataset",
+            "|E|",
+            "avg deg",
+            "max deg",
+            "diam",
+            "eff. diam (90%)",
+            "paper |E|",
+            "paper avg/max",
+            "paper diam",
+        ],
     );
     for kind in DatasetKind::ALL {
         let ds = Dataset::generate(kind, scale, seed);

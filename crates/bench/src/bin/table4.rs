@@ -41,8 +41,7 @@ fn main() {
                 VertexCutPartition::build(&edges, machines, VertexCutStrategy::Random, seed)
                     .unwrap();
             let auto =
-                VertexCutPartition::build(&edges, machines, VertexCutStrategy::Auto, seed)
-                    .unwrap();
+                VertexCutPartition::build(&edges, machines, VertexCutStrategy::Auto, seed).unwrap();
             t.row(vec![
                 kind.name().into(),
                 machines.to_string(),

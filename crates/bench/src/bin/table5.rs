@@ -15,9 +15,8 @@ fn main() {
         &["dataset", "16", "32", "64", "128", "default (#blocks, paper)"],
     );
     let defaults = [("Twitter", 440u64), ("WRN", 240), ("UK200705", 1200)];
-    for (i, kind) in [DatasetKind::Twitter, DatasetKind::Wrn, DatasetKind::Uk0705]
-        .into_iter()
-        .enumerate()
+    for (i, kind) in
+        [DatasetKind::Twitter, DatasetKind::Wrn, DatasetKind::Uk0705].into_iter().enumerate()
     {
         let cells: Vec<String> = [16usize, 32, 64, 128]
             .iter()

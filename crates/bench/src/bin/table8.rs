@@ -20,9 +20,8 @@ fn main() {
         "Table 8 — Giraph peak memory summed across machines (PageRank), as a multiple of one machine's budget",
         &["dataset", "16", "32", "64", "128", "paper GB (16/32/64/128)"],
     );
-    for (i, kind) in [DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn]
-        .into_iter()
-        .enumerate()
+    for (i, kind) in
+        [DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn].into_iter().enumerate()
     {
         let mut cells = Vec::new();
         for machines in [16usize, 32, 64, 128] {

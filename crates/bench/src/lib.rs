@@ -49,19 +49,13 @@ use graphbench_gen::Scale;
 /// Environment-configured scale (`GRAPHBENCH_BASE`, default 1500 — the
 /// calibrated test scale; raise for heavier runs).
 pub fn scale() -> Scale {
-    let base = std::env::var("GRAPHBENCH_BASE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_500);
+    let base = std::env::var("GRAPHBENCH_BASE").ok().and_then(|v| v.parse().ok()).unwrap_or(1_500);
     Scale { base }
 }
 
 /// Environment-configured seed (`GRAPHBENCH_SEED`, default 42).
 pub fn seed() -> u64 {
-    std::env::var("GRAPHBENCH_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
+    std::env::var("GRAPHBENCH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
 }
 
 /// A runner at the configured scale.
@@ -72,11 +66,7 @@ pub fn runner() -> Runner {
 /// Standard banner: what this target reproduces and at what scale.
 pub fn banner(target: &str, what: &str) {
     println!("=== {target}: {what} ===");
-    println!(
-        "scale base {} (set GRAPHBENCH_BASE to change), seed {}\n",
-        scale().base,
-        seed()
-    );
+    println!("scale base {} (set GRAPHBENCH_BASE to change), seed {}\n", scale().base, seed());
 }
 
 /// Paper-vs-measured footnote.

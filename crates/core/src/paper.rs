@@ -69,8 +69,7 @@ impl PaperEnv {
     /// Build the environment; generates the Twitter dataset once to size the
     /// memory budget.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        let mut env =
-            PaperEnv { scale, seed, memory_per_machine: 0, cache: HashMap::new() };
+        let mut env = PaperEnv { scale, seed, memory_per_machine: 0, cache: HashMap::new() };
         let twitter = env.prepare(DatasetKind::Twitter);
         env.memory_per_machine =
             (twitter.graph.num_edges() as f64 * BUDGET_PER_TWITTER_EDGE) as u64;
@@ -94,10 +93,7 @@ impl PaperEnv {
         let (paper_edges, _, _, _) = kind.paper_stats();
         let actual_edges = graph.num_edges().max(1);
         let prepared = Arc::new(PreparedDataset {
-            scale_info: ScaleInfo {
-                paper_vertices: paper_vertices(kind),
-                paper_edges,
-            },
+            scale_info: ScaleInfo { paper_vertices: paper_vertices(kind), paper_edges },
             work_scale: paper_edges as f64 / actual_edges as f64,
             diameter,
             source,

@@ -176,7 +176,12 @@ mod tests {
                 } else {
                     RunStatus::Failed { code: "OOM".into(), detail: String::new() }
                 },
-                phases: PhaseTimes { load: total / 4.0, execute: total / 2.0, save: total / 8.0, overhead: total / 8.0 },
+                phases: PhaseTimes {
+                    load: total / 4.0,
+                    execute: total / 2.0,
+                    save: total / 8.0,
+                    overhead: total / 8.0,
+                },
                 iterations: 3,
                 network_bytes: 10,
                 messages: 2,

@@ -56,11 +56,16 @@ pub struct Runner {
     /// graphs, so a tighter default compensates to keep iteration counts in
     /// the paper's range (~10-20 for Twitter-like inputs).
     pub pr_tolerance: f64,
+    /// Host threads for the parallel superstep executor. `None` keeps the
+    /// process-wide setting (the `GRAPHBENCH_THREADS` environment variable,
+    /// defaulting to the available cores); `Some(1)` forces the legacy
+    /// serial path. Thread count never changes any simulated metric.
+    pub threads: Option<usize>,
 }
 
 impl Runner {
     pub fn new(env: PaperEnv) -> Self {
-        Runner { env, fixed_pr_iterations: 30, pr_tolerance: 1e-6 }
+        Runner { env, fixed_pr_iterations: 30, pr_tolerance: 1e-6, threads: None }
     }
 
     /// The workload instance a spec resolves to (source vertices and
@@ -87,6 +92,9 @@ impl Runner {
 
     /// Execute one experiment.
     pub fn run(&mut self, spec: &ExperimentSpec) -> RunRecord {
+        if let Some(t) = self.threads {
+            graphbench_engines::exec::set_threads(t);
+        }
         let workload = self.workload_for(spec);
         let ds = self.env.prepare(spec.dataset);
         let cluster = if spec.system == SystemId::SingleThread {

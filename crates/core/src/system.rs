@@ -5,7 +5,7 @@ use graphbench_engines::blogel::{BlogelB, BlogelV};
 use graphbench_engines::gas::{GasMode, GraphLab};
 use graphbench_engines::gelly::Gelly;
 use graphbench_engines::graphx::GraphX;
-use graphbench_engines::hadoop::{Hadoop, HaLoop};
+use graphbench_engines::hadoop::{HaLoop, Hadoop};
 use graphbench_engines::pregel::Giraph;
 use graphbench_engines::single::SingleThread;
 use graphbench_engines::vertica::Vertica;
@@ -133,9 +133,7 @@ impl SystemId {
     pub fn build(&self, graphx_partitions: Option<usize>) -> Box<dyn Engine> {
         match self {
             SystemId::BlogelB => Box::new(BlogelB::default()),
-            SystemId::BlogelBModified => {
-                Box::new(BlogelB { modified: true, ..BlogelB::default() })
-            }
+            SystemId::BlogelBModified => Box::new(BlogelB { modified: true, ..BlogelB::default() }),
             SystemId::BlogelV => Box::new(BlogelV),
             SystemId::Giraph => Box::new(Giraph::default()),
             SystemId::GraphLab { sync, auto, stop } => {

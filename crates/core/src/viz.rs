@@ -73,20 +73,13 @@ pub fn bars(title: &str, items: &[(String, f64)], width: usize) -> String {
 
 /// Stacked horizontal bars (Figures 6-9's load/execute/save/overhead
 /// stacks): each segment uses its own glyph; the legend is printed first.
-pub fn stacked_bars(
-    title: &str,
-    items: &[(String, [f64; 4])],
-    width: usize,
-) -> String {
+pub fn stacked_bars(title: &str, items: &[(String, [f64; 4])], width: usize) -> String {
     const GLYPHS: [char; 4] = ['L', 'X', 's', 'o'];
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
     let _ = writeln!(out, "   L = load, X = execute, s = save, o = overhead");
-    let max: f64 = items
-        .iter()
-        .map(|(_, segs)| segs.iter().sum::<f64>())
-        .fold(0.0, f64::max)
-        .max(1e-12);
+    let max: f64 =
+        items.iter().map(|(_, segs)| segs.iter().sum::<f64>()).fold(0.0, f64::max).max(1e-12);
     let label_w = items.iter().map(|i| i.0.len()).max().unwrap_or(0);
     for (label, segs) in items {
         let total: f64 = segs.iter().sum();
@@ -122,7 +115,9 @@ pub fn update_fraction_series(
     let items: Vec<(String, f64)> = updates
         .iter()
         .enumerate()
-        .map(|(i, &u)| (format!("iter {:>3}", i + 1), 100.0 * u as f64 / num_vertices.max(1) as f64))
+        .map(|(i, &u)| {
+            (format!("iter {:>3}", i + 1), 100.0 * u as f64 / num_vertices.max(1) as f64)
+        })
         .collect();
     bars(title, &items, width)
 }
@@ -150,11 +145,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_width() {
-        let s = bars(
-            "t",
-            &[("a".into(), 10.0), ("bb".into(), 5.0)],
-            20,
-        );
+        let s = bars("t", &[("a".into(), 10.0), ("bb".into(), 5.0)], 20);
         assert!(s.contains("#".repeat(20).as_str()));
         assert!(s.contains("#".repeat(10).as_str()));
         assert!(s.contains("10.0") && s.contains("5.0"));
@@ -164,10 +155,7 @@ mod tests {
     fn stacked_bars_scale_segments() {
         let s = stacked_bars(
             "t",
-            &[
-                ("a".into(), [10.0, 20.0, 5.0, 5.0]),
-                ("b".into(), [0.0, 10.0, 0.0, 0.0]),
-            ],
+            &[("a".into(), [10.0, 20.0, 5.0, 5.0]), ("b".into(), [0.0, 10.0, 0.0, 0.0])],
             40,
         );
         // Segment glyphs present and proportional: 'X' (execute) should be
@@ -184,7 +172,13 @@ mod tests {
     fn utilization_formats_percentages() {
         let s = utilization(
             "V",
-            &CpuBreakdown { user_avg: 0.25, io_wait_avg: 0.5, net_avg: 0.1, user_max: 0.3, io_wait_max: 0.6 },
+            &CpuBreakdown {
+                user_avg: 0.25,
+                io_wait_avg: 0.5,
+                net_avg: 0.1,
+                user_max: 0.3,
+                io_wait_max: 0.6,
+            },
         );
         assert!(s.contains("25.0%") && s.contains("50.0%"));
     }

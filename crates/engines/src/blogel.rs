@@ -22,7 +22,8 @@
 //!   (§3.1.2) — reproduced by executing exactly that algorithm.
 
 use crate::bsp::{run_bsp, BspConfig};
-use crate::programs::{KHopProgram, PageRankProgram, SsspProgram, WccProgram};
+use crate::exec;
+use crate::programs::{wcc_labels, KHopProgram, PageRankProgram, SsspProgram, WccProgram};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::PageRankConfig;
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -30,7 +31,7 @@ use graphbench_graph::format::GraphFormat;
 use graphbench_graph::VertexId;
 use graphbench_partition::{BlockPartition, EdgeCutPartition, VoronoiConfig};
 use graphbench_sim::{Cluster, CostProfile, Phase, SimError};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Blogel in vertex-centric mode.
 #[derive(Debug, Clone, Default)]
@@ -95,7 +96,9 @@ fn run_vertex_mode(
         }
         Workload::Wcc => {
             let mut prog = WccProgram::new(n, profile.bytes_per_edge);
-            WorkloadResult::Labels(run_bsp(cluster, input.graph, &part, &mut prog, &cfg)?.states)
+            WorkloadResult::Labels(wcc_labels(
+                run_bsp(cluster, input.graph, &part, &mut prog, &cfg)?.states,
+            ))
         }
         Workload::Sssp { source } => {
             let mut prog = SsspProgram::new(source);
@@ -204,7 +207,12 @@ fn run_block_mode(
             // One metadata pass assigns every vertex to its cell.
             let ops = even_share(n as u64, machines).iter().map(|&x| x as f64).collect::<Vec<_>>();
             cluster.advance_compute(&ops, input.cluster.cores)?;
-            graphbench_partition::two_d::two_d_blocks(input.edges, coords, machines, *cells_per_side)
+            graphbench_partition::two_d::two_d_blocks(
+                input.edges,
+                coords,
+                machines,
+                *cells_per_side,
+            )
         }
         BlogelPartitioning::Host { hosts } => {
             let ops = even_share(n as u64, machines).iter().map(|&x| x as f64).collect::<Vec<_>>();
@@ -328,8 +336,7 @@ fn block_wcc(
         if comp_of[root] == u32::MAX {
             comp_of[root] = comp_label.len() as u32;
             comp_label.push(v);
-            comp_machine
-                .push(blocks.machine_of_block[blocks.block_of[root] as usize] as usize);
+            comp_machine.push(blocks.machine_of_block[blocks.block_of[root] as usize] as usize);
         }
         comp_of[v as usize] = comp_of[root];
         ops0[blocks.machine_of_vertex(v) as usize] += 1.0;
@@ -353,43 +360,100 @@ fn block_wcc(
         l.dedup();
     }
 
-    // HashMin over local components.
-    let mut active: Vec<bool> = vec![true; nc];
+    // HashMin over local components, sharded by machine: every worker scans
+    // its own components against the frozen labels and reports candidate
+    // updates; the coordinator merges per-machine reports in machine-index
+    // order. Min-folds are order-independent, so the outcome is identical at
+    // any host thread count.
+    let comps_by_machine: Vec<Vec<u32>> = {
+        let mut by: Vec<Vec<u32>> = vec![Vec::new(); machines];
+        for c in 0..nc as u32 {
+            by[comp_machine[c as usize]].push(c);
+        }
+        by
+    };
+    // Component -> index within its machine's shard.
+    let mut comp_slot = vec![0u32; nc];
+    for comps in &comps_by_machine {
+        for (i, &c) in comps.iter().enumerate() {
+            comp_slot[c as usize] = i as u32;
+        }
+    }
+    struct WccShard {
+        comps: Vec<u32>,
+        active: Vec<bool>,
+    }
+    struct WccStep {
+        ops: f64,
+        sent: u64,
+        msgs: u64,
+        recv_by: Vec<u64>,
+        updates: Vec<(u32, VertexId)>,
+    }
+    let mut shards: Vec<WccShard> = comps_by_machine
+        .into_iter()
+        .map(|comps| {
+            let len = comps.len();
+            WccShard { comps, active: vec![true; len] }
+        })
+        .collect();
+    let mut ops = vec![0.0f64; machines];
+    let mut sent = vec![0u64; machines];
+    let mut recv = vec![0u64; machines];
+    let mut msgs = vec![0u64; machines];
     loop {
-        let mut ops = vec![0.0f64; machines];
-        let mut sent = vec![0u64; machines];
-        let mut recv = vec![0u64; machines];
-        let mut msgs = vec![0u64; machines];
-        let mut updates: Vec<(u32, VertexId)> = Vec::new();
-        for c in 0..nc {
-            if !active[c] {
-                continue;
-            }
-            let mc = comp_machine[c];
-            ops[mc] += (1 + comp_adj[c].len()) as f64;
-            for &t in &comp_adj[c] {
-                if comp_label[c] < comp_label[t as usize] {
-                    updates.push((t, comp_label[c]));
-                    let mt = comp_machine[t as usize];
-                    if mt != mc {
-                        sent[mc] += 8;
-                        recv[mt] += 8;
-                        msgs[mc] += 1;
+        let steps: Vec<WccStep> = exec::run_machines(&mut shards, |mc, shard| {
+            let mut ops = 0.0f64;
+            let mut sent = 0u64;
+            let mut msgs = 0u64;
+            let mut recv_by = vec![0u64; machines];
+            let mut updates: Vec<(u32, VertexId)> = Vec::new();
+            for (i, &c) in shard.comps.iter().enumerate() {
+                if !shard.active[i] {
+                    continue;
+                }
+                let c = c as usize;
+                ops += (1 + comp_adj[c].len()) as f64;
+                for &t in &comp_adj[c] {
+                    if comp_label[c] < comp_label[t as usize] {
+                        updates.push((t, comp_label[c]));
+                        let mt = comp_machine[t as usize];
+                        if mt != mc {
+                            sent += 8;
+                            recv_by[mt] += 8;
+                            msgs += 1;
+                        }
                     }
                 }
+                shard.active[i] = false;
             }
-            active[c] = false;
+            WccStep { ops, sent, msgs, recv_by, updates }
+        });
+        let mut any_updates = false;
+        for (mc, step) in steps.iter().enumerate() {
+            ops[mc] = step.ops;
+            sent[mc] = step.sent;
+            msgs[mc] = step.msgs;
+            any_updates |= !step.updates.is_empty();
+        }
+        recv.fill(0);
+        for step in &steps {
+            for (j, &b) in step.recv_by.iter().enumerate() {
+                recv[j] += b;
+            }
         }
         cluster.advance_compute(&ops, input.cluster.cores)?;
         cluster.exchange(&sent, &recv, &msgs)?;
         cluster.barrier()?;
-        if updates.is_empty() {
+        if !any_updates {
             break;
         }
-        for (t, l) in updates {
-            if l < comp_label[t as usize] {
-                comp_label[t as usize] = l;
-                active[t as usize] = true;
+        for step in steps {
+            for (t, l) in step.updates {
+                if l < comp_label[t as usize] {
+                    comp_label[t as usize] = l;
+                    shards[comp_machine[t as usize]].active[comp_slot[t as usize] as usize] = true;
+                }
             }
         }
     }
@@ -410,52 +474,104 @@ fn block_traversal(
     let g = input.graph;
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
-    // Pending BFS seeds per block.
-    let mut pending: Vec<Vec<VertexId>> = vec![Vec::new(); blocks.num_blocks()];
-    pending[blocks.block_of[source as usize] as usize].push(source);
+
+    // Blocks grouped by owning machine: each worker runs the serial BFS over
+    // its own machine's pending blocks. The shared `dist` array is frozen for
+    // the duration of a superstep — a worker sees its *own* intra-block
+    // writes through a private overlay and reports them (plus cross-block
+    // candidates) back to the coordinator, which applies everything in
+    // machine-index order. The outcome is therefore identical at any host
+    // thread count.
+    struct TravShard {
+        blocks: Vec<u32>,
+        pending: Vec<Vec<VertexId>>,
+    }
+    struct TravStep {
+        ops: f64,
+        sent: u64,
+        msgs: u64,
+        recv_by: Vec<u64>,
+        outgoing: Vec<(VertexId, u32)>,
+        writes: Vec<(VertexId, u32)>,
+        ran: bool,
+    }
+    let mut shards: Vec<TravShard> =
+        (0..machines).map(|_| TravShard { blocks: Vec::new(), pending: Vec::new() }).collect();
+    // Block -> (machine, index within that machine's shard).
+    let mut block_slot: Vec<(usize, u32)> = vec![(0, 0); blocks.num_blocks()];
+    for b in 0..blocks.num_blocks() {
+        let mb = blocks.machine_of_block[b] as usize;
+        block_slot[b] = (mb, shards[mb].blocks.len() as u32);
+        shards[mb].blocks.push(b as u32);
+        shards[mb].pending.push(Vec::new());
+    }
+    {
+        let (mb, slot) = block_slot[blocks.block_of[source as usize] as usize];
+        shards[mb].pending[slot as usize].push(source);
+    }
 
     loop {
-        let mut ops = vec![0.0f64; machines];
-        let mut sent = vec![0u64; machines];
-        let mut recv = vec![0u64; machines];
-        let mut msgs = vec![0u64; machines];
-        // (target vertex, candidate distance) for the next superstep.
-        let mut outgoing: Vec<(VertexId, u32)> = Vec::new();
-        let mut any = false;
-        for (b, seeds) in pending.iter_mut().enumerate() {
-            if seeds.is_empty() {
-                continue;
+        let steps: Vec<TravStep> = exec::run_machines(&mut shards, |mb, shard| {
+            let mut ops = 0u64;
+            let mut sent = 0u64;
+            let mut msgs = 0u64;
+            let mut recv_by = vec![0u64; machines];
+            let mut outgoing: Vec<(VertexId, u32)> = Vec::new();
+            // This worker's intra-block distance writes this superstep.
+            let mut overlay: HashMap<VertexId, u32> = HashMap::new();
+            fn read(overlay: &HashMap<VertexId, u32>, dist: &[u32], v: VertexId) -> u32 {
+                overlay.get(&v).copied().unwrap_or(dist[v as usize])
             }
-            any = true;
-            let mb = blocks.machine_of_block[b] as usize;
-            // Serial BFS within the block from all seeds.
-            let mut q: VecDeque<VertexId> = seeds.drain(..).collect();
-            let mut block_ops = 0u64;
-            while let Some(v) = q.pop_front() {
-                let d = dist[v as usize];
-                if d >= max_depth {
+            let mut ran = false;
+            for (i, &b) in shard.blocks.iter().enumerate() {
+                if shard.pending[i].is_empty() {
                     continue;
                 }
-                for &t in g.out_neighbors(v) {
-                    block_ops += 1;
-                    if dist[t as usize] <= d + 1 {
+                ran = true;
+                // Serial BFS within the block from all seeds.
+                let mut q: VecDeque<VertexId> = shard.pending[i].drain(..).collect();
+                while let Some(v) = q.pop_front() {
+                    let d = read(&overlay, &dist, v);
+                    if d >= max_depth {
                         continue;
                     }
-                    if blocks.block_of[t as usize] as usize == b {
-                        dist[t as usize] = d + 1;
-                        q.push_back(t);
-                    } else {
-                        outgoing.push((t, d + 1));
-                        let mt = blocks.machine_of_vertex(t) as usize;
-                        if mt != mb {
-                            sent[mb] += 8;
-                            recv[mt] += 8;
-                            msgs[mb] += 1;
+                    for &t in g.out_neighbors(v) {
+                        ops += 1;
+                        if read(&overlay, &dist, t) <= d + 1 {
+                            continue;
+                        }
+                        if blocks.block_of[t as usize] == b {
+                            overlay.insert(t, d + 1);
+                            q.push_back(t);
+                        } else {
+                            outgoing.push((t, d + 1));
+                            let mt = blocks.machine_of_vertex(t) as usize;
+                            if mt != mb {
+                                sent += 8;
+                                recv_by[mt] += 8;
+                                msgs += 1;
+                            }
                         }
                     }
                 }
             }
-            ops[mb] += block_ops as f64;
+            let mut writes: Vec<(VertexId, u32)> = overlay.into_iter().collect();
+            writes.sort_unstable();
+            TravStep { ops: ops as f64, sent, msgs, recv_by, outgoing, writes, ran }
+        });
+        let mut ops = vec![0.0f64; machines];
+        let mut sent = vec![0u64; machines];
+        let mut recv = vec![0u64; machines];
+        let mut msgs = vec![0u64; machines];
+        let mut any = false;
+        for (mb, step) in steps.iter().enumerate() {
+            ops[mb] = step.ops;
+            sent[mb] = step.sent;
+            msgs[mb] = step.msgs;
+            any |= step.ran;
+            for (j, &bytes) in step.recv_by.iter().enumerate() {
+                recv[j] += bytes;
+            }
         }
         if !any {
             break;
@@ -463,10 +579,21 @@ fn block_traversal(
         cluster.advance_compute(&ops, input.cluster.cores)?;
         cluster.exchange(&sent, &recv, &msgs)?;
         cluster.barrier()?;
-        for (t, d) in outgoing {
-            if d < dist[t as usize] {
+        // Intra-block writes first (disjoint vertex sets per worker), then
+        // cross-block candidates min-folded in machine order.
+        let mut steps = steps;
+        for step in &mut steps {
+            for (t, d) in step.writes.drain(..) {
                 dist[t as usize] = d;
-                pending[blocks.block_of[t as usize] as usize].push(t);
+            }
+        }
+        for step in steps {
+            for (t, d) in step.outgoing {
+                if d < dist[t as usize] {
+                    dist[t as usize] = d;
+                    let (mb, slot) = block_slot[blocks.block_of[t as usize] as usize];
+                    shards[mb].pending[slot as usize].push(t);
+                }
             }
         }
     }
@@ -502,40 +629,68 @@ fn block_pagerank(
                 intra_deg[s as usize] += 1;
             }
         }
-        let mut ops = vec![0.0f64; machines];
-        for (b, verts) in blocks.blocks.iter().enumerate() {
-            let mb = blocks.machine_of_block[b] as usize;
+        // Blocks only read and write their own vertices here, so whole
+        // blocks fan out across host threads grouped by owning machine;
+        // each worker returns its final ranks and the coordinator scatters
+        // them (disjoint vertex sets) in machine-index order.
+        struct PrStep {
+            ops: f64,
+            ranks: Vec<(VertexId, f64)>,
+        }
+        let mut block_shards: Vec<Vec<u32>> = vec![Vec::new(); machines];
+        for b in 0..nb {
+            block_shards[blocks.machine_of_block[b] as usize].push(b as u32);
+        }
+        let steps: Vec<PrStep> = exec::run_machines(&mut block_shards, |_mb, mine| {
             let mut block_ops = 0u64;
-            let mut incoming: std::collections::HashMap<VertexId, f64> =
-                std::collections::HashMap::new();
-            for _ in 0..max_local_iters {
-                incoming.clear();
-                for &v in verts {
-                    let deg = intra_deg[v as usize];
-                    if deg == 0 {
-                        continue;
-                    }
-                    let share = local_pr[v as usize] / deg as f64;
-                    for &t in g.out_neighbors(v) {
-                        block_ops += 1;
-                        if blocks.block_of[t as usize] as usize == b {
-                            *incoming.entry(t).or_insert(0.0) += share;
+            let mut ranks: Vec<(VertexId, f64)> = Vec::new();
+            let mut rank: HashMap<VertexId, f64> = HashMap::new();
+            let mut incoming: HashMap<VertexId, f64> = HashMap::new();
+            for &b in mine.iter() {
+                let verts = &blocks.blocks[b as usize];
+                rank.clear();
+                for _ in 0..max_local_iters {
+                    incoming.clear();
+                    for &v in verts {
+                        let deg = intra_deg[v as usize];
+                        if deg == 0 {
+                            continue;
+                        }
+                        let share = rank.get(&v).copied().unwrap_or(1.0) / deg as f64;
+                        for &t in g.out_neighbors(v) {
+                            block_ops += 1;
+                            if blocks.block_of[t as usize] == b {
+                                *incoming.entry(t).or_insert(0.0) += share;
+                            }
                         }
                     }
+                    let mut max_delta = 0.0f64;
+                    for &v in verts {
+                        let new =
+                            damping + (1.0 - damping) * incoming.get(&v).copied().unwrap_or(0.0);
+                        max_delta =
+                            max_delta.max((new - rank.get(&v).copied().unwrap_or(1.0)).abs());
+                        rank.insert(v, new);
+                        block_ops += 1;
+                    }
+                    if max_delta < local_tol {
+                        break;
+                    }
                 }
-                let mut max_delta = 0.0f64;
                 for &v in verts {
-                    let new =
-                        damping + (1.0 - damping) * incoming.get(&v).copied().unwrap_or(0.0);
-                    max_delta = max_delta.max((new - local_pr[v as usize]).abs());
-                    local_pr[v as usize] = new;
-                    block_ops += 1;
-                }
-                if max_delta < local_tol {
-                    break;
+                    ranks.push((v, rank.get(&v).copied().unwrap_or(1.0)));
                 }
             }
-            ops[mb] += block_ops as f64;
+            PrStep { ops: block_ops as f64, ranks }
+        });
+        let mut ops = vec![0.0f64; machines];
+        for (mb, step) in steps.iter().enumerate() {
+            ops[mb] = step.ops;
+        }
+        for step in steps {
+            for (v, r) in step.ranks {
+                local_pr[v as usize] = r;
+            }
         }
         cluster.advance_compute(&ops, input.cluster.cores)?;
         cluster.barrier()?;
@@ -586,9 +741,8 @@ fn block_pagerank(
     }
 
     // Phase 2: vertex-centric PageRank seeded with local_pr * block_pr.
-    let init: Vec<f64> = (0..n)
-        .map(|v| local_pr[v] * block_pr[blocks.block_of[v] as usize])
-        .collect();
+    let init: Vec<f64> =
+        (0..n).map(|v| local_pr[v] * block_pr[blocks.block_of[v] as usize]).collect();
     let part = block_placement_as_edge_cut(blocks, machines);
     let mut prog = PageRankProgram::with_init(pr, init);
     let cfg = BspConfig { cores_for_compute: input.cluster.cores, ..BspConfig::default() };
@@ -599,11 +753,7 @@ fn block_pagerank(
 /// runtime consumes.
 fn block_placement_as_edge_cut(blocks: &BlockPartition, machines: usize) -> EdgeCutPartition {
     EdgeCutPartition::from_assignment(
-        blocks
-            .block_of
-            .iter()
-            .map(|&b| blocks.machine_of_block[b as usize])
-            .collect(),
+        blocks.block_of.iter().map(|&b| blocks.machine_of_block[b as usize]).collect(),
         machines,
     )
 }
@@ -658,27 +808,19 @@ mod tests {
     #[test]
     fn blogel_b_sssp_and_khop_match_reference() {
         let ds = dataset(DatasetKind::Wrn);
-        let src: VertexId = (0..ds.1.num_vertices() as VertexId)
-            .find(|&v| ds.1.out_degree(v) > 0)
-            .unwrap();
+        let src: VertexId =
+            (0..ds.1.num_vertices() as VertexId).find(|&v| ds.1.out_degree(v) > 0).unwrap();
         let sssp = BlogelB::default().run(&input(&ds, Workload::Sssp { source: src }, 4));
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, src))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, src)));
         let khop = BlogelB::default().run(&input(&ds, Workload::khop3(src), 4));
-        assert_eq!(
-            khop.result.unwrap(),
-            WorkloadResult::Distances(reference::khop(&ds.1, src, 3))
-        );
+        assert_eq!(khop.result.unwrap(), WorkloadResult::Distances(reference::khop(&ds.1, src, 3)));
     }
 
     #[test]
     fn blogel_b_needs_fewer_supersteps_than_vertex_mode_on_road_networks() {
         let ds = dataset(DatasetKind::Wrn);
-        let src: VertexId = (0..ds.1.num_vertices() as VertexId)
-            .find(|&v| ds.1.out_degree(v) > 0)
-            .unwrap();
+        let src: VertexId =
+            (0..ds.1.num_vertices() as VertexId).find(|&v| ds.1.out_degree(v) > 0).unwrap();
         let w = Workload::Sssp { source: src };
         let bv = BlogelV.run(&input(&ds, w, 4));
         let bb = BlogelB::default().run(&input(&ds, w, 4));

@@ -14,13 +14,19 @@
 //!   the simulated cluster, so supersteps cost what their slowest machine
 //!   costs and message floods can OOM a machine.
 //!
-//! Execution is single-threaded and deterministic; parallelism exists in the
-//! *cost model* (per-machine op vectors), which is what the study measures.
+//! Execution is deterministic *and* parallel: each simulated machine is a
+//! [`Shard`] that one host thread advances through the superstep (see
+//! [`crate::exec`]). Every shard produces an independent result — ops,
+//! outboxes, allocations, message counts — and the coordinator merges them
+//! in machine-index order, so the host thread count cannot change any
+//! simulated metric. Parallelism in the *cost model* (per-machine op
+//! vectors) is what the study measures; host-thread parallelism only
+//! changes how fast the study runs.
 
+use crate::exec;
 use graphbench_graph::{CsrGraph, VertexId};
 use graphbench_partition::EdgeCutPartition;
 use graphbench_sim::{Cluster, SimError};
-use std::collections::HashMap;
 
 /// Per-superstep context handed to [`VertexProgram::compute`].
 pub struct Ctx<'a, M> {
@@ -28,6 +34,7 @@ pub struct Ctx<'a, M> {
     pub superstep: u64,
     sends: &'a mut Vec<(VertexId, M)>,
     extra_bytes: &'a mut u64,
+    agg_max: &'a mut f64,
 }
 
 impl<M> Ctx<'_, M> {
@@ -41,26 +48,46 @@ impl<M> Ctx<'_, M> {
     pub fn alloc(&mut self, bytes: u64) {
         *self.extra_bytes += bytes;
     }
+
+    /// Contribute to this superstep's global max-aggregator (Pregel
+    /// aggregators, §2.1). Contributions are merged with `max` across
+    /// vertices and machines — commutative, so the merged value is
+    /// independent of execution order — and the result is handed to
+    /// [`VertexProgram::finished`]. The aggregate resets to `0.0` each
+    /// superstep; contributions are expected to be non-negative
+    /// (PageRank's `|Δrank|` convergence check).
+    pub fn aggregate_max(&mut self, x: f64) {
+        if x > *self.agg_max {
+            *self.agg_max = x;
+        }
+    }
 }
 
 /// A Pregel-style vertex program.
-pub trait VertexProgram {
+///
+/// Programs are `Sync` and `compute` takes `&self`: vertices on different
+/// machines execute concurrently on host threads. Mutable per-superstep
+/// state goes through [`Ctx`] (sends, allocations, the max-aggregator);
+/// mutable per-vertex state lives in `Value`.
+pub trait VertexProgram: Sync {
     /// Per-vertex state.
-    type Value: Clone;
+    type Value: Clone + Send + Sync;
     /// Message payload.
-    type Msg: Copy;
+    type Msg: Copy + Send + Sync;
 
     /// Initialize a vertex; returns its state and whether it starts active.
     fn init(&mut self, v: VertexId, g: &CsrGraph) -> (Self::Value, bool);
 
-    /// One vertex execution. Return `true` to stay active.
+    /// One vertex execution. Return `true` to stay active. `msgs` is the
+    /// vertex's slice of the machine's sorted inbox, borrowed — each entry
+    /// is `(target, payload)` with `target == v`.
     fn compute(
-        &mut self,
+        &self,
         ctx: &mut Ctx<'_, Self::Msg>,
         g: &CsrGraph,
         v: VertexId,
         value: &mut Self::Value,
-        msgs: &[Self::Msg],
+        msgs: &[(VertexId, Self::Msg)],
     ) -> bool;
 
     /// Merge two messages bound for the same vertex.
@@ -71,10 +98,11 @@ pub trait VertexProgram {
         true
     }
 
-    /// Called after each superstep with the superstep index; returning
-    /// `true` stops the computation (program-level aggregator decision,
-    /// e.g. PageRank's max-delta tolerance or a fixed iteration count).
-    fn finished(&mut self, _superstep: u64) -> bool {
+    /// Called after each superstep with the superstep index and the merged
+    /// [`Ctx::aggregate_max`] value; returning `true` stops the computation
+    /// (program-level aggregator decision, e.g. PageRank's max-delta
+    /// tolerance or a fixed iteration count).
+    fn finished(&mut self, _superstep: u64, _max_aggregate: f64) -> bool {
         false
     }
 
@@ -132,18 +160,50 @@ pub struct BspOutcome<V> {
     pub recovered_from_failure: bool,
 }
 
-enum OutBuf<M> {
-    Combined(HashMap<VertexId, M>),
-    Raw(Vec<(VertexId, M)>),
+/// One simulated machine's slice of the computation. Allocated once before
+/// the superstep loop and reused: outboxes and send scratch are cleared, not
+/// rebuilt, each superstep.
+struct Shard<V, M> {
+    verts: Vec<VertexId>,
+    /// Parallel to `verts`.
+    states: Vec<V>,
+    /// Parallel to `verts`.
+    active: Vec<bool>,
+    /// Arrival-order outboxes, one per destination machine.
+    out: Vec<Vec<(VertexId, M)>>,
+    /// Per-vertex send scratch.
+    sends: Vec<(VertexId, M)>,
 }
 
-impl<M: Copy> OutBuf<M> {
-    fn len(&self) -> usize {
-        match self {
-            OutBuf::Combined(m) => m.len(),
-            OutBuf::Raw(v) => v.len(),
+/// What one shard reports back from a superstep; merged by the coordinator
+/// in machine-index order.
+#[derive(Clone, Copy)]
+struct ShardStep {
+    ops: f64,
+    raw_messages: u64,
+    extra_alloc: u64,
+    any_ran: bool,
+    agg_max: f64,
+}
+
+/// Sort `buf` by target and fold adjacent same-target entries with the
+/// program's combiner. Deterministic: the permutation depends only on the
+/// buffer contents, which are identical at every host thread count.
+fn combine_in_place<P: VertexProgram>(prog: &P, buf: &mut Vec<(VertexId, P::Msg)>) {
+    if buf.len() <= 1 {
+        return;
+    }
+    buf.sort_unstable_by_key(|&(t, _)| t);
+    let mut w = 0usize;
+    for i in 0..buf.len() {
+        if w > 0 && buf[w - 1].0 == buf[i].0 {
+            buf[w - 1].1 = prog.combine(buf[w - 1].1, buf[i].1);
+        } else {
+            buf[w] = buf[i];
+            w += 1;
         }
     }
+    buf.truncate(w);
 }
 
 /// Execute `prog` to completion over `g` partitioned by `part`.
@@ -164,18 +224,45 @@ pub fn run_bsp<P: VertexProgram>(
     let msg_mem = cluster.profile().bytes_per_message;
     let wire = prog.wire_bytes() + 4;
 
-    let mut states: Vec<P::Value> = Vec::with_capacity(n);
-    let mut active: Vec<bool> = Vec::with_capacity(n);
+    let mut init_states: Vec<Option<P::Value>> = Vec::with_capacity(n);
+    let mut init_active: Vec<bool> = Vec::with_capacity(n);
     for v in 0..n as VertexId {
         let (s, a) = prog.init(v, g);
-        states.push(s);
-        active.push(a);
+        init_states.push(Some(s));
+        init_active.push(a);
     }
-    let verts_by_machine = part.vertices_per_machine();
+    let mut shards: Vec<Shard<P::Value, P::Msg>> = part
+        .vertices_per_machine()
+        .into_iter()
+        .map(|verts| {
+            let states = verts
+                .iter()
+                .map(|&v| init_states[v as usize].take().expect("vertex assigned twice"))
+                .collect();
+            let active = verts.iter().map(|&v| init_active[v as usize]).collect();
+            Shard {
+                verts,
+                states,
+                active,
+                out: (0..machines).map(|_| Vec::new()).collect(),
+                sends: Vec::new(),
+            }
+        })
+        .collect();
+    drop(init_states);
 
-    // inbox[v] range into `inbox_msgs`, rebuilt per superstep.
-    let mut inbox: Vec<(VertexId, P::Msg)> = Vec::new();
-    let mut inbox_bytes_per_machine = vec![0u64; machines];
+    // Per-machine inboxes (sorted by target), kept outside the shards so
+    // delivery can read every shard's outboxes while writing one inbox.
+    let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = (0..machines).map(|_| Vec::new()).collect();
+    let mut inbox_bytes = vec![0u64; machines];
+    // Per-superstep counter vectors, allocated once and overwritten.
+    let mut ops = vec![0.0f64; machines];
+    let mut extra_alloc = vec![0u64; machines];
+    let mut sent = vec![0u64; machines];
+    let mut recv = vec![0u64; machines];
+    let mut msg_counts = vec![0u64; machines];
+    let mut send_buffer_bytes = vec![0u64; machines];
+
     let mut supersteps = 0u64;
     let mut raw_messages = 0u64;
     // Fault-tolerance bookkeeping: the recovery point is the last global
@@ -188,83 +275,87 @@ pub fn run_bsp<P: VertexProgram>(
         if supersteps >= cfg.max_supersteps {
             return Err(SimError::Timeout);
         }
-        // Group this superstep's inbox by target for O(1) lookup.
-        inbox.sort_unstable_by_key(|&(t, _)| t);
-        let mut ops = vec![0.0f64; machines];
-        let mut out: Vec<Vec<OutBuf<P::Msg>>> = (0..machines)
-            .map(|_| {
-                (0..machines)
-                    .map(|_| {
-                        if prog.combinable(supersteps) {
-                            OutBuf::Combined(HashMap::new())
-                        } else {
-                            OutBuf::Raw(Vec::new())
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut extra_alloc = vec![0u64; machines];
-        let mut sends: Vec<(VertexId, P::Msg)> = Vec::new();
-        let mut any_ran = false;
+        let combinable_now = prog.combinable(supersteps);
+        let p: &P = prog;
 
-        for (m, verts) in verts_by_machine.iter().enumerate() {
+        // Compute phase: every shard advances independently on the host
+        // thread pool; its inbox is read-only, its outboxes are its own.
+        let steps: Vec<ShardStep> = exec::run_machines(&mut shards, |m, shard| {
+            let Shard { verts, states, active, out, sends } = shard;
+            for buf in out.iter_mut() {
+                buf.clear();
+            }
+            let inbox = &inboxes[m];
             let mut machine_ops = 0u64;
-            for &v in verts {
+            let mut raw = 0u64;
+            let mut extra_total = 0u64;
+            let mut any_ran = false;
+            let mut agg_max = 0.0f64;
+            for (i, &v) in verts.iter().enumerate() {
                 // Binary search the sorted inbox for this vertex's messages.
                 let lo = inbox.partition_point(|&(t, _)| t < v);
                 let hi = inbox.partition_point(|&(t, _)| t <= v);
                 let has_msgs = hi > lo;
-                if !active[v as usize] && !has_msgs {
+                if !active[i] && !has_msgs {
                     continue;
                 }
                 any_ran = true;
-                // Borrow the message slice without copying.
-                let msg_slice: Vec<P::Msg> = inbox[lo..hi].iter().map(|&(_, m)| m).collect();
                 sends.clear();
                 let mut extra = 0u64;
                 let still_active = {
                     let mut ctx = Ctx {
                         superstep: supersteps,
-                        sends: &mut sends,
+                        sends: &mut *sends,
                         extra_bytes: &mut extra,
+                        agg_max: &mut agg_max,
                     };
-                    prog.compute(&mut ctx, g, v, &mut states[v as usize], &msg_slice)
+                    // Borrow the message slice straight out of the inbox.
+                    p.compute(&mut ctx, g, v, &mut states[i], &inbox[lo..hi])
                 };
-                active[v as usize] = still_active;
-                extra_alloc[m] += extra;
+                active[i] = still_active;
+                extra_total += extra;
                 machine_ops += 1 + (hi - lo) as u64 + sends.len() as u64;
-                raw_messages += sends.len() as u64;
+                raw += sends.len() as u64;
                 for &(to, msg) in sends.iter() {
-                    let dst = part.machine_of(to) as usize;
-                    match &mut out[m][dst] {
-                        OutBuf::Combined(map) => {
-                            map.entry(to)
-                                .and_modify(|old| *old = prog.combine(*old, msg))
-                                .or_insert(msg);
-                        }
-                        OutBuf::Raw(v) => v.push((to, msg)),
-                    }
+                    out[part.machine_of(to) as usize].push((to, msg));
                 }
             }
-            ops[m] = machine_ops as f64;
+            // Sender-side combining per destination machine.
+            if combinable_now {
+                for buf in out.iter_mut() {
+                    combine_in_place(p, buf);
+                }
+            }
+            ShardStep {
+                ops: machine_ops as f64,
+                raw_messages: raw,
+                extra_alloc: extra_total,
+                any_ran,
+                agg_max,
+            }
+        });
+
+        // Merge shard reports in machine-index order.
+        let mut any_ran = false;
+        let mut agg = 0.0f64;
+        for (m, s) in steps.iter().enumerate() {
+            ops[m] = s.ops;
+            extra_alloc[m] = s.extra_alloc;
+            any_ran |= s.any_ran;
+            raw_messages += s.raw_messages;
+            agg = agg.max(s.agg_max);
         }
 
         // Free last superstep's consumed inbox buffers.
-        cluster.free_all(&inbox_bytes_per_machine);
-        inbox_bytes_per_machine = vec![0u64; machines];
+        cluster.free_all(&inbox_bytes);
 
-        // Wire accounting + delivery.
-        let mut sent = vec![0u64; machines];
-        let mut recv = vec![0u64; machines];
-        let mut msg_counts = vec![0u64; machines];
-        let mut next_inbox: Vec<(VertexId, P::Msg)> = Vec::new();
-        let mut send_buffer_bytes = vec![0u64; machines];
-        let combinable_now = prog.combinable(supersteps);
-        let mut per_dst: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); machines];
-        for src in 0..machines {
-            for dst in 0..machines {
-                let buf = &out[src][dst];
+        // Wire accounting: outbox sizes are post-combine message counts.
+        send_buffer_bytes.fill(0);
+        sent.fill(0);
+        recv.fill(0);
+        msg_counts.fill(0);
+        for (src, shard) in shards.iter().enumerate() {
+            for (dst, buf) in shard.out.iter().enumerate() {
                 let count = buf.len() as u64;
                 if count == 0 {
                     continue;
@@ -275,36 +366,28 @@ pub fn run_bsp<P: VertexProgram>(
                     recv[dst] += count * wire;
                     msg_counts[src] += count;
                 }
-                match &out[src][dst] {
-                    OutBuf::Combined(map) => {
-                        let mut items: Vec<(VertexId, P::Msg)> =
-                            map.iter().map(|(&k, &v)| (k, v)).collect();
-                        items.sort_unstable_by_key(|&(t, _)| t);
-                        per_dst[dst].extend(items);
-                    }
-                    OutBuf::Raw(v) => per_dst[dst].extend_from_slice(v),
-                }
             }
         }
-        drop(out);
-        // Receiver-side combining: with a combiner, the inbox holds one
-        // entry per distinct target; without one, every message is buffered
-        // (the WCC discovery superstep's memory spike, §5.8).
-        for (dst, mut items) in per_dst.into_iter().enumerate() {
-            if combinable_now && !items.is_empty() {
+
+        // Delivery phase: each destination concatenates its senders'
+        // outboxes in source order, applies receiver-side combining (with a
+        // combiner the inbox holds one entry per distinct target; without
+        // one every message is buffered — the WCC discovery superstep's
+        // memory spike, §5.8), and sorts by target for next superstep's
+        // binary search.
+        let delivered: Vec<u64> = exec::run_machines(&mut inboxes, |dst, items| {
+            items.clear();
+            for shard in shards.iter() {
+                items.extend_from_slice(&shard.out[dst]);
+            }
+            if combinable_now {
+                combine_in_place(p, items);
+            } else {
                 items.sort_unstable_by_key(|&(t, _)| t);
-                let mut merged: Vec<(VertexId, P::Msg)> = Vec::with_capacity(items.len());
-                for (t, m) in items {
-                    match merged.last_mut() {
-                        Some((lt, lm)) if *lt == t => *lm = prog.combine(*lm, m),
-                        _ => merged.push((t, m)),
-                    }
-                }
-                items = merged;
             }
-            inbox_bytes_per_machine[dst] = items.len() as u64 * msg_mem;
-            next_inbox.extend(items);
-        }
+            items.len() as u64 * msg_mem
+        });
+        inbox_bytes.copy_from_slice(&delivered);
 
         // Charge this superstep: sender buffers are flushed to the wire
         // whenever they fill (Giraph's message cache), so their resident
@@ -315,14 +398,14 @@ pub fn run_bsp<P: VertexProgram>(
             *b = (*b).min(flush_cap);
         }
         cluster.alloc_all(&send_buffer_bytes)?;
-        cluster.alloc_all(&inbox_bytes_per_machine)?;
+        cluster.alloc_all(&inbox_bytes)?;
         cluster.advance_compute(&ops, cfg.cores_for_compute)?;
         cluster.alloc_all(&extra_alloc)?; // permanent program allocations
         cluster.exchange(&sent, &recv, &msg_counts)?;
         cluster.free_all(&send_buffer_bytes);
         if cfg.per_superstep_spill_bytes > 0 {
-            let scaled = (cfg.per_superstep_spill_bytes as f64
-                * cluster.spec().superstep_scale) as u64;
+            let scaled =
+                (cfg.per_superstep_spill_bytes as f64 * cluster.spec().superstep_scale) as u64;
             let share = crate::even_share(scaled, machines);
             cluster.local_read(&share)?;
             cluster.local_write(&share)?;
@@ -354,15 +437,26 @@ pub fn run_bsp<P: VertexProgram>(
             let replay = cluster.elapsed() - recovery_point;
             cluster.advance_stall(replay)?;
         }
-        let no_more_work = next_inbox.is_empty() && !active.iter().any(|&a| a);
-        let program_done = prog.finished(supersteps - 1);
-        inbox = next_inbox;
+        let no_more_work = inboxes.iter().all(|i| i.is_empty())
+            && !shards.iter().any(|s| s.active.iter().any(|&a| a));
+        let program_done = prog.finished(supersteps - 1, agg);
         if program_done || no_more_work || !any_ran {
             // Free any undelivered inbox buffers before returning.
-            cluster.free_all(&inbox_bytes_per_machine);
+            cluster.free_all(&inbox_bytes);
             break;
         }
     }
+
+    // Reassemble global vertex order from the per-machine shards.
+    let mut final_states: Vec<Option<P::Value>> = (0..n).map(|_| None).collect();
+    for shard in shards.iter_mut() {
+        let states = std::mem::take(&mut shard.states);
+        for (&v, s) in shard.verts.iter().zip(states) {
+            final_states[v as usize] = Some(s);
+        }
+    }
+    let states =
+        final_states.into_iter().map(|s| s.expect("partition covers all vertices")).collect();
 
     Ok(BspOutcome { states, supersteps, raw_messages, recovered_from_failure: failed_once })
 }
@@ -386,14 +480,14 @@ mod tests {
         }
 
         fn compute(
-            &mut self,
+            &self,
             ctx: &mut Ctx<'_, VertexId>,
             g: &CsrGraph,
             v: VertexId,
             value: &mut VertexId,
-            msgs: &[VertexId],
+            msgs: &[(VertexId, VertexId)],
         ) -> bool {
-            let best = msgs.iter().copied().max().unwrap_or(*value).max(*value);
+            let best = msgs.iter().map(|&(_, m)| m).max().unwrap_or(*value).max(*value);
             let changed = best > *value || ctx.superstep == 0;
             *value = best;
             if changed {
@@ -439,6 +533,25 @@ mod tests {
         let (c, _, _) = run_maxprop(3);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn result_and_metrics_identical_across_thread_counts() {
+        // The executor guarantee: host threads change scheduling only —
+        // states, simulated clock, memory peaks, and network totals must be
+        // bit-for-bit identical between the serial and parallel paths.
+        let _guard = crate::exec::TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::exec::set_threads(1);
+        let (states_1, steps_1, cluster_1) = run_maxprop(4);
+        crate::exec::set_threads(4);
+        let (states_4, steps_4, cluster_4) = run_maxprop(4);
+        crate::exec::set_threads(1);
+        assert_eq!(states_1, states_4);
+        assert_eq!(steps_1, steps_4);
+        assert_eq!(cluster_1.elapsed().to_bits(), cluster_4.elapsed().to_bits());
+        assert_eq!(cluster_1.mem_peaks(), cluster_4.mem_peaks());
+        assert_eq!(cluster_1.total_net_bytes(), cluster_4.total_net_bytes());
+        assert_eq!(cluster_1.total_messages(), cluster_4.total_messages());
     }
 
     #[test]
@@ -492,12 +605,12 @@ mod tests {
         }
 
         fn compute(
-            &mut self,
+            &self,
             ctx: &mut Ctx<'_, u64>,
             g: &CsrGraph,
             v: VertexId,
             value: &mut u64,
-            _msgs: &[u64],
+            _msgs: &[(VertexId, u64)],
         ) -> bool {
             *value += 1;
             for &t in g.out_neighbors(v) {
@@ -510,7 +623,7 @@ mod tests {
             a.max(b)
         }
 
-        fn finished(&mut self, superstep: u64) -> bool {
+        fn finished(&mut self, superstep: u64, _max_aggregate: f64) -> bool {
             superstep + 1 >= self.rounds
         }
 
@@ -523,16 +636,10 @@ mod tests {
     fn finished_hook_stops_the_loop() {
         let g = csr_from_pairs(&[(0, 1), (1, 0)]);
         let part = EdgeCutPartition::random(2, 1, 1);
-        let mut cluster =
-            Cluster::new(ClusterSpec::r3_xlarge(1, 1 << 30), CostProfile::cpp_mpi());
-        let out = run_bsp(
-            &mut cluster,
-            &g,
-            &part,
-            &mut FixedRounds { rounds: 5 },
-            &BspConfig::default(),
-        )
-        .unwrap();
+        let mut cluster = Cluster::new(ClusterSpec::r3_xlarge(1, 1 << 30), CostProfile::cpp_mpi());
+        let out =
+            run_bsp(&mut cluster, &g, &part, &mut FixedRounds { rounds: 5 }, &BspConfig::default())
+                .unwrap();
         assert_eq!(out.supersteps, 5);
         assert_eq!(out.states, vec![5, 5]);
         assert_eq!(cluster.supersteps(), 5);
@@ -559,12 +666,12 @@ mod tests {
                 self.0.init(v, g)
             }
             fn compute(
-                &mut self,
+                &self,
                 ctx: &mut Ctx<'_, u64>,
                 g: &CsrGraph,
                 v: VertexId,
                 value: &mut u64,
-                msgs: &[u64],
+                msgs: &[(VertexId, u64)],
             ) -> bool {
                 self.0.compute(ctx, g, v, value, msgs)
             }
@@ -574,8 +681,8 @@ mod tests {
             fn combinable(&self, _s: u64) -> bool {
                 false
             }
-            fn finished(&mut self, s: u64) -> bool {
-                self.0.finished(s)
+            fn finished(&mut self, s: u64, agg: f64) -> bool {
+                self.0.finished(s, agg)
             }
             fn wire_bytes(&self) -> u64 {
                 8

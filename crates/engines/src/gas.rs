@@ -23,6 +23,7 @@
 //!   records released at a rate that *shrinks with cluster size* accumulate
 //!   on long-running workloads — the WRN-at-128-machines OOM of Figure 10.
 
+use crate::exec;
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -358,6 +359,29 @@ fn sync_pagerank(
         StopCriterion::Tolerance(t) => (t, u32::MAX),
         StopCriterion::Iterations(k) => (0.0, k),
     };
+    // Per-machine partial gather accumulators, allocated once and reused
+    // every iteration. Each host worker fills its own machine's buffer; the
+    // coordinator folds partials in machine-index order, so the sums (and
+    // therefore the ranks) are identical at any host thread count.
+    struct GatherScratch {
+        incoming: Vec<f64>,
+    }
+    struct GatherStep {
+        ops: f64,
+        partial_bytes: u64,
+        sent: u64,
+        msgs: u64,
+        recv_by: Vec<u64>,
+    }
+    let mut scratch: Vec<GatherScratch> =
+        (0..ctx.machines).map(|_| GatherScratch { incoming: vec![0.0f64; n] }).collect();
+    let mut incoming = vec![0.0f64; n];
+    let mut ops = vec![0.0f64; ctx.machines];
+    let mut sent = vec![0u64; ctx.machines];
+    let mut recv = vec![0u64; ctx.machines];
+    let mut msgs = vec![0u64; ctx.machines];
+    let mut transient = vec![0u64; ctx.machines];
+    let mut apply_ops = vec![0.0f64; ctx.machines];
     let mut iter = 0u32;
     loop {
         if iter >= max_iters {
@@ -365,34 +389,54 @@ fn sync_pagerank(
         }
         // Gather: every machine scans its local in-edges of active vertices
         // and accumulates partial sums, sent to the vertex master.
-        let mut incoming = vec![0.0f64; n];
-        let mut ops = vec![0.0f64; ctx.machines];
-        let mut sent = vec![0u64; ctx.machines];
-        let mut recv = vec![0u64; ctx.machines];
-        let mut msgs = vec![0u64; ctx.machines];
-        let mut transient = vec![0u64; ctx.machines];
-        for (m, md) in ctx.data.iter().enumerate() {
+        let steps: Vec<GatherStep> = exec::run_machines(&mut scratch, |m, s| {
+            let md = &ctx.data[m];
+            s.incoming.fill(0.0);
             let mut machine_ops = 0u64;
             let mut partials = 0u64;
+            let mut my_sent = 0u64;
+            let mut my_msgs = 0u64;
+            let mut recv_by = vec![0u64; ctx.machines];
             for (&v, idxs) in &md.in_idx {
                 if !active[v as usize] {
                     continue;
                 }
                 for &i in idxs {
                     let (u, _) = md.edges[i as usize];
-                    incoming[v as usize] += ranks[u as usize] / ctx.outdeg[u as usize] as f64;
+                    s.incoming[v as usize] += ranks[u as usize] / ctx.outdeg[u as usize] as f64;
                     machine_ops += 1;
                 }
                 partials += 1;
                 let master = ctx.part.master_of(v) as usize;
                 if master != m {
-                    sent[m] += 12;
-                    recv[master] += 12;
-                    msgs[m] += 1;
+                    my_sent += 12;
+                    recv_by[master] += 12;
+                    my_msgs += 1;
                 }
             }
-            ops[m] = machine_ops as f64 * ctx.async_op_penalty();
-            transient[m] = partials * 16;
+            GatherStep {
+                ops: machine_ops as f64 * ctx.async_op_penalty(),
+                partial_bytes: partials * 16,
+                sent: my_sent,
+                msgs: my_msgs,
+                recv_by,
+            }
+        });
+        recv.fill(0);
+        for (m, step) in steps.iter().enumerate() {
+            ops[m] = step.ops;
+            sent[m] = step.sent;
+            msgs[m] = step.msgs;
+            transient[m] = step.partial_bytes;
+            for (j, &b) in step.recv_by.iter().enumerate() {
+                recv[j] += b;
+            }
+        }
+        incoming.fill(0.0);
+        for s in &scratch {
+            for (acc, p) in incoming.iter_mut().zip(&s.incoming) {
+                *acc += p;
+            }
         }
         cluster.alloc_all(&transient)?;
         cluster.advance_compute(&ops, ctx.effective_cores())?;
@@ -403,7 +447,7 @@ fn sync_pagerank(
         let mut max_delta = 0.0f64;
         let mut changed: Vec<VertexId> = Vec::new();
         let mut updated = 0u64;
-        let mut apply_ops = vec![0.0f64; ctx.machines];
+        apply_ops.fill(0.0);
         for v in 0..n {
             if !active[v] {
                 continue;
@@ -425,11 +469,8 @@ fn sync_pagerank(
         cluster.sample_trace();
         updates.push(updated);
         iter += 1;
-        let stop = if cfg.approximate {
-            !active.iter().any(|&a| a)
-        } else {
-            tol > 0.0 && max_delta < tol
-        };
+        let stop =
+            if cfg.approximate { !active.iter().any(|&a| a) } else { tol > 0.0 && max_delta < tol };
         if stop {
             break;
         }
@@ -541,10 +582,8 @@ fn async_pagerank(
         // trip through the contended distributed lock manager (§5.3).
         const LOCK_SERVICE_SECS: f64 = 0.5e-6;
         let scale = cluster.spec().work_scale;
-        let waits: Vec<f64> = lock_counts
-            .iter()
-            .map(|&c| c as f64 * LOCK_SERVICE_SECS * scale)
-            .collect();
+        let waits: Vec<f64> =
+            lock_counts.iter().map(|&c| c as f64 * LOCK_SERVICE_SECS * scale).collect();
         cluster.advance_network_wait(&waits)?;
         cluster.free_all(&to_free);
         cluster.sample_trace();
@@ -564,44 +603,89 @@ fn wcc_propagate(cluster: &mut Cluster, ctx: &GasCtx<'_>) -> Result<Vec<VertexId
     // Undirected neighbour lists per machine are implicit in edges; signal
     // set starts as every vertex.
     let mut signaled: Vec<bool> = vec![true; n];
+    // Per-machine min-label buffers, allocated once and reused every round.
+    // Min-folds are order-independent, so merging them in machine-index
+    // order yields the same labels at any host thread count.
+    struct WccScratch {
+        best: Vec<VertexId>,
+    }
+    struct WccStep {
+        ops: f64,
+        sent: u64,
+        msgs: u64,
+        recv_by: Vec<u64>,
+        any: bool,
+    }
+    let mut scratch: Vec<WccScratch> =
+        (0..ctx.machines).map(|_| WccScratch { best: vec![0; n] }).collect();
+    let mut best: Vec<VertexId> = vec![0; n];
+    let mut ops = vec![0.0f64; ctx.machines];
+    let mut sent = vec![0u64; ctx.machines];
+    let mut recv = vec![0u64; ctx.machines];
+    let mut msgs = vec![0u64; ctx.machines];
     loop {
-        let mut ops = vec![0.0f64; ctx.machines];
-        let mut best: Vec<VertexId> = label.clone();
-        let mut sent = vec![0u64; ctx.machines];
-        let mut recv = vec![0u64; ctx.machines];
-        let mut msgs = vec![0u64; ctx.machines];
-        let mut any = false;
-        for (m, md) in ctx.data.iter().enumerate() {
+        let steps: Vec<WccStep> = exec::run_machines(&mut scratch, |m, s| {
+            let md = &ctx.data[m];
+            s.best.copy_from_slice(&label);
             let mut machine_ops = 0u64;
+            let mut my_sent = 0u64;
+            let mut my_msgs = 0u64;
+            let mut recv_by = vec![0u64; ctx.machines];
+            let mut my_any = false;
             for &(u, v) in &md.edges {
                 let su = signaled[u as usize];
                 let sv = signaled[v as usize];
                 if !(su || sv) {
                     continue;
                 }
-                any = true;
+                my_any = true;
                 machine_ops += 1;
                 // Undirected min exchange.
-                if label[u as usize] < best[v as usize] {
-                    best[v as usize] = label[u as usize];
+                if label[u as usize] < s.best[v as usize] {
+                    s.best[v as usize] = label[u as usize];
                 }
-                if label[v as usize] < best[u as usize] {
-                    best[u as usize] = label[v as usize];
+                if label[v as usize] < s.best[u as usize] {
+                    s.best[u as usize] = label[v as usize];
                 }
             }
-            ops[m] = machine_ops as f64 * ctx.async_op_penalty();
             // Partial aggregation traffic for signaled vertices mastered
             // elsewhere.
             for &v in md.in_idx.keys() {
                 if signaled[v as usize] && ctx.part.master_of(v) as usize != m {
-                    sent[m] += 8;
-                    recv[ctx.part.master_of(v) as usize] += 8;
-                    msgs[m] += 1;
+                    my_sent += 8;
+                    recv_by[ctx.part.master_of(v) as usize] += 8;
+                    my_msgs += 1;
                 }
+            }
+            WccStep {
+                ops: machine_ops as f64 * ctx.async_op_penalty(),
+                sent: my_sent,
+                msgs: my_msgs,
+                recv_by,
+                any: my_any,
+            }
+        });
+        let mut any = false;
+        recv.fill(0);
+        for (m, step) in steps.iter().enumerate() {
+            ops[m] = step.ops;
+            sent[m] = step.sent;
+            msgs[m] = step.msgs;
+            any |= step.any;
+            for (j, &b) in step.recv_by.iter().enumerate() {
+                recv[j] += b;
             }
         }
         if !any {
             break;
+        }
+        best.copy_from_slice(&label);
+        for s in &scratch {
+            for (b, &p) in best.iter_mut().zip(&s.best) {
+                if p < *b {
+                    *b = p;
+                }
+            }
         }
         cluster.advance_compute(&ops, ctx.effective_cores())?;
         cluster.exchange(&sent, &recv, &msgs)?;
@@ -616,18 +700,29 @@ fn wcc_propagate(cluster: &mut Cluster, ctx: &GasCtx<'_>) -> Result<Vec<VertexId
             }
         }
         ctx.charge_mirror_sync(cluster, changed.iter().copied())?;
-        signaled = vec![false; n];
+        signaled.fill(false);
         if changed.is_empty() {
             break;
         }
-        for md in ctx.data {
+        // Rebuild the signal set: one worker per machine lists the vertices
+        // its edges signal; setting flags is idempotent, so merge order does
+        // not matter.
+        let signal_lists: Vec<Vec<VertexId>> = exec::for_machines(ctx.machines, |m| {
+            let md = &ctx.data[m];
+            let mut sig: Vec<VertexId> = Vec::new();
             for &(u, v) in &md.edges {
                 if label[u as usize] < label[v as usize] {
-                    signaled[v as usize] = true;
+                    sig.push(v);
                 }
                 if label[v as usize] < label[u as usize] {
-                    signaled[u as usize] = true;
+                    sig.push(u);
                 }
+            }
+            sig
+        });
+        for list in signal_lists {
+            for v in list {
+                signaled[v as usize] = true;
             }
         }
     }
@@ -645,16 +740,30 @@ fn traversal(
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
     let mut frontier: Vec<VertexId> = vec![source];
+    // Per-machine improvement lists are produced by one host worker per
+    // machine against the frozen `dist`, then min-folded in machine-index
+    // order — the result is identical at any host thread count.
+    struct TravStep {
+        ops: f64,
+        sent: u64,
+        msgs: u64,
+        recv_by: Vec<u64>,
+        improved: Vec<(VertexId, u32)>,
+    }
+    let mut ops = vec![0.0f64; ctx.machines];
+    let mut sent = vec![0u64; ctx.machines];
+    let mut recv = vec![0u64; ctx.machines];
+    let mut msgs = vec![0u64; ctx.machines];
     while !frontier.is_empty() {
-        let mut ops = vec![0.0f64; ctx.machines];
-        let mut sent = vec![0u64; ctx.machines];
-        let mut recv = vec![0u64; ctx.machines];
-        let mut msgs = vec![0u64; ctx.machines];
         // Scatter from the frontier along local out-edges; improvements are
         // applied at target masters.
-        let mut improved: Vec<(VertexId, u32)> = Vec::new();
-        for (m, md) in ctx.data.iter().enumerate() {
+        let steps: Vec<TravStep> = exec::for_machines(ctx.machines, |m| {
+            let md = &ctx.data[m];
             let mut machine_ops = 0u64;
+            let mut my_sent = 0u64;
+            let mut my_msgs = 0u64;
+            let mut recv_by = vec![0u64; ctx.machines];
+            let mut improved: Vec<(VertexId, u32)> = Vec::new();
             for &v in &frontier {
                 let d = dist[v as usize];
                 if d >= bound {
@@ -668,15 +777,30 @@ fn traversal(
                             improved.push((t, d + 1));
                             let master = ctx.part.master_of(t) as usize;
                             if master != m {
-                                sent[m] += 8;
-                                recv[master] += 8;
-                                msgs[m] += 1;
+                                my_sent += 8;
+                                recv_by[master] += 8;
+                                my_msgs += 1;
                             }
                         }
                     }
                 }
             }
-            ops[m] = machine_ops as f64 * ctx.async_op_penalty();
+            TravStep {
+                ops: machine_ops as f64 * ctx.async_op_penalty(),
+                sent: my_sent,
+                msgs: my_msgs,
+                recv_by,
+                improved,
+            }
+        });
+        recv.fill(0);
+        for (m, step) in steps.iter().enumerate() {
+            ops[m] = step.ops;
+            sent[m] = step.sent;
+            msgs[m] = step.msgs;
+            for (j, &b) in step.recv_by.iter().enumerate() {
+                recv[j] += b;
+            }
         }
         cluster.advance_compute(&ops, ctx.effective_cores())?;
         cluster.exchange(&sent, &recv, &msgs)?;
@@ -684,10 +808,12 @@ fn traversal(
             cluster.barrier()?;
         }
         let mut changed: Vec<VertexId> = Vec::new();
-        for (t, d) in improved {
-            if d < dist[t as usize] {
-                dist[t as usize] = d;
-                changed.push(t);
+        for step in steps {
+            for (t, d) in step.improved {
+                if d < dist[t as usize] {
+                    dist[t as usize] = d;
+                    changed.push(t);
+                }
             }
         }
         ctx.charge_mirror_sync(cluster, changed.iter().copied())?;
@@ -745,7 +871,10 @@ mod tests {
         let g = CsrGraph::from_edge_list(&clean);
         let (want, _) = reference::pagerank(
             &g,
-            &PageRankConfig { stop: StopCriterion::Tolerance(1e-7), ..PageRankConfig::paper_exact() },
+            &PageRankConfig {
+                stop: StopCriterion::Tolerance(1e-7),
+                ..PageRankConfig::paper_exact()
+            },
         );
         match out.result.unwrap() {
             WorkloadResult::Ranks(r) => {
@@ -776,17 +905,12 @@ mod tests {
     fn sssp_and_khop_match_reference() {
         let ds = dataset(DatasetKind::Twitter);
         let src = 0;
-        let sssp = GraphLab::sync_auto().run(&input(&ds, Workload::Sssp { source: src }, 4, 1 << 30));
+        let sssp =
+            GraphLab::sync_auto().run(&input(&ds, Workload::Sssp { source: src }, 4, 1 << 30));
         // Self-edge removal cannot change distances.
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, src))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, src)));
         let khop = GraphLab::sync_random().run(&input(&ds, Workload::khop3(src), 4, 1 << 30));
-        assert_eq!(
-            khop.result.unwrap(),
-            WorkloadResult::Distances(reference::khop(&ds.1, src, 3))
-        );
+        assert_eq!(khop.result.unwrap(), WorkloadResult::Distances(reference::khop(&ds.1, src, 3)));
     }
 
     #[test]
@@ -795,10 +919,7 @@ mod tests {
         let tol = 1e-7;
         let sync = GraphLab::sync_random().run(&input(&ds, pr_tol(tol), 4, 1 << 30));
         let async_ = GraphLab::async_random().run(&input(&ds, pr_tol(tol), 4, 1 << 30));
-        let diff = sync
-            .result
-            .unwrap()
-            .max_rank_diff(&async_.result.unwrap());
+        let diff = sync.result.unwrap().max_rank_diff(&async_.result.unwrap());
         assert!(diff < 1e-3, "fixpoint diff {diff}");
     }
 
@@ -828,10 +949,7 @@ mod tests {
         let out = engine.run(&input(&ds, pr_tol(0.01), 4, 1 << 30));
         let ups = &out.updates_per_iteration;
         assert!(ups.len() >= 3, "{ups:?}");
-        assert!(
-            ups.last().unwrap() < ups.first().unwrap(),
-            "updates should shrink: {ups:?}"
-        );
+        assert!(ups.last().unwrap() < ups.first().unwrap(), "updates should shrink: {ups:?}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! shared runtime with Flink's cost profile.
 
 use crate::bsp::{run_bsp, BspConfig};
-use crate::programs::{KHopProgram, PageRankProgram, SsspProgram, WccProgram};
+use crate::programs::{wcc_labels, KHopProgram, PageRankProgram, SsspProgram, WccProgram};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::{Workload, WorkloadResult};
 use graphbench_graph::format::GraphFormat;
@@ -54,7 +54,8 @@ impl Engine for Gelly {
         let mut cluster = Cluster::new(input.cluster.clone(), CostProfile::jvm_flink());
         let mut notes = Vec::new();
         if self.prior_jobs == 0 {
-            notes.push("Flink restarted before this workload (the paper's workaround, §5.7)".into());
+            notes
+                .push("Flink restarted before this workload (the paper's workaround, §5.7)".into());
         }
         let outcome = execute(self, &mut cluster, input, &mut notes);
         crate::util::output_from(cluster, outcome, notes)
@@ -83,10 +84,7 @@ fn execute(
         * engine.prior_jobs as f64) as u64)
         .min(input.cluster.memory_per_machine);
     if leak > 0 {
-        notes.push(format!(
-            "{} prior jobs leaked {} bytes per machine",
-            engine.prior_jobs, leak
-        ));
+        notes.push(format!("{} prior jobs leaked {} bytes per machine", engine.prior_jobs, leak));
         cluster.alloc_all(&vec![leak; machines])?;
     }
 
@@ -133,7 +131,9 @@ fn execute(
         }
         Workload::Wcc => {
             let mut prog = WccProgram::new(n, 20);
-            WorkloadResult::Labels(run_bsp(cluster, input.graph, &part, &mut prog, &cfg)?.states)
+            WorkloadResult::Labels(wcc_labels(
+                run_bsp(cluster, input.graph, &part, &mut prog, &cfg)?.states,
+            ))
         }
         Workload::Sssp { source } => {
             let mut prog = SsspProgram::new(source);
@@ -208,8 +208,12 @@ mod tests {
     fn stream_mode_moves_the_read_into_execution() {
         let ds = dataset();
         let batch = Gelly::default().run(&input(&ds, Workload::Wcc, 4, 1 << 30));
-        let stream = Gelly { streaming: true, ..Gelly::default() }
-            .run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        let stream = Gelly { streaming: true, ..Gelly::default() }.run(&input(
+            &ds,
+            Workload::Wcc,
+            4,
+            1 << 30,
+        ));
         // Same answer either way.
         assert_eq!(batch.result, stream.result);
         // The read leaves the load phase and lands (partially overlapped)
@@ -224,10 +228,12 @@ mod tests {
     fn leaked_memory_accumulates_until_oom() {
         let ds = dataset();
         let budget = 2 << 20;
-        let fresh = Gelly { prior_jobs: 0, ..Gelly::default() }.run(&input(&ds, Workload::Wcc, 4, budget));
+        let fresh =
+            Gelly { prior_jobs: 0, ..Gelly::default() }.run(&input(&ds, Workload::Wcc, 4, budget));
         assert!(fresh.metrics.status.is_ok(), "{:?}", fresh.metrics.status);
         // After a few jobs without a restart the same workload dies.
-        let stale = Gelly { prior_jobs: 5, ..Gelly::default() }.run(&input(&ds, Workload::Wcc, 4, budget));
+        let stale =
+            Gelly { prior_jobs: 5, ..Gelly::default() }.run(&input(&ds, Workload::Wcc, 4, budget));
         assert_eq!(stale.metrics.status.code(), "OOM");
     }
 

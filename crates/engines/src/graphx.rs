@@ -18,6 +18,7 @@
 //! paper's §5.6 — unless checkpointing trades the lineage for HDFS writes
 //! (and then times out instead).
 
+use crate::exec;
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -215,7 +216,8 @@ fn execute(
     let bytes = dataset_bytes(input.edges, GraphFormat::EdgeListFormat);
     let slots = engine.partitions_for(bytes);
     // Reading the same HDFS block from several tasks re-reads it.
-    let read_amplification = (slots as u64).div_ceil((bytes / engine.hdfs_block_bytes).max(1)).min(4);
+    let read_amplification =
+        (slots as u64).div_ceil((bytes / engine.hdfs_block_bytes).max(1)).min(4);
     cluster.hdfs_read(&even_share(bytes * read_amplification, machines))?;
 
     // Vertex-cut over RDD partitions, partitions placed on executors.
@@ -292,7 +294,9 @@ fn execute(
     cluster.begin_phase(Phase::Execute);
     ctx.recovery_point = cluster.elapsed();
     let result = match input.workload {
-        Workload::PageRank(pr) => WorkloadResult::Ranks(spark_pagerank(cluster, &mut ctx, input, pr)?),
+        Workload::PageRank(pr) => {
+            WorkloadResult::Ranks(spark_pagerank(cluster, &mut ctx, input, pr)?)
+        }
         Workload::Wcc => WorkloadResult::Labels(spark_wcc(cluster, &mut ctx)?),
         Workload::Sssp { source } => {
             WorkloadResult::Distances(spark_traversal(cluster, &mut ctx, source, u32::MAX)?)
@@ -313,11 +317,8 @@ fn charge_compute(cluster: &mut Cluster, ctx: &SparkCtx<'_>, ops: &[f64]) -> Res
     // RDD stages scan whole partitions each iteration, so per-superstep
     // compute scales with the superstep-count compensation.
     let sscale = cluster.spec().superstep_scale;
-    let adjusted: Vec<f64> = ops
-        .iter()
-        .enumerate()
-        .map(|(m, &o)| o * sscale / ctx.slots(m))
-        .collect();
+    let adjusted: Vec<f64> =
+        ops.iter().enumerate().map(|(m, &o)| o * sscale / ctx.slots(m)).collect();
     cluster.advance_compute(&adjusted, 1)
 }
 
@@ -331,12 +332,8 @@ fn mirror_sync(
     let mut recv = vec![0u64; ctx.machines];
     let mut msgs = vec![0u64; ctx.machines];
     for &v in changed {
-        let mut ms: Vec<usize> = ctx
-            .part
-            .replicas_of(v)
-            .iter()
-            .map(|&s| ctx.machine_of_slot[s as usize])
-            .collect();
+        let mut ms: Vec<usize> =
+            ctx.part.replicas_of(v).iter().map(|&s| ctx.machine_of_slot[s as usize]).collect();
         ms.sort_unstable();
         ms.dedup();
         if ms.len() > 1 {
@@ -364,6 +361,7 @@ fn spark_pagerank(
     let n = ctx.n;
     let g = input.graph;
     let mut ranks = vec![1.0f64; n];
+    let mut incoming = vec![0.0f64; n];
     let (tol, max_iters) = match cfg.stop {
         StopCriterion::Tolerance(t) => (t, u32::MAX),
         StopCriterion::Iterations(k) => (0.0, k),
@@ -374,13 +372,24 @@ fn spark_pagerank(
             break;
         }
         ctx.charge_stage(cluster)?;
-        let mut incoming = vec![0.0f64; n];
-        let mut ops = vec![0.0f64; ctx.machines];
-        for (m, edges) in ctx.edges_by_machine.iter().enumerate() {
-            for &(u, v) in edges {
-                incoming[v as usize] += ranks[u as usize] / g.out_degree(u) as f64;
+        // One host worker per simulated machine accumulates a partial sum
+        // over its machine's edge partition; partials fold in machine-index
+        // order so the ranks are identical at any host thread count.
+        let edges_by_machine = &ctx.edges_by_machine;
+        let partials: Vec<Vec<f64>> = exec::for_machines(ctx.machines, |m| {
+            let mut part = vec![0.0f64; n];
+            for &(u, v) in &edges_by_machine[m] {
+                part[v as usize] += ranks[u as usize] / g.out_degree(u) as f64;
             }
-            ops[m] = edges.len() as f64;
+            part
+        });
+        incoming.fill(0.0);
+        let mut ops = vec![0.0f64; ctx.machines];
+        for (m, part) in partials.iter().enumerate() {
+            ops[m] = edges_by_machine[m].len() as f64;
+            for (acc, p) in incoming.iter_mut().zip(part) {
+                *acc += p;
+            }
         }
         charge_compute(cluster, ctx, &ops)?;
         let mut max_delta = 0.0f64;
@@ -402,27 +411,38 @@ fn spark_pagerank(
     Ok(ranks)
 }
 
-fn spark_wcc(
-    cluster: &mut Cluster,
-    ctx: &mut SparkCtx<'_>,
-) -> Result<Vec<VertexId>, SimError> {
+fn spark_wcc(cluster: &mut Cluster, ctx: &mut SparkCtx<'_>) -> Result<Vec<VertexId>, SimError> {
     let n = ctx.n;
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut iter = 0u32;
     loop {
         ctx.charge_stage(cluster)?;
-        let mut next = label.clone();
-        let mut ops = vec![0.0f64; ctx.machines];
-        for (m, edges) in ctx.edges_by_machine.iter().enumerate() {
-            for &(u, v) in edges {
-                if label[u as usize] < next[v as usize] {
-                    next[v as usize] = label[u as usize];
+        // Each worker min-folds its machine's edge partition into a private
+        // copy of the labels; partial label vectors then min-merge in
+        // machine-index order (min is order-independent, so any host thread
+        // count yields the same labels).
+        let edges_by_machine = &ctx.edges_by_machine;
+        let partials: Vec<Vec<VertexId>> = exec::for_machines(ctx.machines, |m| {
+            let mut part = label.clone();
+            for &(u, v) in &edges_by_machine[m] {
+                if label[u as usize] < part[v as usize] {
+                    part[v as usize] = label[u as usize];
                 }
-                if label[v as usize] < next[u as usize] {
-                    next[u as usize] = label[v as usize];
+                if label[v as usize] < part[u as usize] {
+                    part[u as usize] = label[v as usize];
                 }
             }
-            ops[m] = edges.len() as f64;
+            part
+        });
+        let mut next = label.clone();
+        let mut ops = vec![0.0f64; ctx.machines];
+        for (m, part) in partials.iter().enumerate() {
+            ops[m] = edges_by_machine[m].len() as f64;
+            for (nx, &p) in next.iter_mut().zip(part) {
+                if p < *nx {
+                    *nx = p;
+                }
+            }
         }
         if ctx.hash_to_min {
             // hash-to-min's shortcutting: labels are vertex ids, so every
@@ -439,9 +459,8 @@ fn spark_wcc(
             }
         }
         charge_compute(cluster, ctx, &ops)?;
-        let changed: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| next[v as usize] < label[v as usize])
-            .collect();
+        let changed: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| next[v as usize] < label[v as usize]).collect();
         label = next;
         mirror_sync(cluster, ctx, &changed)?;
         ctx.charge_lineage(cluster, iter, changed.len() as u64)?;
@@ -469,33 +488,42 @@ fn spark_traversal(
     let mut iter = 0u32;
     while !frontier.is_empty() {
         ctx.charge_stage(cluster)?;
-        let mut ops = vec![0.0f64; ctx.machines];
-        let mut improved: Vec<(VertexId, u32)> = Vec::new();
         // mapReduceTriplets with an active-set filter still scans each
-        // partition's edges to test activity.
-        for (m, edges) in ctx.edges_by_machine.iter().enumerate() {
+        // partition's edges to test activity. One worker per machine scans
+        // against the frozen frontier; candidate relaxations min-fold in
+        // machine-index order afterwards.
+        let edges_by_machine = &ctx.edges_by_machine;
+        let (dist_r, active_r) = (&dist, &active);
+        let partials: Vec<(u64, Vec<(VertexId, u32)>)> = exec::for_machines(ctx.machines, |m| {
             let mut machine_ops = 0u64;
-            for &(u, v) in edges {
+            let mut improved: Vec<(VertexId, u32)> = Vec::new();
+            for &(u, v) in &edges_by_machine[m] {
                 machine_ops += 1;
-                if active[u as usize] {
-                    let d = dist[u as usize];
-                    if d < bound && d + 1 < dist[v as usize] {
+                if active_r[u as usize] {
+                    let d = dist_r[u as usize];
+                    if d < bound && d + 1 < dist_r[v as usize] {
                         improved.push((v, d + 1));
                     }
                 }
             }
-            ops[m] = machine_ops as f64 / 4.0; // filtered scan is cheap per edge
+            (machine_ops, improved)
+        });
+        let mut ops = vec![0.0f64; ctx.machines];
+        for (m, (machine_ops, _)) in partials.iter().enumerate() {
+            ops[m] = *machine_ops as f64 / 4.0; // filtered scan is cheap per edge
         }
         charge_compute(cluster, ctx, &ops)?;
         for v in &frontier {
             active[*v as usize] = false;
         }
         let mut changed = Vec::new();
-        for (v, d) in improved {
-            if d < dist[v as usize] {
-                dist[v as usize] = d;
-                active[v as usize] = true;
-                changed.push(v);
+        for (_, improved) in partials {
+            for (v, d) in improved {
+                if d < dist[v as usize] {
+                    dist[v as usize] = d;
+                    active[v as usize] = true;
+                    changed.push(v);
+                }
             }
         }
         mirror_sync(cluster, ctx, &changed)?;
@@ -563,15 +591,9 @@ mod tests {
         let wcc = gx(16).run(&input(&ds, Workload::Wcc, 4, 1 << 30));
         assert_eq!(wcc.result.unwrap(), WorkloadResult::Labels(reference::wcc(&ds.1)));
         let sssp = gx(16).run(&input(&ds, Workload::Sssp { source: 0 }, 4, 1 << 30));
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, 0))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, 0)));
         let khop = gx(16).run(&input(&ds, Workload::khop3(0), 4, 1 << 30));
-        assert_eq!(
-            khop.result.unwrap(),
-            WorkloadResult::Distances(reference::khop(&ds.1, 0, 3))
-        );
+        assert_eq!(khop.result.unwrap(), WorkloadResult::Distances(reference::khop(&ds.1, 0, 3)));
     }
 
     #[test]
@@ -584,10 +606,7 @@ mod tests {
             .run(&input(&ds, Workload::Wcc, 4, 1 << 30));
         assert!(plain.metrics.status.is_ok() && h2m.metrics.status.is_ok());
         assert_eq!(plain.result, h2m.result);
-        assert_eq!(
-            h2m.result.as_ref().unwrap(),
-            &WorkloadResult::Labels(reference::wcc(&ds.1))
-        );
+        assert_eq!(h2m.result.as_ref().unwrap(), &WorkloadResult::Labels(reference::wcc(&ds.1)));
         assert!(
             h2m.metrics.iterations * 3 < plain.metrics.iterations,
             "hash-to-min {} vs hashmin {} iterations",
@@ -637,8 +656,9 @@ mod tests {
     fn checkpointing_trades_memory_for_io() {
         let ds = dataset(DatasetKind::Wrn);
         let plain = gx(32).run(&input(&ds, Workload::Wcc, 4, 1 << 30));
-        let ckpt = GraphX { num_partitions: Some(32), checkpoint_every: Some(2), ..GraphX::default() }
-            .run(&input(&ds, Workload::Wcc, 4, 1 << 30));
+        let ckpt =
+            GraphX { num_partitions: Some(32), checkpoint_every: Some(2), ..GraphX::default() }
+                .run(&input(&ds, Workload::Wcc, 4, 1 << 30));
         assert!(plain.metrics.status.is_ok());
         assert!(ckpt.metrics.status.is_ok());
         assert!(

@@ -19,6 +19,7 @@
 //! hit a bug where mapper output is deleted before reducers finish on 64-
 //! and 128-machine clusters — reproduced here as the `SHFL` failure.
 
+use crate::exec;
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -62,9 +63,8 @@ impl Engine for HaLoop {
 
     fn run(&self, input: &EngineInput<'_>) -> RunOutput {
         let mut cluster = Cluster::new(input.cluster.clone(), CostProfile::mapreduce());
-        let mut notes = vec![
-            "HaLoop keeps many files open; raised the OS nofile limit (§2.5.1)".to_string(),
-        ];
+        let mut notes =
+            vec!["HaLoop keeps many files open; raised the OS nofile limit (§2.5.1)".to_string()];
         let outcome = run_mapreduce(&mut cluster, input, true, &mut notes);
         crate::util::output_from(cluster, outcome, notes)
     }
@@ -113,16 +113,33 @@ fn run_mapreduce(
     // reverse edges in its first iteration).
     let result = match input.workload {
         Workload::PageRank(pr) => WorkloadResult::Ranks(mr_pagerank(
-            cluster, input, haloop, graph_bytes, state_bytes, pr,
+            cluster,
+            input,
+            haloop,
+            graph_bytes,
+            state_bytes,
+            pr,
         )?),
-        Workload::Wcc => WorkloadResult::Labels(mr_wcc(
-            cluster, input, haloop, graph_bytes, state_bytes,
-        )?),
+        Workload::Wcc => {
+            WorkloadResult::Labels(mr_wcc(cluster, input, haloop, graph_bytes, state_bytes)?)
+        }
         Workload::Sssp { source } => WorkloadResult::Distances(mr_traversal(
-            cluster, input, haloop, graph_bytes, state_bytes, source, u32::MAX,
+            cluster,
+            input,
+            haloop,
+            graph_bytes,
+            state_bytes,
+            source,
+            u32::MAX,
         )?),
         Workload::KHop { source, k } => WorkloadResult::Distances(mr_traversal(
-            cluster, input, haloop, graph_bytes, state_bytes, source, k,
+            cluster,
+            input,
+            haloop,
+            graph_bytes,
+            state_bytes,
+            source,
+            k,
         )?),
     };
     let _ = (n, m_edges);
@@ -227,6 +244,13 @@ fn charge_iteration(
     Ok(())
 }
 
+/// The `c`-th of exactly `machines` contiguous source-vertex ranges. The
+/// chunking depends only on the simulated machine count, never on the host
+/// thread count, so per-chunk partial results merge deterministically.
+fn chunk_range(c: usize, machines: usize, n: usize) -> (VertexId, VertexId) {
+    ((c * n / machines) as VertexId, ((c + 1) * n / machines) as VertexId)
+}
+
 fn mr_pagerank(
     cluster: &mut Cluster,
     input: &EngineInput<'_>,
@@ -239,6 +263,7 @@ fn mr_pagerank(
     let n = g.num_vertices();
     let machines = cluster.machines();
     let mut ranks = vec![1.0f64; n];
+    let mut incoming = vec![0.0f64; n];
     let (tol, max_iters) = match cfg.stop {
         StopCriterion::Tolerance(t) => (t, u32::MAX),
         StopCriterion::Iterations(k) => (0.0, k),
@@ -251,17 +276,36 @@ fn mr_pagerank(
             record_bytes: 12,
             state_bytes,
         };
-        charge_iteration(cluster, machines, input.cluster.cores, haloop, iter, graph_bytes, &shape)?;
-        // The actual reduce computation.
-        let mut incoming = vec![0.0f64; n];
-        for v in 0..n as VertexId {
-            let deg = g.out_degree(v);
-            if deg == 0 {
-                continue;
+        charge_iteration(
+            cluster,
+            machines,
+            input.cluster.cores,
+            haloop,
+            iter,
+            graph_bytes,
+            &shape,
+        )?;
+        // The actual reduce computation: one partial accumulator per
+        // contiguous source chunk, folded in chunk order.
+        let partials: Vec<Vec<f64>> = exec::for_machines(machines, |c| {
+            let (lo, hi) = chunk_range(c, machines, n);
+            let mut part = vec![0.0f64; n];
+            for v in lo..hi {
+                let deg = g.out_degree(v);
+                if deg == 0 {
+                    continue;
+                }
+                let share = ranks[v as usize] / deg as f64;
+                for &t in g.out_neighbors(v) {
+                    part[t as usize] += share;
+                }
             }
-            let share = ranks[v as usize] / deg as f64;
-            for &t in g.out_neighbors(v) {
-                incoming[t as usize] += share;
+            part
+        });
+        incoming.fill(0.0);
+        for part in &partials {
+            for (acc, p) in incoming.iter_mut().zip(part) {
+                *acc += p;
             }
         }
         let mut max_delta = 0.0f64;
@@ -298,17 +342,43 @@ fn mr_wcc(
             record_bytes: 8,
             state_bytes,
         };
-        charge_iteration(cluster, machines, input.cluster.cores, haloop, iter, graph_bytes, &shape)?;
+        charge_iteration(
+            cluster,
+            machines,
+            input.cluster.cores,
+            haloop,
+            iter,
+            graph_bytes,
+            &shape,
+        )?;
+        // HashMin over one contiguous source chunk per worker; partial min
+        // vectors merge in chunk order (min-folds are order-independent).
+        let partials: Vec<(Vec<VertexId>, bool)> = exec::for_machines(machines, |c| {
+            let (lo, hi) = chunk_range(c, machines, n);
+            let mut next = label.clone();
+            let mut part_changed = false;
+            for s in lo..hi {
+                for &d in g.out_neighbors(s) {
+                    if label[s as usize] < next[d as usize] {
+                        next[d as usize] = label[s as usize];
+                        part_changed = true;
+                    }
+                    if label[d as usize] < next[s as usize] {
+                        next[s as usize] = label[d as usize];
+                        part_changed = true;
+                    }
+                }
+            }
+            (next, part_changed)
+        });
         let mut changed = false;
         let mut next = label.clone();
-        for (s, d) in g.edges() {
-            if label[s as usize] < next[d as usize] {
-                next[d as usize] = label[s as usize];
-                changed = true;
-            }
-            if label[d as usize] < next[s as usize] {
-                next[s as usize] = label[d as usize];
-                changed = true;
+        for (part, part_changed) in &partials {
+            changed |= *part_changed;
+            for (nx, &p) in next.iter_mut().zip(part) {
+                if p < *nx {
+                    *nx = p;
+                }
             }
         }
         label = next;
@@ -345,14 +415,43 @@ fn mr_traversal(
             record_bytes: 8,
             state_bytes,
         };
-        charge_iteration(cluster, machines, input.cluster.cores, haloop, iter, graph_bytes, &shape)?;
+        charge_iteration(
+            cluster,
+            machines,
+            input.cluster.cores,
+            haloop,
+            iter,
+            graph_bytes,
+            &shape,
+        )?;
+        // Distance relaxations over one contiguous source chunk per worker,
+        // min-folded in chunk order.
+        let partials: Vec<(Vec<u32>, bool)> = exec::for_machines(machines, |c| {
+            let (lo, hi) = chunk_range(c, machines, n);
+            let mut next = dist.clone();
+            let mut part_changed = false;
+            for s in lo..hi {
+                let ds = dist[s as usize];
+                if ds == UNREACHABLE || ds >= bound {
+                    continue;
+                }
+                for &d in g.out_neighbors(s) {
+                    if ds + 1 < next[d as usize] {
+                        next[d as usize] = ds + 1;
+                        part_changed = true;
+                    }
+                }
+            }
+            (next, part_changed)
+        });
         let mut changed = false;
         let mut next = dist.clone();
-        for (s, d) in g.edges() {
-            let ds = dist[s as usize];
-            if ds != UNREACHABLE && ds < bound && ds + 1 < next[d as usize] {
-                next[d as usize] = ds + 1;
-                changed = true;
+        for (part, part_changed) in &partials {
+            changed |= *part_changed;
+            for (nx, &p) in next.iter_mut().zip(part) {
+                if p < *nx {
+                    *nx = p;
+                }
             }
         }
         dist = next;
@@ -418,15 +517,9 @@ mod tests {
         let wcc = Hadoop.run(&input(&ds, Workload::Wcc, 4, 1 << 30));
         assert_eq!(wcc.result.unwrap(), WorkloadResult::Labels(reference::wcc(&ds.1)));
         let sssp = Hadoop.run(&input(&ds, Workload::Sssp { source: 0 }, 4, 1 << 30));
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, 0))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, 0)));
         let khop = Hadoop.run(&input(&ds, Workload::khop3(0), 4, 1 << 30));
-        assert_eq!(
-            khop.result.unwrap(),
-            WorkloadResult::Distances(reference::khop(&ds.1, 0, 3))
-        );
+        assert_eq!(khop.result.unwrap(), WorkloadResult::Distances(reference::khop(&ds.1, 0, 3)));
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! | [`single::SingleThread`] | 1 thread | COST baseline (GAP-style kernels) |
 
 pub mod blogel;
-pub(crate) mod util;
 pub mod bsp;
+pub mod exec;
 pub mod gas;
 pub mod gelly;
 pub mod graphx;
@@ -31,6 +31,7 @@ pub mod hadoop;
 pub mod pregel;
 pub mod programs;
 pub mod single;
+pub(crate) mod util;
 pub mod vertica;
 
 use graphbench_algos::{Workload, WorkloadResult};
@@ -110,11 +111,9 @@ pub fn dataset_bytes(el: &EdgeList, format: GraphFormat) -> u64 {
         d
     }
     match format {
-        GraphFormat::EdgeListFormat => el
-            .edges
-            .iter()
-            .map(|e| digits(e.src as u64) + digits(e.dst as u64) + 2)
-            .sum(),
+        GraphFormat::EdgeListFormat => {
+            el.edges.iter().map(|e| digits(e.src as u64) + digits(e.dst as u64) + 2).sum()
+        }
         GraphFormat::Adj | GraphFormat::AdjLong => {
             let n = el.num_vertices as usize;
             let mut deg = vec![0u64; n];

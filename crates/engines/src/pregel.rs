@@ -13,7 +13,7 @@
 //! * four mappers per machine, i.e. all 4 cores compute.
 
 use crate::bsp::{run_bsp, BspConfig};
-use crate::programs::{KHopProgram, PageRankProgram, SsspProgram, WccProgram};
+use crate::programs::{wcc_labels, KHopProgram, PageRankProgram, SsspProgram, WccProgram};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::{Workload, WorkloadResult};
 use graphbench_graph::format::GraphFormat;
@@ -35,7 +35,11 @@ pub struct Giraph {
 
 impl Engine for Giraph {
     fn short_name(&self) -> String {
-        if self.native_constants { "G(C++)".into() } else { "G".into() }
+        if self.native_constants {
+            "G(C++)".into()
+        } else {
+            "G".into()
+        }
     }
 
     fn name(&self) -> String {
@@ -130,10 +134,9 @@ fn execute(
         Workload::Wcc => {
             // Reverse edges materialize as boxed objects in a multimap
             // (compact arrays under the hypothetical native build).
-            let mut prog =
-                WccProgram::new(n, if engine.native_constants { 8 } else { 75 });
+            let mut prog = WccProgram::new(n, if engine.native_constants { 8 } else { 75 });
             let out = run_bsp(cluster, input.graph, &part, &mut prog, &cfg)?;
-            WorkloadResult::Labels(out.states)
+            WorkloadResult::Labels(wcc_labels(out.states))
         }
         Workload::Sssp { source } => {
             let mut prog = SsspProgram::new(source);
@@ -218,20 +221,11 @@ mod tests {
         let ds = twitter_tiny();
         let src = ds.1.out_neighbors(0).first().copied().unwrap_or(0);
         let wcc = Giraph::default().run(&input(&ds, Workload::Wcc, 4, 1 << 30));
-        assert_eq!(
-            wcc.result.unwrap(),
-            WorkloadResult::Labels(reference::wcc(&ds.1))
-        );
+        assert_eq!(wcc.result.unwrap(), WorkloadResult::Labels(reference::wcc(&ds.1)));
         let sssp = Giraph::default().run(&input(&ds, Workload::Sssp { source: src }, 4, 1 << 30));
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, src))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, src)));
         let khop = Giraph::default().run(&input(&ds, Workload::khop3(src), 4, 1 << 30));
-        assert_eq!(
-            khop.result.unwrap(),
-            WorkloadResult::Distances(reference::khop(&ds.1, src, 3))
-        );
+        assert_eq!(khop.result.unwrap(), WorkloadResult::Distances(reference::khop(&ds.1, src, 3)));
     }
 
     #[test]

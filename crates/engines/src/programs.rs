@@ -8,11 +8,10 @@ use graphbench_graph::{CsrGraph, VertexId};
 
 /// Synchronous PageRank (§3.1): superstep 0 scatters the initial ranks;
 /// superstep `s >= 1` applies `pr = δ + (1 - δ) Σ msgs` and scatters again.
-/// Stops on the tolerance aggregated at the master, or a fixed iteration
-/// count.
+/// Stops on the tolerance aggregated at the master (via the runtime's
+/// max-aggregator), or a fixed iteration count.
 pub struct PageRankProgram {
     cfg: PageRankConfig,
-    max_delta: f64,
     /// Custom initial ranks (Blogel-B seeds the vertex phase with
     /// `local_pr(v) * block_pr(b)`, §3.1.2); `None` = all ones.
     init_ranks: Option<Vec<f64>>,
@@ -20,12 +19,12 @@ pub struct PageRankProgram {
 
 impl PageRankProgram {
     pub fn new(cfg: PageRankConfig) -> Self {
-        PageRankProgram { cfg, max_delta: 0.0, init_ranks: None }
+        PageRankProgram { cfg, init_ranks: None }
     }
 
     /// Start from the given per-vertex ranks instead of 1.0.
     pub fn with_init(cfg: PageRankConfig, init_ranks: Vec<f64>) -> Self {
-        PageRankProgram { cfg, max_delta: 0.0, init_ranks: Some(init_ranks) }
+        PageRankProgram { cfg, init_ranks: Some(init_ranks) }
     }
 }
 
@@ -39,17 +38,17 @@ impl VertexProgram for PageRankProgram {
     }
 
     fn compute(
-        &mut self,
+        &self,
         ctx: &mut Ctx<'_, f64>,
         g: &CsrGraph,
         v: VertexId,
         value: &mut f64,
-        msgs: &[f64],
+        msgs: &[(VertexId, f64)],
     ) -> bool {
         if ctx.superstep > 0 {
-            let sum: f64 = msgs.iter().sum();
+            let sum: f64 = msgs.iter().map(|&(_, m)| m).sum();
             let new = self.cfg.damping + (1.0 - self.cfg.damping) * sum;
-            self.max_delta = self.max_delta.max((new - *value).abs());
+            ctx.aggregate_max((new - *value).abs());
             *value = new;
         }
         let deg = g.out_degree(v);
@@ -66,11 +65,10 @@ impl VertexProgram for PageRankProgram {
         a + b
     }
 
-    fn finished(&mut self, superstep: u64) -> bool {
-        let delta = std::mem::replace(&mut self.max_delta, 0.0);
+    fn finished(&mut self, superstep: u64, max_aggregate: f64) -> bool {
         match self.cfg.stop {
             // Superstep 0 performs no update; deltas exist from superstep 1.
-            StopCriterion::Tolerance(tol) => superstep >= 1 && delta < tol,
+            StopCriterion::Tolerance(tol) => superstep >= 1 && max_aggregate < tol,
             StopCriterion::Iterations(k) => superstep >= k as u64,
         }
     }
@@ -80,39 +78,45 @@ impl VertexProgram for PageRankProgram {
     }
 }
 
+/// Per-vertex WCC state: the current component label plus the reverse edges
+/// discovered in superstep 0 (the Giraph/Blogel materialization, charged via
+/// [`Ctx::alloc`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WccState {
+    pub label: VertexId,
+    pub in_nbrs: Vec<VertexId>,
+}
+
 /// HashMin WCC with in-neighbour discovery (§3.2, §5.8): superstep 0 sends
 /// vertex ids along out-edges so receivers can create reverse edges (these
 /// messages must not be combined); afterwards the minimum label propagates
 /// over the now-undirected adjacency.
 pub struct WccProgram {
-    /// Discovered in-neighbours per vertex (the reverse edges Giraph/Blogel
-    /// materialize, at a memory cost charged via `Ctx::alloc`).
-    in_nbrs: Vec<Vec<VertexId>>,
     /// Bytes charged per stored reverse edge.
     bytes_per_edge: u64,
 }
 
 impl WccProgram {
-    pub fn new(num_vertices: usize, bytes_per_edge: u64) -> Self {
-        WccProgram { in_nbrs: vec![Vec::new(); num_vertices], bytes_per_edge }
+    pub fn new(_num_vertices: usize, bytes_per_edge: u64) -> Self {
+        WccProgram { bytes_per_edge }
     }
 }
 
 impl VertexProgram for WccProgram {
-    type Value = VertexId;
+    type Value = WccState;
     type Msg = VertexId;
 
-    fn init(&mut self, v: VertexId, _g: &CsrGraph) -> (VertexId, bool) {
-        (v, true)
+    fn init(&mut self, v: VertexId, _g: &CsrGraph) -> (WccState, bool) {
+        (WccState { label: v, in_nbrs: Vec::new() }, true)
     }
 
     fn compute(
-        &mut self,
+        &self,
         ctx: &mut Ctx<'_, VertexId>,
         g: &CsrGraph,
         v: VertexId,
-        value: &mut VertexId,
-        msgs: &[VertexId],
+        value: &mut WccState,
+        msgs: &[(VertexId, VertexId)],
     ) -> bool {
         match ctx.superstep {
             0 => {
@@ -126,33 +130,33 @@ impl VertexProgram for WccProgram {
             }
             1 => {
                 // Store reverse edges and start HashMin.
-                for &u in msgs {
-                    self.in_nbrs[v as usize].push(u);
+                for &(_, u) in msgs {
+                    value.in_nbrs.push(u);
                     ctx.alloc(self.bytes_per_edge);
                 }
-                let mut label = *value;
-                for &u in msgs {
+                let mut label = value.label;
+                for &(_, u) in msgs {
                     label = label.min(u);
                 }
-                *value = label;
+                value.label = label;
                 for &t in g.out_neighbors(v) {
                     ctx.send(t, label);
                 }
-                for i in 0..self.in_nbrs[v as usize].len() {
-                    let t = self.in_nbrs[v as usize][i];
+                for i in 0..value.in_nbrs.len() {
+                    let t = value.in_nbrs[i];
                     ctx.send(t, label);
                 }
                 false
             }
             _ => {
-                let m = msgs.iter().copied().min().unwrap_or(*value);
-                if m < *value {
-                    *value = m;
+                let m = msgs.iter().map(|&(_, u)| u).min().unwrap_or(value.label);
+                if m < value.label {
+                    value.label = m;
                     for &t in g.out_neighbors(v) {
                         ctx.send(t, m);
                     }
-                    for i in 0..self.in_nbrs[v as usize].len() {
-                        let t = self.in_nbrs[v as usize][i];
+                    for i in 0..value.in_nbrs.len() {
+                        let t = value.in_nbrs[i];
                         ctx.send(t, m);
                     }
                 }
@@ -173,6 +177,11 @@ impl VertexProgram for WccProgram {
     fn wire_bytes(&self) -> u64 {
         4
     }
+}
+
+/// Extract the component labels from a WCC run's final states.
+pub fn wcc_labels(states: Vec<WccState>) -> Vec<VertexId> {
+    states.into_iter().map(|s| s.label).collect()
 }
 
 /// BFS SSSP over directed out-edges (§3.3), unit weights.
@@ -199,14 +208,14 @@ impl VertexProgram for SsspProgram {
     }
 
     fn compute(
-        &mut self,
+        &self,
         ctx: &mut Ctx<'_, u32>,
         g: &CsrGraph,
         v: VertexId,
         value: &mut u32,
-        msgs: &[u32],
+        msgs: &[(VertexId, u32)],
     ) -> bool {
-        let best = msgs.iter().copied().min().unwrap_or(*value).min(*value);
+        let best = msgs.iter().map(|&(_, m)| m).min().unwrap_or(*value).min(*value);
         if best < *value || (ctx.superstep == 0 && v == self.source) {
             *value = best;
             for &t in g.out_neighbors(v) {
@@ -251,14 +260,14 @@ impl VertexProgram for KHopProgram {
     }
 
     fn compute(
-        &mut self,
+        &self,
         ctx: &mut Ctx<'_, u32>,
         g: &CsrGraph,
         v: VertexId,
         value: &mut u32,
-        msgs: &[u32],
+        msgs: &[(VertexId, u32)],
     ) -> bool {
-        let best = msgs.iter().copied().min().unwrap_or(*value).min(*value);
+        let best = msgs.iter().map(|&(_, m)| m).min().unwrap_or(*value).min(*value);
         if best < *value || (ctx.superstep == 0 && v == self.source) {
             *value = best;
             if best < self.k {
@@ -342,10 +351,11 @@ mod tests {
     fn wcc_matches_reference_with_direction_blindness() {
         let g = test_graph();
         let mut prog = WccProgram::new(g.num_vertices(), 8);
-        let (labels, _) = exec(&g, &mut prog, 3);
+        let (states, _) = exec(&g, &mut prog, 3);
+        let labels: Vec<VertexId> = states.iter().map(|s| s.label).collect();
         assert_eq!(labels, reference::wcc(&g));
         // Reverse edges were discovered: vertex 2 has in-neighbours 1, 0, 3.
-        let mut nbrs = prog.in_nbrs[2].clone();
+        let mut nbrs = states[2].in_nbrs.clone();
         nbrs.sort_unstable();
         assert_eq!(nbrs, vec![0, 1, 3]);
     }
@@ -356,8 +366,8 @@ mod tests {
         // over discovered reverse edges.
         let g = csr_from_pairs(&[(4, 3), (3, 2), (2, 1), (1, 0)]);
         let mut prog = WccProgram::new(5, 8);
-        let (labels, supersteps) = exec(&g, &mut prog, 2);
-        assert_eq!(labels, vec![0, 0, 0, 0, 0]);
+        let (states, supersteps) = exec(&g, &mut prog, 2);
+        assert_eq!(wcc_labels(states), vec![0, 0, 0, 0, 0]);
         assert!(supersteps >= 5, "supersteps {supersteps}");
     }
 
@@ -388,8 +398,8 @@ mod tests {
     fn results_stable_across_machine_counts() {
         let g = test_graph();
         for machines in [1, 2, 5] {
-            let (labels, _) = exec(&g, &mut WccProgram::new(g.num_vertices(), 8), machines);
-            assert_eq!(labels, reference::wcc(&g), "machines {machines}");
+            let (states, _) = exec(&g, &mut WccProgram::new(g.num_vertices(), 8), machines);
+            assert_eq!(wcc_labels(states), reference::wcc(&g), "machines {machines}");
             let (dist, _) = exec(&g, &mut SsspProgram::new(0), machines);
             assert_eq!(dist, reference::sssp(&g, 0), "machines {machines}");
         }

@@ -55,13 +55,9 @@ fn execute(
     cluster.begin_phase(Phase::Load);
     let bytes = dataset_bytes(input.edges, GraphFormat::Adj);
     cluster.local_read(&even_share(bytes, 1))?;
-    let needs_in_edges = matches!(
-        input.workload,
-        Workload::PageRank(_) | Workload::Sssp { .. }
-    );
+    let needs_in_edges = matches!(input.workload, Workload::PageRank(_) | Workload::Sssp { .. });
     let mut g = input.graph.clone();
-    let mut resident = n as u64 * profile.bytes_per_vertex
-        + g.num_edges() * profile.bytes_per_edge;
+    let mut resident = n as u64 * profile.bytes_per_vertex + g.num_edges() * profile.bytes_per_edge;
     if needs_in_edges {
         // Pull-based PageRank and direction-optimizing BFS index both
         // directions — the memory premium the paper notes (112 GB for WRN).
@@ -149,10 +145,7 @@ mod tests {
         let wcc = SingleThread.run(&input(&ds, Workload::Wcc));
         assert_eq!(wcc.result.unwrap(), WorkloadResult::Labels(reference::wcc(&ds.1)));
         let sssp = SingleThread.run(&input(&ds, Workload::Sssp { source: 0 }));
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, 0))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, 0)));
     }
 
     #[test]

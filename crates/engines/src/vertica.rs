@@ -22,6 +22,7 @@
 //! systems widens as machines are added — the paper's refutation of the
 //! "relational engines are competitive" claim.
 
+use crate::exec;
 use crate::{even_share, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -63,6 +64,12 @@ fn catalog_op_secs(machines: usize) -> f64 {
 /// connection to every other machine.
 fn shuffle_setup_secs(machines: usize) -> f64 {
     0.005 * machines as f64
+}
+/// Split `n` items into exactly `machines` contiguous chunks — the unit of
+/// host-parallel fan-out for the table scans below. Boundaries depend only
+/// on the simulated machine count, never on the host thread count.
+fn chunk_range(c: usize, machines: usize, n: usize) -> (usize, usize) {
+    (c * n / machines, (c + 1) * n / machines)
 }
 
 impl Engine for Vertica {
@@ -184,7 +191,8 @@ fn execute(
     cluster.begin_phase(Phase::Load);
     let edge_table_bytes = m * EDGE_ROW_BYTES;
     let vertex_table_bytes = n as u64 * VERTEX_ROW_BYTES;
-    let raw = crate::dataset_bytes(input.edges, graphbench_graph::format::GraphFormat::EdgeListFormat);
+    let raw =
+        crate::dataset_bytes(input.edges, graphbench_graph::format::GraphFormat::EdgeListFormat);
     cluster.local_read(&even_share(raw, machines))?;
     // Segmentation shuffle: rows move to their hash machine.
     let moved = raw - raw / machines as u64;
@@ -242,6 +250,7 @@ fn sql_pagerank(
     let g = input.graph;
     let n = g.num_vertices();
     let mut ranks = vec![1.0f64; n];
+    let mut incoming = vec![0.0f64; n];
     let (tol, max_iters) = match cfg.stop {
         StopCriterion::Tolerance(t) => (t, u32::MAX),
         StopCriterion::Iterations(k) => (0.0, k),
@@ -254,16 +263,30 @@ fn sql_pagerank(
         ctx.charge_statement(cluster)?;
         // SELECT dst, SUM(rank/outdeg) FROM V JOIN E ... GROUP BY dst, then
         // refresh V (every rank changes, so the adaptive policy rebuilds).
+        // The aggregation fans out across host workers over fixed contiguous
+        // source chunks; partial SUM vectors fold in chunk order so the
+        // ranks are identical at any host thread count.
         ctx.charge_join(cluster, g.num_edges())?;
-        let mut incoming = vec![0.0f64; n];
-        for v in 0..n as VertexId {
-            let deg = g.out_degree(v);
-            if deg == 0 {
-                continue;
+        let ranks_r = &ranks;
+        let partials: Vec<Vec<f64>> = exec::for_machines(ctx.machines, |c| {
+            let (lo, hi) = chunk_range(c, ctx.machines, n);
+            let mut part = vec![0.0f64; n];
+            for v in lo..hi {
+                let deg = g.out_degree(v as VertexId);
+                if deg == 0 {
+                    continue;
+                }
+                let share = ranks_r[v] / deg as f64;
+                for &t in g.out_neighbors(v as VertexId) {
+                    part[t as usize] += share;
+                }
             }
-            let share = ranks[v as usize] / deg as f64;
-            for &t in g.out_neighbors(v) {
-                incoming[t as usize] += share;
+            part
+        });
+        incoming.fill(0.0);
+        for part in &partials {
+            for (acc, p) in incoming.iter_mut().zip(part) {
+                *acc += p;
             }
         }
         let mut max_delta = 0.0f64;
@@ -293,17 +316,37 @@ fn sql_wcc(
     loop {
         ctx.charge_statement(cluster)?;
         // HashMin over both directions needs a union of E and reversed E.
+        // Workers scan fixed contiguous source chunks, min-folding into a
+        // private copy of the labels; the partials min-merge in chunk order
+        // (min is order-independent, so host thread count cannot matter).
         ctx.charge_join(cluster, 2 * g.num_edges())?;
+        let label_r = &label;
+        let partials: Vec<(Vec<VertexId>, u64)> = exec::for_machines(ctx.machines, |c| {
+            let (lo, hi) = chunk_range(c, ctx.machines, n);
+            let mut part = label_r.clone();
+            let mut part_updated = 0u64;
+            for s in lo..hi {
+                for &d in g.out_neighbors(s as VertexId) {
+                    if label_r[s] < part[d as usize] {
+                        part[d as usize] = label_r[s];
+                        part_updated += 1;
+                    }
+                    if label_r[d as usize] < part[s] {
+                        part[s] = label_r[d as usize];
+                        part_updated += 1;
+                    }
+                }
+            }
+            (part, part_updated)
+        });
         let mut next = label.clone();
         let mut updated = 0u64;
-        for (s, d) in g.edges() {
-            if label[s as usize] < next[d as usize] {
-                next[d as usize] = label[s as usize];
-                updated += 1;
-            }
-            if label[d as usize] < next[s as usize] {
-                next[s as usize] = label[d as usize];
-                updated += 1;
+        for (part, count) in &partials {
+            updated += count;
+            for (nx, &p) in next.iter_mut().zip(part) {
+                if p < *nx {
+                    *nx = p;
+                }
             }
         }
         label = next;
@@ -336,12 +379,27 @@ fn sql_traversal(
         // table refresh touches few rows (the update-in-place case, §2.6).
         let emitted: u64 = frontier.iter().map(|&v| g.out_degree(v)).sum();
         ctx.charge_join(cluster, emitted)?;
+        // Workers expand fixed contiguous chunks of the frontier against the
+        // frozen distance table; discoveries apply in chunk order, which
+        // reproduces the serial visit order exactly (first touch wins).
+        let (frontier_r, dist_r) = (&frontier, &dist);
+        let partials: Vec<Vec<VertexId>> = exec::for_machines(ctx.machines, |c| {
+            let (lo, hi) = chunk_range(c, ctx.machines, frontier_r.len());
+            let mut found = Vec::new();
+            for &v in &frontier_r[lo..hi] {
+                for &t in g.out_neighbors(v) {
+                    if dist_r[t as usize] == UNREACHABLE {
+                        found.push(t);
+                    }
+                }
+            }
+            found
+        });
         let mut next = Vec::new();
-        for &v in &frontier {
-            let d = dist[v as usize];
-            for &t in g.out_neighbors(v) {
+        for found in partials {
+            for t in found {
                 if dist[t as usize] == UNREACHABLE {
-                    dist[t as usize] = d + 1;
+                    dist[t as usize] = depth + 1;
                     next.push(t);
                 }
             }
@@ -405,15 +463,9 @@ mod tests {
         let wcc = Vertica::default().run(&input(&ds, Workload::Wcc, 4));
         assert_eq!(wcc.result.unwrap(), WorkloadResult::Labels(reference::wcc(&ds.1)));
         let sssp = Vertica::default().run(&input(&ds, Workload::Sssp { source: 0 }, 4));
-        assert_eq!(
-            sssp.result.unwrap(),
-            WorkloadResult::Distances(reference::sssp(&ds.1, 0))
-        );
+        assert_eq!(sssp.result.unwrap(), WorkloadResult::Distances(reference::sssp(&ds.1, 0)));
         let khop = Vertica::default().run(&input(&ds, Workload::khop3(0), 4));
-        assert_eq!(
-            khop.result.unwrap(),
-            WorkloadResult::Distances(reference::khop(&ds.1, 0, 3))
-        );
+        assert_eq!(khop.result.unwrap(), WorkloadResult::Distances(reference::khop(&ds.1, 0, 3)));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use graphbench_engines::blogel::{BlogelB, BlogelV};
 use graphbench_engines::gas::GraphLab;
 use graphbench_engines::gelly::Gelly;
 use graphbench_engines::graphx::GraphX;
-use graphbench_engines::hadoop::{Hadoop, HaLoop};
+use graphbench_engines::hadoop::{HaLoop, Hadoop};
 use graphbench_engines::pregel::Giraph;
 use graphbench_engines::single::SingleThread;
 use graphbench_engines::vertica::Vertica;
@@ -47,12 +47,7 @@ fn run_all(el: &EdgeList, workload: Workload) -> Vec<(String, WorkloadResult)> {
                 seed: 3,
                 scale: ScaleInfo::actual(el),
             });
-            assert!(
-                out.metrics.status.is_ok(),
-                "{}: {:?}",
-                e.short_name(),
-                out.metrics.status
-            );
+            assert!(out.metrics.status.is_ok(), "{}: {:?}", e.short_name(), out.metrics.status);
             (e.short_name(), out.result.expect("successful runs return results"))
         })
         .collect()
@@ -118,12 +113,7 @@ fn more_machines_than_vertices() {
             scale: ScaleInfo::actual(&el),
         });
         assert!(out.metrics.status.is_ok(), "{}", e.short_name());
-        assert_eq!(
-            out.result.unwrap(),
-            WorkloadResult::Labels(vec![0, 0]),
-            "{}",
-            e.short_name()
-        );
+        assert_eq!(out.result.unwrap(), WorkloadResult::Labels(vec![0, 0]), "{}", e.short_name());
     }
 }
 

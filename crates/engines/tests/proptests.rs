@@ -2,10 +2,12 @@
 //! on arbitrary graphs, machine counts, and seeds — partitioning and
 //! distribution must never change results.
 
-use graphbench_engines::bsp::{run_bsp, BspConfig};
-use graphbench_engines::programs::{KHopProgram, PageRankProgram, SsspProgram, WccProgram};
-use graphbench_algos::workload::PageRankConfig;
 use graphbench_algos::reference;
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_engines::bsp::{run_bsp, BspConfig};
+use graphbench_engines::programs::{
+    wcc_labels, KHopProgram, PageRankProgram, SsspProgram, WccProgram,
+};
 use graphbench_graph::builder::csr_from_pairs;
 use graphbench_graph::CsrGraph;
 use graphbench_partition::EdgeCutPartition;
@@ -29,7 +31,7 @@ proptest! {
         let mut cl = cluster(machines);
         let mut prog = WccProgram::new(g.num_vertices(), 8);
         let out = run_bsp(&mut cl, &g, &part, &mut prog, &BspConfig::default()).unwrap();
-        prop_assert_eq!(out.states, reference::wcc(&g));
+        prop_assert_eq!(wcc_labels(out.states), reference::wcc(&g));
         // Transient message memory is returned; only the permanently
         // materialized reverse edges (8 B each, charged via Ctx::alloc)
         // may remain resident.
@@ -92,9 +94,9 @@ proptest! {
         let single = {
             let part = EdgeCutPartition::random(g.num_vertices() as u64, 1, seed);
             let mut cl = cluster(1);
-            run_bsp(&mut cl, &g, &part, &mut WccProgram::new(g.num_vertices(), 8), &BspConfig::default())
-                .unwrap()
-                .states
+            let out = run_bsp(&mut cl, &g, &part, &mut WccProgram::new(g.num_vertices(), 8), &BspConfig::default())
+                .unwrap();
+            wcc_labels(out.states)
         };
         for machines in [2usize, 5, 8] {
             let part = EdgeCutPartition::random(g.num_vertices() as u64, machines, seed);
@@ -107,7 +109,7 @@ proptest! {
                 &BspConfig::default(),
             )
             .unwrap();
-            prop_assert_eq!(&out.states, &single, "machines {}", machines);
+            prop_assert_eq!(&wcc_labels(out.states), &single, "machines {}", machines);
         }
     }
 }
@@ -121,9 +123,10 @@ mod fault_tolerance {
     use graphbench_gen::{Dataset, DatasetKind, Scale};
     use graphbench_sim::{ClusterSpec, FaultSpec};
 
-    fn input(ds: &(graphbench_graph::EdgeList, graphbench_graph::CsrGraph), fault_at: Option<f64>)
-        -> EngineInput<'_>
-    {
+    fn input(
+        ds: &(graphbench_graph::EdgeList, graphbench_graph::CsrGraph),
+        fault_at: Option<f64>,
+    ) -> EngineInput<'_> {
         let mut cluster = ClusterSpec::r3_xlarge(8, 1 << 30);
         cluster.work_scale = 10_000.0; // make execution long enough to fault into
         cluster.fault = fault_at.map(|at_time| FaultSpec { at_time, machine: 3 });
@@ -162,11 +165,8 @@ mod fault_tolerance {
         assert_eq!(clean.result, ckpt.result);
         // The failure costs time; checkpointing reduces the damage but the
         // checkpoints themselves are not free.
-        let (t_clean, t_restart, t_ckpt) = (
-            clean.metrics.total_time(),
-            restart.metrics.total_time(),
-            ckpt.metrics.total_time(),
-        );
+        let (t_clean, t_restart, t_ckpt) =
+            (clean.metrics.total_time(), restart.metrics.total_time(), ckpt.metrics.total_time());
         assert!(t_restart > t_clean, "restart {t_restart} vs clean {t_clean}");
         assert!(t_ckpt < t_restart, "ckpt {t_ckpt} vs restart {t_restart}");
         assert!(t_ckpt > t_clean, "ckpt {t_ckpt} vs clean {t_clean}");
@@ -180,8 +180,7 @@ mod fault_tolerance {
         let faulted = Hadoop.run(&input(&ds, Some(fault_at)));
         assert!(clean.metrics.status.is_ok() && faulted.metrics.status.is_ok());
         assert_eq!(clean.result, faulted.result);
-        let overhead =
-            faulted.metrics.total_time() / clean.metrics.total_time();
+        let overhead = faulted.metrics.total_time() / clean.metrics.total_time();
         // Re-execution loses at most one iteration slice: single-digit
         // percent, not a rollback of the whole run.
         assert!(overhead < 1.10, "overhead factor {overhead}");

@@ -105,12 +105,8 @@ impl Dataset {
                 // we use 10x to keep runtimes tractable while preserving the
                 // vertex-heavy, low-degree, huge-diameter character).
                 let side = ((10 * b) as f64).sqrt().round() as u32;
-                let rn = road_network(&RoadConfig {
-                    width: side,
-                    height: side,
-                    keep_prob: 0.75,
-                    seed,
-                });
+                let rn =
+                    road_network(&RoadConfig { width: side, height: side, keep_prob: 0.75, seed });
                 Dataset { kind, edges: rn.edges, coords: Some(rn.coords), hosts: None, seed }
             }
             DatasetKind::Uk0705 => {

@@ -36,7 +36,14 @@ pub struct PowerLawConfig {
 
 impl Default for PowerLawConfig {
     fn default() -> Self {
-        PowerLawConfig { num_vertices: 10_000, num_edges: 300_000, alpha: 0.85, offset: 3.0, connect: true, seed: 42 }
+        PowerLawConfig {
+            num_vertices: 10_000,
+            num_edges: 300_000,
+            alpha: 0.85,
+            offset: 3.0,
+            connect: true,
+            seed: 42,
+        }
     }
 }
 
@@ -156,8 +163,12 @@ mod tests {
         let el = gen(0.85, false);
         let g = CsrGraph::from_edge_list(&el);
         let s = stats::compute_stats(&g);
-        assert!(s.max_out_degree as f64 > 25.0 * s.avg_out_degree,
-            "max {} avg {}", s.max_out_degree, s.avg_out_degree);
+        assert!(
+            s.max_out_degree as f64 > 25.0 * s.avg_out_degree,
+            "max {} avg {}",
+            s.max_out_degree,
+            s.avg_out_degree
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ pub fn road_network(cfg: &RoadConfig) -> RoadNetwork {
             }
         }
     }
-    let coords = (0..cfg.height)
-        .flat_map(|y| (0..cfg.width).map(move |x| (x, y)))
-        .collect();
+    let coords = (0..cfg.height).flat_map(|y| (0..cfg.width).map(move |x| (x, y))).collect();
     RoadNetwork { edges: el, coords }
 }
 

@@ -102,8 +102,7 @@ pub fn web_graph(cfg: &WebConfig) -> WebGraph {
         let j = rng.gen_range(0..=i);
         rank.swap(i, j);
     }
-    let weights: Vec<f64> =
-        (0..n).map(|i| ((rank[i] + 1) as f64).powf(-cfg.alpha)).collect();
+    let weights: Vec<f64> = (0..n).map(|i| ((rank[i] + 1) as f64).powf(-cfg.alpha)).collect();
     let global = AliasTable::new(&weights);
 
     let self_edges = (cfg.num_edges as f64 * cfg.self_edge_fraction).round() as u64;

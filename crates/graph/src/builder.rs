@@ -87,11 +87,7 @@ impl GraphBuilder {
 /// Convenience: build an [`EdgeList`] from `(src, dst)` pairs, inferring the
 /// vertex count as `max id + 1`. Intended for tests and examples.
 pub fn edge_list_from_pairs(pairs: &[(VertexId, VertexId)]) -> EdgeList {
-    let n = pairs
-        .iter()
-        .map(|&(s, d)| s.max(d) as u64 + 1)
-        .max()
-        .unwrap_or(0);
+    let n = pairs.iter().map(|&(s, d)| s.max(d) as u64 + 1).max().unwrap_or(0);
     let mut el = EdgeList::with_capacity(n, pairs.len());
     for &(s, d) in pairs {
         el.push(s, d);

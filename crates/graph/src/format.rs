@@ -253,6 +253,8 @@ mod tests {
     #[test]
     fn adj_is_most_concise_for_dense_out_lists() {
         let el = edge_list_from_pairs(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        assert!(encoded_size(&el, GraphFormat::Adj) < encoded_size(&el, GraphFormat::EdgeListFormat));
+        assert!(
+            encoded_size(&el, GraphFormat::Adj) < encoded_size(&el, GraphFormat::EdgeListFormat)
+        );
     }
 }

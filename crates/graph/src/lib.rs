@@ -49,11 +49,12 @@ impl std::fmt::Display for GraphError {
             GraphError::VertexOutOfRange { vertex, num_vertices } => {
                 write!(f, "vertex id {vertex} out of range (graph has {num_vertices} vertices)")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
-            GraphError::BadNeighbourCount { line, declared, actual } => write!(
-                f,
-                "line {line}: declared {declared} neighbours but found {actual}"
-            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::BadNeighbourCount { line, declared, actual } => {
+                write!(f, "line {line}: declared {declared} neighbours but found {actual}")
+            }
         }
     }
 }

@@ -16,9 +16,7 @@ impl EdgeCutPartition {
     /// Hash-partition `num_vertices` vertices onto `machines` machines.
     pub fn random(num_vertices: u64, machines: usize, seed: u64) -> Self {
         assert!(machines > 0 && machines <= MachineId::MAX as usize + 1);
-        let assignment = (0..num_vertices)
-            .map(|v| hash_to_machine(v, seed, machines))
-            .collect();
+        let assignment = (0..num_vertices).map(|v| hash_to_machine(v, seed, machines)).collect();
         EdgeCutPartition { assignment, machines }
     }
 
@@ -67,10 +65,7 @@ impl EdgeCutPartition {
         if g.num_edges() == 0 {
             return 0.0;
         }
-        let cut = g
-            .edges()
-            .filter(|&(s, d)| self.machine_of(s) != self.machine_of(d))
-            .count();
+        let cut = g.edges().filter(|&(s, d)| self.machine_of(s) != self.machine_of(d)).count();
         cut as f64 / g.num_edges() as f64
     }
 }

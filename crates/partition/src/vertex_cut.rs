@@ -114,8 +114,8 @@ impl VertexCutPartition {
         let edge_assignment = match resolved {
             VertexCutStrategy::Random => assign_random(el, machines, seed),
             VertexCutStrategy::Grid => {
-                let (x, y) = grid_shape(machines)
-                    .ok_or(VertexCutError::GridUnavailable { machines })?;
+                let (x, y) =
+                    grid_shape(machines).ok_or(VertexCutError::GridUnavailable { machines })?;
                 assign_constrained(el, machines, seed, &grid_candidates(x, y))
             }
             VertexCutStrategy::Grid2D => {
@@ -302,10 +302,8 @@ fn grid_candidates(x: usize, y: usize) -> Vec<Vec<MachineId>> {
 fn pds_candidates(set: &[u16], machines: usize) -> Vec<Vec<MachineId>> {
     (0..machines)
         .map(|m| {
-            let mut cands: Vec<MachineId> = set
-                .iter()
-                .map(|&s| ((m + s as usize) % machines) as MachineId)
-                .collect();
+            let mut cands: Vec<MachineId> =
+                set.iter().map(|&s| ((m + s as usize) % machines) as MachineId).collect();
             cands.sort_unstable();
             cands
         })
@@ -359,9 +357,9 @@ fn assign_oblivious(el: &EdgeList, machines: usize, _seed: u64) -> Vec<MachineId
     let mut replica_sets: Vec<Vec<MachineId>> = vec![Vec::new(); n];
     let mut loads = vec![0u64; machines];
     let mut out = Vec::with_capacity(el.edges.len());
-    let least_loaded = |set: &mut dyn Iterator<Item = MachineId>, loads: &[u64]| -> Option<MachineId> {
-        set.min_by_key(|&m| (loads[m as usize], m))
-    };
+    let least_loaded = |set: &mut dyn Iterator<Item = MachineId>,
+                        loads: &[u64]|
+     -> Option<MachineId> { set.min_by_key(|&m| (loads[m as usize], m)) };
     for e in &el.edges {
         let (u, v) = (e.src as usize, e.dst as usize);
         let pick = {
@@ -437,11 +435,9 @@ mod tests {
     #[test]
     fn every_edge_assigned_and_replicas_cover_endpoints() {
         let el = skewed();
-        for strat in [
-            VertexCutStrategy::Random,
-            VertexCutStrategy::Grid,
-            VertexCutStrategy::Oblivious,
-        ] {
+        for strat in
+            [VertexCutStrategy::Random, VertexCutStrategy::Grid, VertexCutStrategy::Oblivious]
+        {
             let p = VertexCutPartition::build(&el, 16, strat, 1).unwrap();
             assert_eq!(p.edge_assignment().len(), el.edges.len());
             for (i, e) in el.edges.iter().enumerate() {
@@ -481,11 +477,7 @@ mod tests {
     #[test]
     fn smarter_strategies_beat_random_on_skewed_graphs() {
         let el = skewed();
-        let rf = |s| {
-            VertexCutPartition::build(&el, 16, s, 1)
-                .unwrap()
-                .replication_factor()
-        };
+        let rf = |s| VertexCutPartition::build(&el, 16, s, 1).unwrap().replication_factor();
         let random = rf(VertexCutStrategy::Random);
         let grid = rf(VertexCutStrategy::Grid);
         let obl = rf(VertexCutStrategy::Oblivious);

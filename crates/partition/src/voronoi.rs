@@ -87,9 +87,8 @@ impl BlockPartition {
         let mut rate = cfg.sample_rate;
         let mut rounds = 0u32;
         for _ in 0..cfg.max_rounds {
-            let unassigned: Vec<VertexId> = (0..n as VertexId)
-                .filter(|&v| block_of[v as usize] == UNASSIGNED)
-                .collect();
+            let unassigned: Vec<VertexId> =
+                (0..n as VertexId).filter(|&v| block_of[v as usize] == UNASSIGNED).collect();
             if unassigned.is_empty() {
                 break;
             }
@@ -141,13 +140,7 @@ impl BlockPartition {
             machine_of_block[b] = m as MachineId;
             loads[m] += blocks[b].len() as u64;
         }
-        BlockPartition {
-            block_of,
-            blocks,
-            machine_of_block,
-            rounds,
-            aggregate_items: n as u64,
-        }
+        BlockPartition { block_of, blocks, machine_of_block, rounds, aggregate_items: n as u64 }
     }
 
     pub fn num_blocks(&self) -> usize {

@@ -4,7 +4,9 @@
 use graphbench_graph::builder::edge_list_from_pairs;
 use graphbench_graph::VertexId;
 use graphbench_partition::pds::{is_perfect_difference_set, perfect_difference_set};
-use graphbench_partition::{BlockPartition, EdgeCutPartition, VertexCutPartition, VertexCutStrategy, VoronoiConfig};
+use graphbench_partition::{
+    BlockPartition, EdgeCutPartition, VertexCutPartition, VertexCutStrategy, VoronoiConfig,
+};
 use proptest::prelude::*;
 
 fn arb_edges() -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {

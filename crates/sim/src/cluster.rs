@@ -516,10 +516,7 @@ mod tests {
 
     #[test]
     fn startup_charges_profile_cost() {
-        let mut c = Cluster::new(
-            ClusterSpec::r3_xlarge(128, 1 << 30),
-            CostProfile::jvm_hadoop(),
-        );
+        let mut c = Cluster::new(ClusterSpec::r3_xlarge(128, 1 << 30), CostProfile::jvm_hadoop());
         c.charge_startup().unwrap();
         assert!(c.elapsed() > 60.0);
     }

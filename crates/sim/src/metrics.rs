@@ -37,7 +37,10 @@ pub enum RunStatus {
     Ok,
     /// Failure, recorded with the paper's code ("OOM", "TO", "MPI", "SHFL")
     /// and a human-readable description.
-    Failed { code: String, detail: String },
+    Failed {
+        code: String,
+        detail: String,
+    },
 }
 
 impl RunStatus {

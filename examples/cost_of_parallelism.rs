@@ -6,9 +6,9 @@
 //! ```
 
 use graphbench::paper::PaperEnv;
+use graphbench::report::Table;
 use graphbench::runner::{ExperimentSpec, Runner};
 use graphbench::system::{GlStop, SystemId};
-use graphbench::report::Table;
 use graphbench_algos::WorkloadKind;
 use graphbench_gen::{DatasetKind, Scale};
 

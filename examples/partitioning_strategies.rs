@@ -23,8 +23,7 @@ fn main() {
                 VertexCutPartition::build(&ds.edges, machines, VertexCutStrategy::Random, 7)
                     .unwrap();
             let auto =
-                VertexCutPartition::build(&ds.edges, machines, VertexCutStrategy::Auto, 7)
-                    .unwrap();
+                VertexCutPartition::build(&ds.edges, machines, VertexCutStrategy::Auto, 7).unwrap();
             table.row(vec![
                 kind.name().into(),
                 machines.to_string(),

@@ -1,0 +1,101 @@
+//! The parallel executor's contract: host thread count changes scheduling
+//! only. Serialized [`graphbench::RunRecord`]s — simulated times, memory
+//! traces, message counts, results, everything the harness writes — must be
+//! bit-for-bit identical between `GRAPHBENCH_THREADS=1` and any other value.
+
+use graphbench::{ExperimentSpec, PaperEnv, Runner, SystemId};
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::{DatasetKind, Scale};
+use std::sync::Mutex;
+
+/// `exec::set_threads` is process-global and cargo runs tests concurrently;
+/// every test that flips the thread count serializes on this lock.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn record_json(threads: usize, spec: &ExperimentSpec) -> String {
+    let mut r = Runner::new(PaperEnv::new(Scale { base: 600 }, 11));
+    r.threads = Some(threads);
+    serde_json::to_string(&r.run(spec)).unwrap()
+}
+
+#[test]
+fn run_records_are_bit_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let systems =
+        [SystemId::BlogelV, SystemId::Gelly, SystemId::GraphX, SystemId::Hadoop, SystemId::Vertica];
+    let workloads = [WorkloadKind::Wcc, WorkloadKind::KHop];
+    for system in systems {
+        for workload in workloads {
+            let spec =
+                ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
+            let serial = record_json(1, &spec);
+            let parallel = record_json(4, &spec);
+            assert_eq!(
+                serial, parallel,
+                "{system:?}/{workload:?} diverged between 1 and 4 host threads"
+            );
+        }
+    }
+}
+
+mod parallel_bsp_equals_serial {
+    use super::THREADS_LOCK;
+    use graphbench_algos::reference;
+    use graphbench_engines::bsp::{run_bsp, BspConfig};
+    use graphbench_engines::exec;
+    use graphbench_engines::programs::{wcc_labels, SsspProgram, WccProgram};
+    use graphbench_graph::builder::csr_from_pairs;
+    use graphbench_graph::{CsrGraph, VertexId};
+    use graphbench_partition::EdgeCutPartition;
+    use graphbench_sim::{Cluster, ClusterSpec, CostProfile};
+    use proptest::prelude::*;
+
+    fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+        prop::collection::vec((0u32..25, 0u32..25), 1..120).prop_map(|pairs| csr_from_pairs(&pairs))
+    }
+
+    fn cluster(machines: usize) -> Cluster {
+        Cluster::new(ClusterSpec::r3_xlarge(machines, 1 << 30), CostProfile::cpp_mpi())
+    }
+
+    fn wcc(g: &CsrGraph, machines: usize, seed: u64) -> Vec<VertexId> {
+        let part = EdgeCutPartition::random(g.num_vertices() as u64, machines, seed);
+        let mut cl = cluster(machines);
+        let mut prog = WccProgram::new(g.num_vertices(), 8);
+        wcc_labels(run_bsp(&mut cl, g, &part, &mut prog, &BspConfig::default()).unwrap().states)
+    }
+
+    fn sssp(g: &CsrGraph, machines: usize, seed: u64, src: VertexId) -> Vec<u32> {
+        let part = EdgeCutPartition::random(g.num_vertices() as u64, machines, seed);
+        let mut cl = cluster(machines);
+        let mut prog = SsspProgram::new(src);
+        run_bsp(&mut cl, g, &part, &mut prog, &BspConfig::default()).unwrap().states
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn parallel_bsp_matches_serial_on_random_graphs(
+            g in arb_graph(),
+            machines in 1usize..9,
+            seed in 0u64..50,
+            src_raw in 0u32..25,
+        ) {
+            let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let src = src_raw % g.num_vertices() as u32;
+            exec::set_threads(1);
+            let wcc_serial = wcc(&g, machines, seed);
+            let sssp_serial = sssp(&g, machines, seed, src);
+            exec::set_threads(4);
+            let wcc_parallel = wcc(&g, machines, seed);
+            let sssp_parallel = sssp(&g, machines, seed, src);
+            exec::set_threads(1);
+            prop_assert_eq!(&wcc_serial, &wcc_parallel);
+            prop_assert_eq!(&sssp_serial, &sssp_parallel);
+            // And both agree with the single-threaded reference algorithms.
+            prop_assert_eq!(wcc_serial, reference::wcc(&g));
+            prop_assert_eq!(sssp_serial, reference::sssp(&g, src));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end checks of the paper's headline findings, exercised through the
+//! public crate APIs rather than engine-internal unit tests.
+
+use graphbench::{ExperimentSpec, PaperEnv, Runner, SystemId};
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_algos::{Workload, WorkloadKind};
+use graphbench_engines::{Engine, EngineInput, ScaleInfo};
+use graphbench_gen::{Dataset, DatasetKind, Scale};
+use graphbench_graph::{CsrGraph, EdgeList};
+use graphbench_sim::ClusterSpec;
+
+fn dataset(kind: DatasetKind) -> (EdgeList, CsrGraph) {
+    let d = Dataset::generate(kind, Scale { base: 400 }, 3);
+    let g = d.to_csr();
+    (d.edges, g)
+}
+
+fn input<'a>(
+    ds: &'a (EdgeList, CsrGraph),
+    workload: Workload,
+    machines: usize,
+    mem: u64,
+) -> EngineInput<'a> {
+    EngineInput {
+        edges: &ds.0,
+        graph: &ds.1,
+        workload,
+        cluster: ClusterSpec::r3_xlarge(machines, mem),
+        seed: 7,
+        scale: ScaleInfo::actual(&ds.0),
+    }
+}
+
+/// Figure 7 / §5.9: Blogel-B's MPI buffer overflow on the paper-scale road
+/// network renders as the "MPI" failure cell.
+#[test]
+fn blogel_b_overflows_on_the_road_network() {
+    let mut r = Runner::new(PaperEnv::new(Scale { base: 600 }, 11));
+    let rec = r.run(&ExperimentSpec {
+        system: SystemId::BlogelB,
+        workload: WorkloadKind::KHop,
+        dataset: DatasetKind::Wrn,
+        machines: 16,
+    });
+    assert_eq!(rec.cell(), "MPI");
+}
+
+/// §5.10: HaLoop's shuffle bug kills long jobs on large clusters, while
+/// short jobs (K-hop) escape it.
+#[test]
+fn haloop_shuffle_bug_hits_only_long_jobs_on_large_clusters() {
+    let ds = dataset(DatasetKind::Twitter);
+    let pr = Workload::PageRank(PageRankConfig::fixed(10));
+    let long = graphbench_engines::hadoop::HaLoop.run(&input(&ds, pr, 64, 1 << 30));
+    assert_eq!(long.metrics.status.code(), "SHFL");
+    let short =
+        graphbench_engines::hadoop::HaLoop.run(&input(&ds, Workload::khop3(0), 64, 1 << 30));
+    assert!(short.metrics.status.is_ok());
+}
+
+/// §5.7: Flink does not reclaim all memory between jobs; a workload that
+/// fits on a fresh cluster OOMs after a few jobs without a restart.
+#[test]
+fn gelly_leaks_memory_across_jobs_until_oom() {
+    use graphbench_engines::gelly::Gelly;
+    let ds = dataset(DatasetKind::Twitter);
+    let budget = 2 << 20;
+    let fresh =
+        Gelly { prior_jobs: 0, ..Gelly::default() }.run(&input(&ds, Workload::Wcc, 4, budget));
+    assert!(fresh.metrics.status.is_ok(), "{:?}", fresh.metrics.status);
+    let stale =
+        Gelly { prior_jobs: 5, ..Gelly::default() }.run(&input(&ds, Workload::Wcc, 4, budget));
+    assert_eq!(stale.metrics.status.code(), "OOM");
+}
+
+/// §5.11: Vertica's per-iteration catalog and shuffle overhead grows with
+/// the cluster, so adding machines makes execution *slower*.
+#[test]
+fn vertica_gets_slower_as_machines_are_added() {
+    use graphbench_engines::vertica::Vertica;
+    let ds = dataset(DatasetKind::Twitter);
+    let w = Workload::PageRank(PageRankConfig::fixed(10));
+    let small = Vertica::default().run(&input(&ds, w, 8, 1 << 30));
+    let large = Vertica::default().run(&input(&ds, w, 64, 1 << 30));
+    assert!(
+        large.metrics.phases.execute > small.metrics.phases.execute,
+        "64 machines {} vs 8 machines {}",
+        large.metrics.phases.execute,
+        small.metrics.phases.execute
+    );
+}
+
+/// §5.10: Hadoop spends more time in I/O wait than in user CPU — the
+/// disk-bound MapReduce signature.
+#[test]
+fn hadoop_is_io_bound() {
+    let ds = dataset(DatasetKind::Twitter);
+    let out = graphbench_engines::hadoop::Hadoop.run(&input(
+        &ds,
+        Workload::PageRank(PageRankConfig::fixed(5)),
+        4,
+        1 << 30,
+    ));
+    let cpu = out.metrics.cpu;
+    assert!(
+        cpu.io_wait_avg > cpu.user_avg,
+        "I/O wait {:.3} should exceed user {:.3}",
+        cpu.io_wait_avg,
+        cpu.user_avg
+    );
+}
