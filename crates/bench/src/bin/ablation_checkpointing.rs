@@ -60,10 +60,13 @@ fn main() {
             notes: out.notes,
             updates_per_iteration: vec![],
             trace: out.trace,
+            journal: out.journal,
+            registry: out.registry,
         });
     }
     println!();
     println!("{}", phase_table("phase breakdown", &records).render());
+    graphbench_repro::export_journals(&records);
     graphbench_repro::paper_note(
         "§5.6's full story: lineage kills the plain run; checkpointing survives by \
          paying I/O per checkpoint (the paper saw timeouts at full scale); the \

@@ -57,9 +57,12 @@ fn main() {
             notes: out.notes,
             updates_per_iteration: vec![],
             trace: out.trace,
+            journal: out.journal,
+            registry: out.registry,
         });
     }
     println!("{}", phase_table("Blogel-B WCC @16 by partitioner", &records).render());
+    graphbench_repro::export_journals(&records);
     graphbench_repro::paper_note(
         "GVD fails WRN with the MPI aggregation overflow; the 2-D partitioner needs no \
          sampling aggregation and completes. On the web graph, host-prefix blocks skip \

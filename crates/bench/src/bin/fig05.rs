@@ -26,6 +26,7 @@ fn main() {
     for table in figure_grid(&records) {
         println!("{}", table.render());
     }
+    graphbench_repro::export_journals(&records);
     graphbench_repro::paper_note(
         "shapes: Blogel-B has the shortest execution for reachability workloads, \
          Blogel-V the best end-to-end; Hadoop/HaLoop are 1-2 orders slower; HaLoop \

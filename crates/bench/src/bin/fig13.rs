@@ -2,6 +2,7 @@
 //! dominant I/O-wait and network, against the in-memory graph systems.
 //! (UK PageRank at 64 machines, as in the paper.)
 
+use graphbench::report::cost_breakdown;
 use graphbench::runner::ExperimentSpec;
 use graphbench::system::{GlStop, SystemId};
 use graphbench::viz;
@@ -20,6 +21,7 @@ fn main() {
     ];
     let mut mem_items = Vec::new();
     let mut net_items = Vec::new();
+    let mut records = Vec::new();
     for system in systems {
         let rec = runner.run(&ExperimentSpec {
             system,
@@ -30,8 +32,22 @@ fn main() {
         print!("{}", viz::utilization(&format!("{:<6}", rec.system), &rec.metrics.cpu));
         mem_items.push((rec.system.clone(), rec.metrics.max_machine_memory() as f64 / 1e3));
         net_items.push((rec.system.clone(), rec.metrics.network_bytes as f64 / 1e9));
+        records.push(rec);
     }
     println!();
+    // Where inside each run the time goes — the journal's label-level
+    // decomposition behind the utilization bars above.
+    for rec in &records {
+        println!(
+            "{}",
+            cost_breakdown(
+                &format!("{} cost decomposition (from the run journal)", rec.system),
+                rec
+            )
+            .render()
+        );
+    }
+    graphbench_repro::export_journals(&records);
     println!("{}", viz::bars("(b) peak memory per machine, KB", &mem_items, 50));
     println!("{}", viz::bars("(c) network traffic, GB (paper-equivalent)", &net_items, 50));
     graphbench_repro::paper_note(

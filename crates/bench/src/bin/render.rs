@@ -27,6 +27,10 @@ struct Rec {
     updates_per_iteration: Vec<u64>,
     #[serde(default)]
     trace: graphbench_sim::Trace,
+    #[serde(default)]
+    journal: graphbench_sim::Journal,
+    #[serde(default)]
+    registry: graphbench_sim::MetricsRegistry,
 }
 
 fn main() {
@@ -48,6 +52,8 @@ fn main() {
             notes: r.notes,
             updates_per_iteration: r.updates_per_iteration,
             trace: r.trace,
+            journal: r.journal,
+            registry: r.registry,
         })
         .collect();
 

@@ -45,4 +45,5 @@ fn main() {
     let json = to_json(&records);
     std::fs::write("repro_results.json", &json).expect("write repro_results.json");
     println!("wrote {} records to repro_results.json", records.len());
+    graphbench_repro::export_journals(&records);
 }

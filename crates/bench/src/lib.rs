@@ -43,7 +43,7 @@
 //! default 1500) and `GRAPHBENCH_SEED` (default 42).
 
 use graphbench::paper::PaperEnv;
-use graphbench::runner::Runner;
+use graphbench::runner::{RunRecord, Runner};
 use graphbench_gen::Scale;
 
 /// Environment-configured scale (`GRAPHBENCH_BASE`, default 1500 — the
@@ -72,4 +72,46 @@ pub fn banner(target: &str, what: &str) {
 /// Paper-vs-measured footnote.
 pub fn paper_note(note: &str) {
     println!("\npaper: {note}");
+}
+
+/// The journal export destination, if any: `--journal <path>` (or
+/// `--journal=<path>`) on the command line, else the `GRAPHBENCH_JOURNAL`
+/// environment variable.
+pub fn journal_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--journal" {
+            return Some(args.next().expect("--journal takes a path"));
+        }
+        if let Some(p) = a.strip_prefix("--journal=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("GRAPHBENCH_JOURNAL").ok()
+}
+
+/// Write every record's structured journal to one JSONL file when a
+/// destination is configured (see [`journal_path`]); a no-op otherwise.
+/// Each run contributes a `{"run": ...}` header line identifying it,
+/// followed by its events, one JSON object per line.
+pub fn export_journals(records: &[RunRecord]) {
+    let Some(path) = journal_path() else { return };
+    let mut out = String::new();
+    for r in records {
+        let header = serde_json::json!({
+            "run": {
+                "system": r.system,
+                "workload": r.workload,
+                "dataset": r.dataset,
+                "machines": r.machines,
+                "status": r.metrics.status.code(),
+                "events": r.journal.len(),
+            }
+        });
+        out.push_str(&header.to_string());
+        out.push('\n');
+        out.push_str(&r.journal.to_jsonl());
+    }
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {} journals to {path}", records.len());
 }

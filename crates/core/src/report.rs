@@ -154,6 +154,38 @@ pub fn phase_table(title: &str, records: &[RunRecord]) -> Table {
     t
 }
 
+/// Per-label cost decomposition of one run, built from its journal — the
+/// data behind the paper's Figure 10 discussion of where time goes inside
+/// a phase (compute vs network vs disk vs barrier waits).
+pub fn cost_breakdown(title: &str, rec: &RunRecord) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "label", "events", "compute", "network", "disk", "barrier", "other", "total", "net MB",
+            "disk MB", "messages",
+        ],
+    );
+    let mb = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
+    let mut rows = rec.journal.breakdown();
+    rows.sort_by(|a, b| b.total().total_cmp(&a.total()));
+    for row in &rows {
+        t.row(vec![
+            row.label.clone(),
+            row.events.to_string(),
+            fmt_secs(row.compute),
+            fmt_secs(row.network),
+            fmt_secs(row.disk),
+            fmt_secs(row.barrier),
+            fmt_secs(row.other),
+            fmt_secs(row.total()),
+            mb(row.net_bytes),
+            mb(row.disk_bytes),
+            row.messages.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Export records as a JSON array.
 pub fn to_json(records: &[RunRecord]) -> String {
     serde_json::to_string_pretty(records).expect("records serialize")
@@ -162,7 +194,9 @@ pub fn to_json(records: &[RunRecord]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphbench_sim::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus, Trace};
+    use graphbench_sim::{
+        CpuBreakdown, Journal, MetricsRegistry, PhaseTimes, RunMetrics, RunStatus, Trace,
+    };
 
     fn record(system: &str, machines: usize, total: f64, ok: bool) -> RunRecord {
         RunRecord {
@@ -191,6 +225,8 @@ mod tests {
             notes: vec![],
             updates_per_iteration: vec![],
             trace: Trace::new(),
+            journal: Journal::new(),
+            registry: MetricsRegistry::new(),
         }
     }
 
@@ -232,6 +268,31 @@ mod tests {
         assert!(s.contains("OOM"));
         // Missing (G, 32) renders as '-'.
         assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn cost_breakdown_sorts_labels_by_total_time() {
+        use graphbench_sim::{EventKind, JournalEvent};
+        let mut rec = record("G", 16, 80.0, true);
+        let ev = |label: &str, kind: EventKind, dt: f64| JournalEvent {
+            seq: 0,
+            superstep: 0,
+            phase: "execute".into(),
+            label: label.into(),
+            kind,
+            dt,
+            barrier_wait: 0.0,
+            net_bytes: 0,
+            messages: 0,
+            disk_bytes: 0,
+            mem_delta: vec![],
+        };
+        rec.journal.push(ev("shuffle", EventKind::Network, 5.0));
+        rec.journal.push(ev("superstep", EventKind::Compute, 30.0));
+        let t = cost_breakdown("decomposition", &rec);
+        assert_eq!(t.rows[0][0], "superstep");
+        assert_eq!(t.rows[1][0], "shuffle");
+        assert!(t.render().contains("30.0s"));
     }
 
     #[test]

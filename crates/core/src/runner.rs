@@ -6,7 +6,7 @@ use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadKind};
 use graphbench_engines::EngineInput;
 use graphbench_gen::DatasetKind;
-use graphbench_sim::{RunMetrics, Trace};
+use graphbench_sim::{Journal, MetricsRegistry, RunMetrics, Trace};
 use serde::Serialize;
 
 /// One cell of the paper's experiment matrix (Table 2).
@@ -32,6 +32,11 @@ pub struct RunRecord {
     pub updates_per_iteration: Vec<u64>,
     /// Per-machine memory time series (Figure 10).
     pub trace: Trace,
+    /// Structured per-charge event log; per-phase sums are bit-identical to
+    /// `metrics.phases`. Export with [`Journal::to_jsonl`] (`--journal`).
+    pub journal: Journal,
+    /// Named counters and histograms accumulated during the run.
+    pub registry: MetricsRegistry,
 }
 
 impl RunRecord {
@@ -122,6 +127,8 @@ impl Runner {
             notes: out.notes,
             updates_per_iteration: out.updates_per_iteration,
             trace: out.trace,
+            journal: out.journal,
+            registry: out.registry,
         }
     }
 

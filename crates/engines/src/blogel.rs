@@ -73,6 +73,7 @@ fn run_vertex_mode(
     cluster.hdfs_read(&even_share(dataset, machines))?;
     let part = EdgeCutPartition::random(input.edges.num_vertices, machines, input.seed);
     let moved = dataset - dataset / machines as u64;
+    cluster.set_label("shuffle");
     cluster.exchange(
         &even_share(moved, machines),
         &even_share(moved, machines),
@@ -84,6 +85,7 @@ fn run_vertex_mode(
         resident[m] =
             verts.len() as u64 * profile.bytes_per_vertex + edges * profile.bytes_per_edge;
     }
+    cluster.set_label("load");
     cluster.alloc_all(&resident)?;
     cluster.sample_trace();
 
@@ -187,6 +189,7 @@ fn run_block_mode(
     // master-side aggregation of per-vertex block assignments, whose size at
     // paper scale must fit MPI's 32-bit buffer offsets; the metadata-driven
     // partitioners skip both the sampling and the fragile aggregation.
+    cluster.set_label("partition");
     let blocks = match &engine.partitioning {
         BlogelPartitioning::Gvd => {
             let mut voronoi = engine.voronoi.clone();
@@ -254,10 +257,12 @@ fn run_block_mode(
 
     if !engine.modified {
         // Stock Blogel: write partitions to HDFS and read them back (§5.1).
+        cluster.set_label("partition_dump");
         cluster.hdfs_write(&even_share(dataset, machines))?;
         cluster.hdfs_read(&even_share(dataset, machines))?;
     }
     // Shuffle vertices to their block machines.
+    cluster.set_label("shuffle");
     let moved = dataset - dataset / machines as u64;
     cluster.exchange(
         &even_share(moved, machines),
@@ -271,6 +276,7 @@ fn run_block_mode(
         resident[m] +=
             verts.len() as u64 * profile.bytes_per_vertex + edges * profile.bytes_per_edge;
     }
+    cluster.set_label("load");
     cluster.alloc_all(&resident)?;
     cluster.sample_trace();
 
@@ -341,7 +347,9 @@ fn block_wcc(
         comp_of[v as usize] = comp_of[root];
         ops0[blocks.machine_of_vertex(v) as usize] += 1.0;
     }
+    cluster.set_label("block_local");
     cluster.advance_compute(&ops0, input.cluster.cores)?;
+    cluster.set_label("barrier");
     cluster.barrier()?;
 
     // Undirected component graph over cross-block (or cross-component)
@@ -442,8 +450,11 @@ fn block_wcc(
                 recv[j] += b;
             }
         }
+        cluster.set_label("superstep");
         cluster.advance_compute(&ops, input.cluster.cores)?;
+        cluster.set_label("shuffle");
         cluster.exchange(&sent, &recv, &msgs)?;
+        cluster.set_label("barrier");
         cluster.barrier()?;
         if !any_updates {
             break;
@@ -576,8 +587,11 @@ fn block_traversal(
         if !any {
             break;
         }
+        cluster.set_label("superstep");
         cluster.advance_compute(&ops, input.cluster.cores)?;
+        cluster.set_label("shuffle");
         cluster.exchange(&sent, &recv, &msgs)?;
+        cluster.set_label("barrier");
         cluster.barrier()?;
         // Intra-block writes first (disjoint vertex sets per worker), then
         // cross-block candidates min-folded in machine order.
@@ -692,7 +706,9 @@ fn block_pagerank(
                 local_pr[v as usize] = r;
             }
         }
+        cluster.set_label("block_local");
         cluster.advance_compute(&ops, input.cluster.cores)?;
+        cluster.set_label("barrier");
         cluster.barrier()?;
     }
 
@@ -730,9 +746,11 @@ fn block_pagerank(
                 .iter()
                 .map(|&x| x as f64)
                 .collect::<Vec<_>>();
+            cluster.set_label("block_pr");
             cluster.advance_compute(&ops, input.cluster.cores)?;
             let bytes = even_share(edges.len() as u64 * 8, machines);
             cluster.exchange(&bytes, &bytes, &even_share(edges.len() as u64, machines))?;
+            cluster.set_label("barrier");
             cluster.barrier()?;
             if max_delta < local_tol {
                 break;

@@ -347,6 +347,7 @@ pub fn run_bsp<P: VertexProgram>(
         }
 
         // Free last superstep's consumed inbox buffers.
+        cluster.set_label("superstep");
         cluster.free_all(&inbox_bytes);
 
         // Wire accounting: outbox sizes are post-combine message counts.
@@ -401,15 +402,18 @@ pub fn run_bsp<P: VertexProgram>(
         cluster.alloc_all(&inbox_bytes)?;
         cluster.advance_compute(&ops, cfg.cores_for_compute)?;
         cluster.alloc_all(&extra_alloc)?; // permanent program allocations
+        cluster.set_label("shuffle");
         cluster.exchange(&sent, &recv, &msg_counts)?;
         cluster.free_all(&send_buffer_bytes);
         if cfg.per_superstep_spill_bytes > 0 {
+            cluster.set_label("spill");
             let scaled =
                 (cfg.per_superstep_spill_bytes as f64 * cluster.spec().superstep_scale) as u64;
             let share = crate::even_share(scaled, machines);
             cluster.local_read(&share)?;
             cluster.local_write(&share)?;
         }
+        cluster.set_label("barrier");
         cluster.barrier()?;
         if cfg.trace_every > 0 && supersteps.is_multiple_of(cfg.trace_every) {
             cluster.sample_trace();
@@ -420,6 +424,7 @@ pub fn run_bsp<P: VertexProgram>(
         // recovery point moves forward.
         if let Some(k) = cfg.checkpoint_every {
             if k > 0 && supersteps.is_multiple_of(k) && cfg.checkpoint_bytes > 0 {
+                cluster.set_label("checkpoint");
                 cluster.hdfs_write(&crate::even_share(cfg.checkpoint_bytes, machines))?;
                 recovery_point = cluster.elapsed();
             }
@@ -431,6 +436,7 @@ pub fn run_bsp<P: VertexProgram>(
         // unaffected: the replayed computation is deterministic.
         if let Some(_machine) = cluster.take_failure() {
             failed_once = true;
+            cluster.set_label("recovery");
             if cfg.checkpoint_bytes > 0 {
                 cluster.hdfs_read(&crate::even_share(cfg.checkpoint_bytes, machines))?;
             }
@@ -442,6 +448,7 @@ pub fn run_bsp<P: VertexProgram>(
         let program_done = prog.finished(supersteps - 1, agg);
         if program_done || no_more_work || !any_ran {
             // Free any undelivered inbox buffers before returning.
+            cluster.set_label("superstep");
             cluster.free_all(&inbox_bytes);
             break;
         }

@@ -195,6 +195,7 @@ fn execute(
         .iter()
         .map(|&x| x as f64)
         .collect::<Vec<_>>();
+    cluster.set_label("partition");
     cluster.advance_compute(&place_ops, input.cluster.cores)?;
     notes.push(format!(
         "vertex-cut: strategy {}, replication factor {:.2}",
@@ -203,6 +204,7 @@ fn execute(
     ));
 
     // Shuffle edges to their machines and materialize replicas.
+    cluster.set_label("shuffle");
     let moved = dataset - dataset / machines as u64;
     cluster.exchange(
         &even_share(moved, machines),
@@ -219,6 +221,7 @@ fn execute(
             resident[m as usize] += profile.bytes_per_vertex;
         }
     }
+    cluster.set_label("load");
     cluster.alloc_all(&resident)?;
     cluster.sample_trace();
 
@@ -339,6 +342,7 @@ impl GasCtx<'_> {
                 }
             }
         }
+        cluster.set_label("mirror_sync");
         cluster.exchange(&sent, &recv, &msgs)
     }
 }
@@ -438,6 +442,7 @@ fn sync_pagerank(
                 *acc += p;
             }
         }
+        cluster.set_label("gather");
         cluster.alloc_all(&transient)?;
         cluster.advance_compute(&ops, ctx.effective_cores())?;
         cluster.exchange(&sent, &recv, &msgs)?;
@@ -463,8 +468,10 @@ fn sync_pagerank(
                 active[v] = false;
             }
         }
+        cluster.set_label("apply");
         cluster.advance_compute(&apply_ops, ctx.effective_cores())?;
         ctx.charge_mirror_sync(cluster, changed.into_iter())?;
+        cluster.set_label("barrier");
         cluster.barrier()?;
         cluster.sample_trace();
         updates.push(updated);
@@ -568,6 +575,7 @@ fn async_pagerank(
         // proportional to cluster size; the remainder stays resident — the
         // runaway allocation of Figure 10.
         let release_rate = (48.0 / ctx.machines as f64).min(1.0);
+        cluster.set_label("async_round");
         cluster.alloc_all(&lock_alloc)?;
         let mut to_free = vec![0u64; ctx.machines];
         for m in 0..ctx.machines {
@@ -584,6 +592,7 @@ fn async_pagerank(
         let scale = cluster.spec().work_scale;
         let waits: Vec<f64> =
             lock_counts.iter().map(|&c| c as f64 * LOCK_SERVICE_SECS * scale).collect();
+        cluster.set_label("lock_wait");
         cluster.advance_network_wait(&waits)?;
         cluster.free_all(&to_free);
         cluster.sample_trace();
@@ -687,8 +696,10 @@ fn wcc_propagate(cluster: &mut Cluster, ctx: &GasCtx<'_>) -> Result<Vec<VertexId
                 }
             }
         }
+        cluster.set_label("gather");
         cluster.advance_compute(&ops, ctx.effective_cores())?;
         cluster.exchange(&sent, &recv, &msgs)?;
+        cluster.set_label("barrier");
         cluster.barrier()?;
         cluster.sample_trace();
         // Apply + scatter: changed vertices signal their neighbours.
@@ -802,9 +813,11 @@ fn traversal(
                 recv[j] += b;
             }
         }
+        cluster.set_label("scatter");
         cluster.advance_compute(&ops, ctx.effective_cores())?;
         cluster.exchange(&sent, &recv, &msgs)?;
         if ctx.engine.mode == GasMode::Sync {
+            cluster.set_label("barrier");
             cluster.barrier()?;
         }
         let mut changed: Vec<VertexId> = Vec::new();

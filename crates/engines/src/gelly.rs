@@ -95,6 +95,7 @@ fn execute(
     }
     let part = EdgeCutPartition::random(input.edges.num_vertices, machines, input.seed);
     let moved = dataset - dataset / machines as u64;
+    cluster.set_label("shuffle");
     cluster.exchange(
         &even_share(moved, machines),
         &even_share(moved, machines),
@@ -106,6 +107,7 @@ fn execute(
         resident[m] =
             verts.len() as u64 * profile.bytes_per_vertex + edges * profile.bytes_per_edge;
     }
+    cluster.set_label("load");
     cluster.alloc_all(&resident)?;
     cluster.sample_trace();
 
@@ -114,6 +116,7 @@ fn execute(
         // Stream mode: the read happens inside the dataflow, partially
         // overlapped with the first iteration's processing.
         notes.push("stream mode: input read overlaps execution (§2.7)".into());
+        cluster.set_label("stream_read");
         cluster.hdfs_read(&even_share((dataset as f64 * 0.7) as u64, machines))?;
     }
     // Delta iterations pass the solution set through Flink's managed

@@ -149,12 +149,15 @@ impl SparkCtx<'_> {
         let tasks: u64 = self.slots_per_machine.iter().sum();
         // Task serialization + launch; one executed stage stands in for
         // `superstep_scale` paper stages on diameter-compressed datasets.
+        cluster.set_label("stage_sched");
         let driver = 0.0015 * tasks as f64 * cluster.spec().superstep_scale;
         cluster.advance_network_wait(&vec![driver; self.machines])?;
         if cluster.take_failure().is_some() {
+            cluster.set_label("recovery");
             let replay = cluster.elapsed() - self.recovery_point;
             cluster.advance_stall(replay)?;
         }
+        cluster.set_label("barrier");
         cluster.barrier()
     }
 
@@ -172,6 +175,7 @@ impl SparkCtx<'_> {
             if k > 0 && (iteration + 1).is_multiple_of(k) {
                 // Checkpoint: write the full graph + state to HDFS and
                 // truncate the lineage.
+                cluster.set_label("checkpoint");
                 let bytes = self.result_state_bytes;
                 cluster.hdfs_write(&even_share(bytes, self.machines))?;
                 cluster.free_all(&self.lineage_per_machine);
@@ -191,6 +195,7 @@ impl SparkCtx<'_> {
             .iter()
             .map(|&b| delta_bytes * b / total_state + 2_048)
             .collect();
+        cluster.set_label("lineage");
         cluster.alloc_all(&grow)?;
         for (l, g) in self.lineage_per_machine.iter_mut().zip(&grow) {
             *l += g;
@@ -244,6 +249,7 @@ fn execute(
     ));
 
     // Shuffle edges into partitions + materialize RDD caches.
+    cluster.set_label("shuffle");
     let moved = bytes - bytes / machines as u64;
     cluster.exchange(
         &even_share(moved, machines),
@@ -272,6 +278,7 @@ fn execute(
         }
         let _ = machines_of_v;
     }
+    cluster.set_label("load");
     cluster.alloc_all(&resident)?;
     cluster.sample_trace();
 
@@ -319,6 +326,7 @@ fn charge_compute(cluster: &mut Cluster, ctx: &SparkCtx<'_>, ops: &[f64]) -> Res
     let sscale = cluster.spec().superstep_scale;
     let adjusted: Vec<f64> =
         ops.iter().enumerate().map(|(m, &o)| o * sscale / ctx.slots(m)).collect();
+    cluster.set_label("superstep");
     cluster.advance_compute(&adjusted, 1)
 }
 
@@ -349,6 +357,7 @@ fn mirror_sync(
             }
         }
     }
+    cluster.set_label("shuffle");
     cluster.exchange(&sent, &recv, &msgs)
 }
 

@@ -173,9 +173,11 @@ fn charge_iteration(
         |v: Vec<u64>| -> Vec<u64> { v.into_iter().map(|b| (b as f64 * sscale) as u64).collect() };
 
     // Job submission/scheduling round (smaller than framework start-up).
+    cluster.set_label("job_submit");
     let submit = (2.0 + 0.02 * machines as f64) * sscale;
     cluster.advance_network_wait(&vec![submit; machines])?;
     let iteration_start = cluster.elapsed();
+    cluster.set_label("map");
 
     // Map input: HaLoop reads the cached adjacency from local disk after
     // the first iteration; Hadoop re-reads HDFS every time.
@@ -203,6 +205,7 @@ fn charge_iteration(
     // Shuffle: emitted records hash to reducers; (M-1)/M cross the network.
     // Hadoop also shuffles the adjacency passthrough; HaLoop co-schedules
     // reducers with cached shards and shuffles only the new state.
+    cluster.set_label("shuffle");
     let mut shuffle_bytes = shape.shuffle_records * shape.record_bytes;
     if !haloop {
         shuffle_bytes += graph_bytes;
@@ -220,6 +223,7 @@ fn charge_iteration(
 
     // Iteration output: new state to HDFS; Hadoop rewrites the passthrough
     // graph as well.
+    cluster.set_label("hdfs_write");
     let mut out_bytes = shape.state_bytes;
     if !haloop {
         out_bytes += graph_bytes;
@@ -227,16 +231,19 @@ fn charge_iteration(
     cluster.hdfs_write(&scale_bytes(even_share(out_bytes, machines)))?;
     // Fixpoint evaluation: HaLoop compares against a locally cached copy;
     // Hadoop re-reads the previous state from HDFS.
+    cluster.set_label("fixpoint");
     if haloop {
         cluster.local_read(&scale_bytes(even_share(shape.state_bytes, machines)))?;
     } else {
         cluster.hdfs_read(&scale_bytes(even_share(shape.state_bytes, machines)))?;
     }
+    cluster.set_label("barrier");
     cluster.barrier()?;
     // Fault tolerance by task re-execution (Table 1): a dead worker only
     // loses its slice of the current iteration, which the survivors re-run
     // — far cheaper than rolling a whole in-memory computation back.
     if cluster.take_failure().is_some() {
+        cluster.set_label("recovery");
         let lost = (cluster.elapsed() - iteration_start) / (machines.max(2) - 1) as f64;
         cluster.advance_stall(lost)?;
     }

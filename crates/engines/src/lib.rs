@@ -36,7 +36,7 @@ pub mod vertica;
 
 use graphbench_algos::{Workload, WorkloadResult};
 use graphbench_graph::{format::GraphFormat, CsrGraph, EdgeList};
-use graphbench_sim::{ClusterSpec, RunMetrics, Trace};
+use graphbench_sim::{ClusterSpec, Journal, MetricsRegistry, RunMetrics, Trace};
 
 /// Mapping from this run's scaled-down dataset to the paper-scale original,
 /// used only by *mechanistic threshold* failures whose trigger is an
@@ -83,6 +83,12 @@ pub struct RunOutput {
     /// Vertices updated per iteration, when the engine tracks it (GraphLab
     /// fills this; it is the data behind the paper's Figure 4).
     pub updates_per_iteration: Vec<u64>,
+    /// Structured per-charge event log (superstep, phase, label, duration,
+    /// bytes, memory deltas). Per-phase sums are bit-identical to
+    /// `metrics.phases`.
+    pub journal: Journal,
+    /// Named counters and histograms accumulated during the run.
+    pub registry: MetricsRegistry,
 }
 
 /// A system under evaluation.

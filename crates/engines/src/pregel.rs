@@ -104,7 +104,9 @@ fn execute(
     let moved = dataset - dataset / machines as u64;
     let sent = even_share(moved, machines);
     let msgs = even_share(n as u64, machines);
+    cluster.set_label("shuffle");
     cluster.exchange(&sent, &sent, &msgs)?;
+    cluster.set_label("load");
     // Resident vertex and edge objects.
     let mut resident = vec![0u64; machines];
     for (m, verts) in part.vertices_per_machine().iter().enumerate() {
@@ -156,6 +158,7 @@ fn execute(
 
     // Job teardown mirrors start-up at half cost (fixed, not data-bound).
     cluster.begin_phase(Phase::Overhead);
+    cluster.set_label("teardown");
     let teardown = profile.startup_for(machines) / 2.0;
     cluster.advance_network_wait(&vec![teardown; machines])?;
     Ok(result)

@@ -65,10 +65,12 @@ fn execute(
         resident += g.num_edges() * profile.bytes_per_edge + n as u64 * 8;
     }
     cluster.alloc(0, resident)?;
+    cluster.set_label("csr_build");
     cluster.advance_compute_on(0, (g.num_edges() + n as u64) as f64)?;
     cluster.sample_trace();
 
     cluster.begin_phase(Phase::Execute);
+    cluster.set_label("kernel");
     let result = match input.workload {
         Workload::PageRank(pr) => {
             let cfg = PageRankConfig { ..pr };

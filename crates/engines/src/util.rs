@@ -24,5 +24,15 @@ pub(crate) fn output_from(
         cpu: cluster.cpu_breakdown(),
     };
     let trace = cluster.trace().clone();
-    RunOutput { metrics, result, trace, notes, updates_per_iteration: Vec::new() }
+    let journal = cluster.journal().clone();
+    let registry = cluster.registry().clone();
+    RunOutput {
+        metrics,
+        result,
+        trace,
+        notes,
+        updates_per_iteration: Vec::new(),
+        journal,
+        registry,
+    }
 }

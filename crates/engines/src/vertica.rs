@@ -109,13 +109,16 @@ impl SqlCtx {
     /// paper's Table 1 lists no graph-workload fault tolerance for
     /// Vertica): the stall replays everything since execution began.
     fn charge_statement(&self, cluster: &mut Cluster) -> Result<(), SimError> {
+        cluster.set_label("catalog");
         let fixed = (2.0 * catalog_op_secs(self.machines) + shuffle_setup_secs(self.machines))
             * cluster.spec().superstep_scale;
         cluster.advance_network_wait(&vec![fixed; self.machines])?;
         if cluster.take_failure().is_some() {
+            cluster.set_label("recovery");
             let replay = cluster.elapsed() - self.execute_start;
             cluster.advance_stall(replay)?;
         }
+        cluster.set_label("barrier");
         cluster.barrier()
     }
 
@@ -130,6 +133,7 @@ impl SqlCtx {
             TableRefresh::AlwaysUpdate => false,
             TableRefresh::Adaptive => updated_rows * 20 > self.n as u64,
         };
+        cluster.set_label("table_refresh");
         if rebuild {
             cluster.local_write(&even_share(self.vertex_table_bytes, self.machines))?;
         } else {
@@ -148,6 +152,7 @@ impl SqlCtx {
         // Scan E + V from disk (columnar, compressed); one executed
         // iteration stands in for `superstep_scale` paper iterations.
         let sscale = cluster.spec().superstep_scale;
+        cluster.set_label("join_scan");
         let scan = ((self.edge_table_bytes + self.vertex_table_bytes) as f64 * sscale) as u64;
         cluster.local_read(&even_share(scan, self.machines))?;
         // Join + aggregate CPU.
@@ -164,6 +169,7 @@ impl SqlCtx {
         let keys = self.n as u64;
         let per_machine_rows = (emitted_rows / self.machines as u64).min(keys);
         let per_machine_bytes = per_machine_rows * 24;
+        cluster.set_label("shuffle");
         cluster.exchange(
             &vec![per_machine_bytes; self.machines],
             &vec![per_machine_bytes; self.machines],

@@ -1,7 +1,9 @@
 //! The cluster simulator engines drive.
 
 use crate::cost::CostProfile;
+use crate::journal::{EventKind, Journal, JournalEvent};
 use crate::metrics::{CpuBreakdown, PhaseTimes};
+use crate::registry::{MetricsRegistry, SECONDS_BUCKETS};
 use crate::spec::ClusterSpec;
 use crate::trace::Trace;
 use crate::{MachineId, SimError};
@@ -15,6 +17,29 @@ pub enum Phase {
     Execute,
     Save,
     Overhead,
+}
+
+impl Phase {
+    /// Lower-case name used in journal events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Load => "load",
+            Phase::Execute => "execute",
+            Phase::Save => "save",
+            Phase::Overhead => "overhead",
+        }
+    }
+}
+
+/// One pending charge on its way into the journal.
+#[derive(Default)]
+struct Charge {
+    dt: f64,
+    barrier_wait: f64,
+    net_bytes: u64,
+    messages: u64,
+    disk_bytes: u64,
+    mem_delta: Vec<i64>,
 }
 
 /// Per-machine running state.
@@ -60,6 +85,9 @@ pub struct Cluster {
     total_net_bytes: u64,
     total_messages: u64,
     fault_taken: bool,
+    label: &'static str,
+    journal: Journal,
+    registry: MetricsRegistry,
 }
 
 impl Cluster {
@@ -77,6 +105,9 @@ impl Cluster {
             total_net_bytes: 0,
             total_messages: 0,
             fault_taken: false,
+            label: Phase::Overhead.name(),
+            journal: Journal::new(),
+            registry: MetricsRegistry::new(),
         }
     }
 
@@ -113,9 +144,33 @@ impl Cluster {
         self.total_messages
     }
 
-    /// Switch the accounting phase.
+    /// Switch the accounting phase. Also resets the journal label to the
+    /// phase name.
     pub fn begin_phase(&mut self, phase: Phase) {
         self.phase = phase;
+        self.label = phase.name();
+    }
+
+    /// Name the activity subsequent charges are attributed to in the
+    /// journal ("superstep", "shuffle", "hdfs_write", ...). Reset to the
+    /// phase name by [`Cluster::begin_phase`].
+    pub fn set_label(&mut self, label: &'static str) {
+        self.label = label;
+    }
+
+    /// The label currently attributed to charges.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Structured event journal of every charge so far.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Named counters and histograms accumulated by the charges.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     pub fn phase(&self) -> Phase {
@@ -142,10 +197,60 @@ impl Cluster {
         Ok(())
     }
 
+    /// Append a journal event and update the registry for one charge.
+    /// Zero-duration memory charges call this directly; timed charges go
+    /// through [`Cluster::commit`].
+    fn record(&mut self, kind: EventKind, c: Charge) {
+        self.registry.inc(kind.counter(), 1);
+        self.registry.observe(kind.seconds_histogram(), &SECONDS_BUCKETS, c.dt);
+        if c.net_bytes > 0 {
+            self.registry.inc("net.bytes", c.net_bytes);
+        }
+        if c.messages > 0 {
+            self.registry.inc("net.messages", c.messages);
+        }
+        if c.disk_bytes > 0 {
+            if let Some(name) = kind.bytes_counter() {
+                self.registry.inc(name, c.disk_bytes);
+            }
+        }
+        for &d in &c.mem_delta {
+            if d > 0 {
+                self.registry.inc("mem.alloc.bytes", d as u64);
+            } else if d < 0 {
+                self.registry.inc("mem.free.bytes", (-d) as u64);
+            }
+        }
+        self.journal.push(JournalEvent {
+            seq: self.journal.len() as u64,
+            superstep: self.supersteps,
+            phase: self.phase.name().to_string(),
+            label: self.label.to_string(),
+            kind,
+            dt: c.dt,
+            barrier_wait: c.barrier_wait,
+            net_bytes: c.net_bytes,
+            messages: c.messages,
+            disk_bytes: c.disk_bytes,
+            mem_delta: c.mem_delta,
+        });
+    }
+
+    /// The single commit point for timed charges: journal + registry +
+    /// clock. Every time-advancing method funnels through here, so summing
+    /// journal durations per phase reproduces [`Cluster::phase_times`]
+    /// bit-for-bit. The event is recorded even when its duration trips the
+    /// 24-hour deadline — the timeout is then visible *in* the journal.
+    fn commit(&mut self, kind: EventKind, c: Charge) -> Result<(), SimError> {
+        let dt = c.dt;
+        self.record(kind, c);
+        self.advance(dt)
+    }
+
     /// Charge the framework's one-time start-up for this cluster size.
     pub fn charge_startup(&mut self) -> Result<(), SimError> {
         let dt = self.profile.startup_for(self.spec.machines);
-        self.advance(dt)
+        self.commit(EventKind::Startup, Charge { dt, ..Charge::default() })
     }
 
     /// Charge compute work: `ops[i]` elementary operations on machine `i`,
@@ -157,19 +262,27 @@ impl Cluster {
         assert!(cores >= 1);
         let per_core = self.profile.sec_per_op * self.spec.work_scale;
         let mut max_t = 0.0f64;
+        let mut min_t = f64::INFINITY;
         for (m, &o) in self.machines.iter_mut().zip(ops) {
             let t = o * per_core / cores as f64;
             m.busy_user += t;
             max_t = max_t.max(t);
+            min_t = min_t.min(t);
         }
-        self.advance(max_t)
+        let wait = (max_t - min_t).max(0.0);
+        self.commit(
+            EventKind::Compute,
+            Charge { dt: max_t, barrier_wait: wait, ..Charge::default() },
+        )
     }
 
     /// Charge serial compute on a single machine (e.g. master-side work).
     pub fn advance_compute_on(&mut self, machine: MachineId, ops: f64) -> Result<(), SimError> {
         let t = ops * self.profile.sec_per_op * self.spec.work_scale;
         self.machines[machine].busy_user += t;
-        self.advance(t)
+        // Every other machine idles for the full charge.
+        let wait = if self.spec.machines > 1 { t } else { 0.0 };
+        self.commit(EventKind::Compute, Charge { dt: t, barrier_wait: wait, ..Charge::default() })
     }
 
     /// Charge a message exchange: machine `i` sends `sent[i]` bytes in
@@ -184,16 +297,32 @@ impl Cluster {
         let bw = self.spec.net.bandwidth / self.spec.work_scale;
         let ovh = self.spec.net.per_message_overhead;
         let mut max_t = 0.0f64;
+        let mut min_t = f64::INFINITY;
+        let mut bytes = 0u64;
+        let mut messages = 0u64;
         for i in 0..self.machines.len() {
             let wire_sent = sent[i] + ovh * msgs[i];
             let t = (wire_sent.max(recv[i])) as f64 / bw;
             self.machines[i].busy_net += t;
             max_t = max_t.max(t);
+            min_t = min_t.min(t);
             // Reported bytes are paper-equivalent (scaled) totals.
-            self.total_net_bytes += (wire_sent as f64 * self.spec.work_scale) as u64;
-            self.total_messages += (msgs[i] as f64 * self.spec.work_scale) as u64;
+            bytes += (wire_sent as f64 * self.spec.work_scale) as u64;
+            messages += (msgs[i] as f64 * self.spec.work_scale) as u64;
         }
-        self.advance(max_t)
+        self.total_net_bytes += bytes;
+        self.total_messages += messages;
+        let wait = (max_t - min_t).max(0.0);
+        self.commit(
+            EventKind::Network,
+            Charge {
+                dt: max_t,
+                barrier_wait: wait,
+                net_bytes: bytes,
+                messages,
+                ..Charge::default()
+            },
+        )
     }
 
     /// Report the injected machine failure once its time has passed.
@@ -214,7 +343,7 @@ impl Cluster {
     /// recovery stalls where workers wait for a replacement to catch up.
     pub fn advance_stall(&mut self, secs: f64) -> Result<(), SimError> {
         assert!(secs >= 0.0 && secs.is_finite());
-        self.advance(secs)
+        self.commit(EventKind::Stall, Charge { dt: secs, ..Charge::default() })
     }
 
     /// Charge latency-bound waiting (e.g. distributed-lock round trips)
@@ -223,63 +352,80 @@ impl Cluster {
     pub fn advance_network_wait(&mut self, secs: &[f64]) -> Result<(), SimError> {
         assert_eq!(secs.len(), self.spec.machines);
         let mut max_t = 0.0f64;
+        let mut min_t = f64::INFINITY;
         for (m, &t) in self.machines.iter_mut().zip(secs) {
             m.busy_net += t;
             max_t = max_t.max(t);
+            min_t = min_t.min(t);
         }
-        self.advance(max_t)
+        let wait = (max_t - min_t).max(0.0);
+        self.commit(
+            EventKind::NetworkWait,
+            Charge { dt: max_t, barrier_wait: wait, ..Charge::default() },
+        )
     }
 
     /// Charge one BSP barrier and count a superstep. The barrier cost is
     /// multiplied by `superstep_scale`: one executed superstep stands in for
     /// that many paper-scale supersteps on diameter-compressed datasets.
     pub fn barrier(&mut self) -> Result<(), SimError> {
-        self.supersteps += 1;
         let n = self.spec.machines as f64;
         let dt = (self.spec.net.barrier_base
             + self.spec.net.barrier_per_machine * n
             + self.profile.superstep_overhead)
             * self.spec.superstep_scale;
-        self.advance(dt)
+        // The event carries the index of the superstep it closes; the
+        // counter is bumped even when the barrier trips the deadline.
+        let r = self.commit(EventKind::Barrier, Charge { dt, ..Charge::default() });
+        self.supersteps += 1;
+        r
     }
 
-    fn disk(&mut self, bytes: &[u64], bps: f64) -> Result<(), SimError> {
+    fn disk(&mut self, kind: EventKind, bytes: &[u64], bps: f64) -> Result<(), SimError> {
         assert_eq!(bytes.len(), self.spec.machines);
         let mut max_t = 0.0f64;
+        let mut min_t = f64::INFINITY;
+        let mut total = 0u64;
         for (m, &b) in self.machines.iter_mut().zip(bytes) {
             let t = b as f64 * self.spec.work_scale / bps;
             m.busy_io += t;
             max_t = max_t.max(t);
+            min_t = min_t.min(t);
+            // Reported bytes are paper-equivalent (scaled), as for network.
+            total += (b as f64 * self.spec.work_scale) as u64;
         }
-        self.advance(max_t)
+        let wait = (max_t - min_t).max(0.0);
+        self.commit(
+            kind,
+            Charge { dt: max_t, barrier_wait: wait, disk_bytes: total, ..Charge::default() },
+        )
     }
 
     /// Charge a parallel HDFS read (`bytes[i]` read by machine `i`).
     pub fn hdfs_read(&mut self, bytes: &[u64]) -> Result<(), SimError> {
         let bps = self.spec.disk.hdfs_read;
-        self.disk(bytes, bps)
+        self.disk(EventKind::HdfsRead, bytes, bps)
     }
 
     /// Charge a parallel HDFS write (3-way replicated, the slowest channel).
     pub fn hdfs_write(&mut self, bytes: &[u64]) -> Result<(), SimError> {
         let bps = self.spec.disk.hdfs_write;
-        self.disk(bytes, bps)
+        self.disk(EventKind::HdfsWrite, bytes, bps)
     }
 
     /// Charge a parallel local-disk read.
     pub fn local_read(&mut self, bytes: &[u64]) -> Result<(), SimError> {
         let bps = self.spec.disk.local_read;
-        self.disk(bytes, bps)
+        self.disk(EventKind::LocalRead, bytes, bps)
     }
 
     /// Charge a parallel local-disk write.
     pub fn local_write(&mut self, bytes: &[u64]) -> Result<(), SimError> {
         let bps = self.spec.disk.local_write;
-        self.disk(bytes, bps)
+        self.disk(EventKind::LocalWrite, bytes, bps)
     }
 
-    /// Allocate `bytes` on `machine`, failing with OOM past the budget.
-    pub fn alloc(&mut self, machine: MachineId, bytes: u64) -> Result<(), SimError> {
+    fn alloc_inner(&mut self, machine: MachineId, bytes: u64) -> Result<(), SimError> {
         let m = &mut self.machines[machine];
         if m.mem_in_use + bytes > self.spec.memory_per_machine {
             return Err(SimError::Oom {
@@ -294,27 +440,79 @@ impl Cluster {
         Ok(())
     }
 
-    /// Allocate on every machine at once (`bytes[i]` on machine `i`).
-    pub fn alloc_all(&mut self, bytes: &[u64]) -> Result<(), SimError> {
-        assert_eq!(bytes.len(), self.spec.machines);
-        for (i, &b) in bytes.iter().enumerate() {
-            self.alloc(i, b)?;
+    /// Allocate `bytes` on `machine`, failing with OOM past the budget.
+    /// Successful non-zero allocations are journaled with a per-machine
+    /// delta; a failed allocation changes nothing and records nothing (the
+    /// OOM surfaces in the run status instead).
+    pub fn alloc(&mut self, machine: MachineId, bytes: u64) -> Result<(), SimError> {
+        self.alloc_inner(machine, bytes)?;
+        if bytes > 0 {
+            let mut delta = vec![0i64; self.spec.machines];
+            delta[machine] = bytes as i64;
+            self.record(EventKind::Alloc, Charge { mem_delta: delta, ..Charge::default() });
         }
         Ok(())
     }
 
-    /// Release memory on `machine`. Saturates at zero (frees of estimated
-    /// sizes may round differently than the matching alloc).
-    pub fn free(&mut self, machine: MachineId, bytes: u64) {
+    /// Allocate on every machine at once (`bytes[i]` on machine `i`). On
+    /// OOM, machines before the failing one keep their allocation (as with
+    /// repeated [`Cluster::alloc`] calls) and the partial delta is
+    /// journaled, so journal deltas always sum to the memory in use.
+    pub fn alloc_all(&mut self, bytes: &[u64]) -> Result<(), SimError> {
+        assert_eq!(bytes.len(), self.spec.machines);
+        let mut delta = vec![0i64; self.spec.machines];
+        let mut failure = None;
+        for (i, &b) in bytes.iter().enumerate() {
+            match self.alloc_inner(i, b) {
+                Ok(()) => delta[i] = b as i64,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if delta.iter().any(|&d| d != 0) {
+            self.record(EventKind::Alloc, Charge { mem_delta: delta, ..Charge::default() });
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn free_inner(&mut self, machine: MachineId, bytes: u64) -> u64 {
         let m = &mut self.machines[machine];
-        m.mem_in_use = m.mem_in_use.saturating_sub(bytes);
+        let freed = bytes.min(m.mem_in_use);
+        m.mem_in_use -= freed;
+        freed
+    }
+
+    /// Release memory on `machine`. Saturates at zero (frees of estimated
+    /// sizes may round differently than the matching alloc); the journal
+    /// records the bytes actually released.
+    pub fn free(&mut self, machine: MachineId, bytes: u64) {
+        let freed = self.free_inner(machine, bytes);
+        if freed > 0 {
+            let mut delta = vec![0i64; self.spec.machines];
+            delta[machine] = -(freed as i64);
+            self.record(EventKind::Free, Charge { mem_delta: delta, ..Charge::default() });
+        }
     }
 
     /// Release memory on every machine.
     pub fn free_all(&mut self, bytes: &[u64]) {
         assert_eq!(bytes.len(), self.spec.machines);
+        let mut delta = vec![0i64; self.spec.machines];
+        let mut any = false;
         for (i, &b) in bytes.iter().enumerate() {
-            self.free(i, b);
+            let freed = self.free_inner(i, b);
+            if freed > 0 {
+                delta[i] = -(freed as i64);
+                any = true;
+            }
+        }
+        if any {
+            self.record(EventKind::Free, Charge { mem_delta: delta, ..Charge::default() });
         }
     }
 
@@ -519,5 +717,113 @@ mod tests {
         let mut c = Cluster::new(ClusterSpec::r3_xlarge(128, 1 << 30), CostProfile::jvm_hadoop());
         c.charge_startup().unwrap();
         assert!(c.elapsed() > 60.0);
+    }
+
+    #[test]
+    fn journal_phase_sums_equal_phase_times_exactly() {
+        let mut c = cluster(2, 1 << 30);
+        c.charge_startup().unwrap();
+        c.begin_phase(Phase::Load);
+        c.hdfs_read(&[1_000_000, 2_000_000]).unwrap();
+        c.begin_phase(Phase::Execute);
+        for _ in 0..3 {
+            c.advance_compute(&[1.0e6, 2.0e6], 4).unwrap();
+            c.exchange(&[100, 200], &[200, 100], &[1, 2]).unwrap();
+            c.barrier().unwrap();
+        }
+        c.begin_phase(Phase::Save);
+        c.hdfs_write(&[500_000, 500_000]).unwrap();
+        let j = c.journal();
+        let pt = c.phase_times();
+        // Bit-identical: the journal replays the same f64 addition order.
+        assert_eq!(j.phase_times(), pt);
+        assert_eq!(j.total_time(), c.elapsed());
+        assert_eq!(j.net_bytes(), c.total_net_bytes());
+    }
+
+    #[test]
+    fn journal_events_carry_phase_label_and_superstep() {
+        let mut c = cluster(2, 1 << 30);
+        c.begin_phase(Phase::Execute);
+        c.set_label("superstep");
+        c.advance_compute(&[1.0e6, 1.0e6], 1).unwrap();
+        c.set_label("shuffle");
+        c.exchange(&[10, 10], &[10, 10], &[1, 1]).unwrap();
+        c.barrier().unwrap();
+        c.set_label("superstep");
+        c.advance_compute(&[1.0e6, 1.0e6], 1).unwrap();
+        let events = c.journal().events();
+        assert_eq!(events[0].label, "superstep");
+        assert_eq!(events[0].phase, "execute");
+        assert_eq!(events[0].superstep, 0);
+        assert_eq!(events[1].label, "shuffle");
+        assert_eq!(events[1].kind, EventKind::Network);
+        // The barrier closes superstep 0; the next compute is in superstep 1.
+        assert_eq!(events[2].kind, EventKind::Barrier);
+        assert_eq!(events[2].superstep, 0);
+        assert_eq!(events[3].superstep, 1);
+        // begin_phase resets the label.
+        c.begin_phase(Phase::Save);
+        assert_eq!(c.label(), "save");
+    }
+
+    #[test]
+    fn journal_barrier_wait_measures_stragglers() {
+        let mut c = cluster(2, 1 << 30);
+        c.advance_compute(&[1.0e9, 3.0e9], 1).unwrap();
+        let ev = &c.journal().events()[0];
+        let per_op = CostProfile::cpp_mpi().sec_per_op;
+        assert!((ev.dt - 3.0e9 * per_op).abs() < 1e-9);
+        assert!((ev.barrier_wait - 2.0e9 * per_op).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_events_record_actual_deltas() {
+        let mut c = cluster(2, 1_000);
+        c.alloc(0, 400).unwrap();
+        c.alloc_all(&[100, 200]).unwrap();
+        c.free(0, 10_000); // saturates: only 500 in use
+        let events = c.journal().events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Alloc);
+        assert_eq!(events[0].mem_delta, vec![400, 0]);
+        assert_eq!(events[1].mem_delta, vec![100, 200]);
+        assert_eq!(events[2].kind, EventKind::Free);
+        assert_eq!(events[2].mem_delta, vec![-500, 0]);
+        assert_eq!(events[2].dt, 0.0);
+        // Deltas sum to the memory in use.
+        assert_eq!(c.mem_in_use(0), 0);
+        assert_eq!(c.mem_in_use(1), 200);
+        assert_eq!(c.registry().counter("mem.alloc.bytes"), 700);
+        assert_eq!(c.registry().counter("mem.free.bytes"), 500);
+    }
+
+    #[test]
+    fn registry_histogram_counts_match_event_counters() {
+        let mut c = cluster(2, 1 << 30);
+        c.charge_startup().unwrap();
+        c.advance_compute(&[1.0e6, 1.0e6], 1).unwrap();
+        c.advance_compute(&[2.0e6, 1.0e6], 1).unwrap();
+        c.exchange(&[10, 10], &[10, 10], &[1, 1]).unwrap();
+        c.barrier().unwrap();
+        c.alloc(0, 100).unwrap();
+        for kind in EventKind::ALL {
+            let n = c.registry().counter(kind.counter());
+            let h = c.registry().histogram(kind.seconds_histogram());
+            assert_eq!(h.map(|h| h.count()).unwrap_or(0), n, "{}", kind.name());
+        }
+        assert_eq!(c.registry().counter("events.compute"), 2);
+        assert_eq!(c.registry().counter("net.bytes"), c.total_net_bytes());
+    }
+
+    #[test]
+    fn timeout_charge_is_still_journaled() {
+        let mut c = Cluster::new(
+            ClusterSpec { deadline: 1.0, ..ClusterSpec::r3_xlarge(1, 1 << 30) },
+            CostProfile::cpp_mpi(),
+        );
+        assert_eq!(c.advance_compute(&[1.0e12], 1).unwrap_err(), SimError::Timeout);
+        assert_eq!(c.journal().len(), 1);
+        assert_eq!(c.journal().total_time(), c.elapsed());
     }
 }

@@ -1,0 +1,439 @@
+//! Structured run journal: one event per cluster charge.
+//!
+//! The paper's analysis tool (Figure 10, Tables 6–8) decomposes every run
+//! into compute, network, disk, and memory components over time. The
+//! [`Journal`] is that decomposition's raw data: every time- or
+//! memory-charge the [`crate::Cluster`] accepts appends one
+//! [`JournalEvent`] carrying the superstep index, the accounting phase, an
+//! engine-chosen activity label ("superstep", "shuffle", "hdfs_write",
+//! ...), the simulated duration, the bytes that moved, and the straggler
+//! imbalance. Because the cluster funnels every charge through a single
+//! commit point, summing event durations per phase reproduces
+//! [`crate::PhaseTimes`] bit-for-bit — a property the proptests pin down.
+//!
+//! Events are plain serde values; [`Journal::to_jsonl`] /
+//! [`Journal::from_jsonl`] give the one-object-per-line format the bench
+//! bins export via `--journal <path>`.
+
+use crate::metrics::PhaseTimes;
+use serde::{Deserialize, Serialize};
+
+/// What kind of charge produced an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// One-time framework start-up ([`crate::Cluster::charge_startup`]).
+    Startup,
+    /// Parallel or master-side compute.
+    Compute,
+    /// A message exchange over the network.
+    Network,
+    /// Latency-bound waiting (lock round trips, driver scheduling).
+    NetworkWait,
+    /// Parallel HDFS read.
+    HdfsRead,
+    /// Parallel HDFS write (3-way replicated).
+    HdfsWrite,
+    /// Parallel local-disk read.
+    LocalRead,
+    /// Parallel local-disk write.
+    LocalWrite,
+    /// A BSP barrier closing one superstep.
+    Barrier,
+    /// A recovery stall (no machine is busy).
+    Stall,
+    /// Memory allocated (zero duration).
+    Alloc,
+    /// Memory released (zero duration).
+    Free,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order (test iteration helper).
+    pub const ALL: [EventKind; 12] = [
+        EventKind::Startup,
+        EventKind::Compute,
+        EventKind::Network,
+        EventKind::NetworkWait,
+        EventKind::HdfsRead,
+        EventKind::HdfsWrite,
+        EventKind::LocalRead,
+        EventKind::LocalWrite,
+        EventKind::Barrier,
+        EventKind::Stall,
+        EventKind::Alloc,
+        EventKind::Free,
+    ];
+
+    /// The snake_case name this kind serializes to.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Startup => "startup",
+            EventKind::Compute => "compute",
+            EventKind::Network => "network",
+            EventKind::NetworkWait => "network_wait",
+            EventKind::HdfsRead => "hdfs_read",
+            EventKind::HdfsWrite => "hdfs_write",
+            EventKind::LocalRead => "local_read",
+            EventKind::LocalWrite => "local_write",
+            EventKind::Barrier => "barrier",
+            EventKind::Stall => "stall",
+            EventKind::Alloc => "alloc",
+            EventKind::Free => "free",
+        }
+    }
+
+    /// Registry counter incremented once per event of this kind.
+    pub fn counter(self) -> &'static str {
+        match self {
+            EventKind::Startup => "events.startup",
+            EventKind::Compute => "events.compute",
+            EventKind::Network => "events.network",
+            EventKind::NetworkWait => "events.network_wait",
+            EventKind::HdfsRead => "events.hdfs_read",
+            EventKind::HdfsWrite => "events.hdfs_write",
+            EventKind::LocalRead => "events.local_read",
+            EventKind::LocalWrite => "events.local_write",
+            EventKind::Barrier => "events.barrier",
+            EventKind::Stall => "events.stall",
+            EventKind::Alloc => "events.alloc",
+            EventKind::Free => "events.free",
+        }
+    }
+
+    /// Registry histogram observing each event's duration.
+    pub fn seconds_histogram(self) -> &'static str {
+        match self {
+            EventKind::Startup => "seconds.startup",
+            EventKind::Compute => "seconds.compute",
+            EventKind::Network => "seconds.network",
+            EventKind::NetworkWait => "seconds.network_wait",
+            EventKind::HdfsRead => "seconds.hdfs_read",
+            EventKind::HdfsWrite => "seconds.hdfs_write",
+            EventKind::LocalRead => "seconds.local_read",
+            EventKind::LocalWrite => "seconds.local_write",
+            EventKind::Barrier => "seconds.barrier",
+            EventKind::Stall => "seconds.stall",
+            EventKind::Alloc => "seconds.alloc",
+            EventKind::Free => "seconds.free",
+        }
+    }
+
+    /// Registry counter accumulating this kind's disk bytes, if it is a
+    /// disk channel.
+    pub fn bytes_counter(self) -> Option<&'static str> {
+        match self {
+            EventKind::HdfsRead => Some("disk.hdfs_read.bytes"),
+            EventKind::HdfsWrite => Some("disk.hdfs_write.bytes"),
+            EventKind::LocalRead => Some("disk.local_read.bytes"),
+            EventKind::LocalWrite => Some("disk.local_write.bytes"),
+            _ => None,
+        }
+    }
+
+    /// Broad resource class for cost-breakdown tables.
+    pub fn class(self) -> &'static str {
+        match self {
+            EventKind::Compute => "compute",
+            EventKind::Network | EventKind::NetworkWait => "network",
+            EventKind::HdfsRead
+            | EventKind::HdfsWrite
+            | EventKind::LocalRead
+            | EventKind::LocalWrite => "disk",
+            EventKind::Barrier => "barrier",
+            EventKind::Startup | EventKind::Stall => "other",
+            EventKind::Alloc | EventKind::Free => "memory",
+        }
+    }
+}
+
+fn zero_u64(v: &u64) -> bool {
+    *v == 0
+}
+
+fn zero_f64(v: &f64) -> bool {
+    *v == 0.0
+}
+
+/// One cluster charge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// Position in the run's charge sequence (0-based).
+    pub seq: u64,
+    /// Superstep the charge belongs to: the number of barriers passed when
+    /// it was recorded (a [`EventKind::Barrier`] event closes its own
+    /// superstep).
+    pub superstep: u64,
+    /// Accounting phase: `load`, `execute`, `save`, or `overhead`.
+    pub phase: String,
+    /// Engine-chosen activity label ("superstep", "shuffle", ...); defaults
+    /// to the phase name.
+    pub label: String,
+    pub kind: EventKind,
+    /// Simulated seconds this charge advanced the wall clock (slowest
+    /// machine under BSP semantics). Zero for memory events.
+    pub dt: f64,
+    /// Straggler imbalance: the fastest machine waited this long for the
+    /// slowest one inside this charge.
+    #[serde(default, skip_serializing_if = "zero_f64")]
+    pub barrier_wait: f64,
+    /// Paper-equivalent bytes over the network, including framing.
+    #[serde(default, skip_serializing_if = "zero_u64")]
+    pub net_bytes: u64,
+    /// Paper-equivalent application messages.
+    #[serde(default, skip_serializing_if = "zero_u64")]
+    pub messages: u64,
+    /// Paper-equivalent bytes through the disk channel named by `kind`.
+    #[serde(default, skip_serializing_if = "zero_u64")]
+    pub disk_bytes: u64,
+    /// Per-machine memory delta in bytes (positive: alloc, negative: free).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub mem_delta: Vec<i64>,
+}
+
+/// Aggregate cost of one activity label — a row of the paper's Figure 10
+/// decomposition.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LabelCost {
+    pub label: String,
+    /// Number of journal events attributed to the label.
+    pub events: u64,
+    /// Simulated seconds per resource class.
+    pub compute: f64,
+    pub network: f64,
+    pub disk: f64,
+    pub barrier: f64,
+    /// Start-up + recovery stalls.
+    pub other: f64,
+    pub net_bytes: u64,
+    pub disk_bytes: u64,
+    pub messages: u64,
+}
+
+impl LabelCost {
+    /// Total simulated seconds attributed to the label.
+    pub fn total(&self) -> f64 {
+        self.compute + self.network + self.disk + self.barrier + self.other
+    }
+}
+
+/// The ordered event log of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Journal {
+    events: Vec<JournalEvent>,
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    pub fn push(&mut self, ev: JournalEvent) {
+        self.events.push(ev);
+    }
+
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sum of event durations, accumulated in event order (bit-identical to
+    /// the cluster's clock when no charge was recorded outside the journal).
+    pub fn total_time(&self) -> f64 {
+        let mut t = 0.0;
+        for ev in &self.events {
+            t += ev.dt;
+        }
+        t
+    }
+
+    /// Sum of event durations in one phase, in event order.
+    pub fn phase_time(&self, phase: &str) -> f64 {
+        let mut t = 0.0;
+        for ev in &self.events {
+            if ev.phase == phase {
+                t += ev.dt;
+            }
+        }
+        t
+    }
+
+    /// Recompute [`PhaseTimes`] from the events. The cluster adds each
+    /// charge to its phase accumulator at the same moment it records the
+    /// event, so this replays the identical f64 addition sequence and the
+    /// result equals [`crate::Cluster::phase_times`] exactly.
+    pub fn phase_times(&self) -> PhaseTimes {
+        let mut pt = PhaseTimes::default();
+        for ev in &self.events {
+            match ev.phase.as_str() {
+                "load" => pt.load += ev.dt,
+                "execute" => pt.execute += ev.dt,
+                "save" => pt.save += ev.dt,
+                _ => pt.overhead += ev.dt,
+            }
+        }
+        pt
+    }
+
+    /// Total paper-equivalent network bytes across events.
+    pub fn net_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.net_bytes).sum()
+    }
+
+    /// Total paper-equivalent disk bytes across events (all channels).
+    pub fn disk_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.disk_bytes).sum()
+    }
+
+    /// Per-label cost decomposition, ordered by first appearance.
+    pub fn breakdown(&self) -> Vec<LabelCost> {
+        let mut rows: Vec<LabelCost> = Vec::new();
+        for ev in &self.events {
+            let idx = match rows.iter().position(|r| r.label == ev.label) {
+                Some(i) => i,
+                None => {
+                    rows.push(LabelCost { label: ev.label.clone(), ..LabelCost::default() });
+                    rows.len() - 1
+                }
+            };
+            let row = &mut rows[idx];
+            row.events += 1;
+            match ev.kind.class() {
+                "compute" => row.compute += ev.dt,
+                "network" => row.network += ev.dt,
+                "disk" => row.disk += ev.dt,
+                "barrier" => row.barrier += ev.dt,
+                _ => row.other += ev.dt,
+            }
+            row.net_bytes += ev.net_bytes;
+            row.disk_bytes += ev.disk_bytes;
+            row.messages += ev.messages;
+        }
+        rows
+    }
+
+    /// One JSON object per line, in event order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&serde_json::to_string(ev).expect("journal events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a [`Journal::to_jsonl`] export (blank lines are skipped).
+    pub fn from_jsonl(s: &str) -> Result<Journal, serde_json::Error> {
+        let mut events = Vec::new();
+        for line in s.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str(line)?);
+        }
+        Ok(Journal { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, phase: &str, label: &str, dt: f64) -> JournalEvent {
+        JournalEvent {
+            seq: 0,
+            superstep: 0,
+            phase: phase.to_string(),
+            label: label.to_string(),
+            kind,
+            dt,
+            barrier_wait: 0.0,
+            net_bytes: 0,
+            messages: 0,
+            disk_bytes: 0,
+            mem_delta: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut j = Journal::new();
+        let mut e = ev(EventKind::Network, "execute", "shuffle", 1.5);
+        e.net_bytes = 1000;
+        e.messages = 10;
+        e.barrier_wait = 0.25;
+        j.push(e);
+        j.push(ev(EventKind::Alloc, "load", "load", 0.0));
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn zero_fields_are_omitted_from_jsonl() {
+        let mut j = Journal::new();
+        j.push(ev(EventKind::Barrier, "execute", "barrier", 0.1));
+        let line = j.to_jsonl();
+        assert!(!line.contains("net_bytes"), "{line}");
+        assert!(!line.contains("mem_delta"), "{line}");
+        assert!(line.contains("\"kind\":\"barrier\""), "{line}");
+    }
+
+    #[test]
+    fn phase_times_and_totals_add_up() {
+        let mut j = Journal::new();
+        j.push(ev(EventKind::HdfsRead, "load", "load", 2.0));
+        j.push(ev(EventKind::Compute, "execute", "superstep", 3.0));
+        j.push(ev(EventKind::Barrier, "execute", "barrier", 0.5));
+        j.push(ev(EventKind::HdfsWrite, "save", "save", 1.0));
+        let pt = j.phase_times();
+        assert_eq!(pt.load, 2.0);
+        assert_eq!(pt.execute, 3.5);
+        assert_eq!(pt.save, 1.0);
+        assert_eq!(pt.overhead, 0.0);
+        assert_eq!(j.total_time(), pt.total());
+        assert_eq!(j.phase_time("execute"), 3.5);
+    }
+
+    #[test]
+    fn breakdown_groups_by_label_in_first_appearance_order() {
+        let mut j = Journal::new();
+        let mut net = ev(EventKind::Network, "execute", "shuffle", 1.0);
+        net.net_bytes = 500;
+        net.messages = 5;
+        j.push(ev(EventKind::Compute, "execute", "superstep", 2.0));
+        j.push(net);
+        j.push(ev(EventKind::Compute, "execute", "superstep", 4.0));
+        j.push(ev(EventKind::Barrier, "execute", "barrier", 0.25));
+        let rows = j.breakdown();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "superstep");
+        assert_eq!(rows[0].events, 2);
+        assert_eq!(rows[0].compute, 6.0);
+        assert_eq!(rows[1].label, "shuffle");
+        assert_eq!(rows[1].network, 1.0);
+        assert_eq!(rows[1].net_bytes, 500);
+        assert_eq!(rows[1].messages, 5);
+        assert_eq!(rows[2].barrier, 0.25);
+        assert_eq!(rows[2].total(), 0.25);
+    }
+
+    #[test]
+    fn kind_names_match_registry_names() {
+        for kind in EventKind::ALL {
+            assert_eq!(kind.counter(), format!("events.{}", kind.name()));
+            assert_eq!(kind.seconds_histogram(), format!("seconds.{}", kind.name()));
+            if let Some(b) = kind.bytes_counter() {
+                assert_eq!(b, format!("disk.{}.bytes", kind.name()));
+            }
+        }
+    }
+}

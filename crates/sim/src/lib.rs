@@ -21,13 +21,17 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod journal;
 pub mod metrics;
+pub mod registry;
 pub mod spec;
 pub mod trace;
 
 pub use cluster::{Cluster, Phase};
 pub use cost::CostProfile;
+pub use journal::{EventKind, Journal, JournalEvent, LabelCost};
 pub use metrics::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus};
+pub use registry::{Histogram, MetricsRegistry, SECONDS_BUCKETS};
 pub use spec::{ClusterSpec, DiskSpec, FaultSpec, NetworkSpec};
 pub use trace::{Trace, TraceSample};
 

@@ -1,0 +1,175 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! A deterministic, allocation-light metrics registry the [`crate::Cluster`]
+//! fills as it accepts charges: one counter and one duration histogram per
+//! [`crate::journal::EventKind`], byte counters per channel, and memory
+//! traffic counters. `BTreeMap` keys make iteration (and serde output)
+//! independent of insertion order, so serialized registries are
+//! bit-identical across host thread counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Shared duration-histogram bucket upper bounds, seconds. Values above the
+/// last bound land in the overflow bucket.
+pub const SECONDS_BUCKETS: [f64; 8] = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10_000.0];
+
+/// A fixed-bucket histogram: `counts[i]` observations fell at or below
+/// `bounds[i]` (and above `bounds[i-1]`); the final slot counts overflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    pub fn observe(&mut self, v: f64) {
+        let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Inclusive upper bounds of the regular buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts; one entry per bound plus overflow.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Deterministic registry of named counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to the named counter, creating it at zero.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        // get_mut-first keeps the hot path allocation-free.
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Current value of a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Observe `v` in the named histogram, creating it with `bounds` on
+    /// first use (later `bounds` arguments are ignored).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::new(bounds);
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.counter("absent"), 0);
+        r.inc("net.bytes", 10);
+        r.inc("net.bytes", 5);
+        r.inc("events.compute", 1);
+        assert_eq!(r.counter("net.bytes"), 15);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["events.compute", "net.bytes"]); // sorted
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 (inclusive bound)
+        h.observe(2.0); // bucket 1
+        h.observe(100.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 103.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_count_equals_bucket_sum() {
+        let mut r = MetricsRegistry::new();
+        for v in [0.0001, 0.2, 3.0, 50_000.0] {
+            r.observe("seconds.compute", &SECONDS_BUCKETS, v);
+        }
+        let h = r.histogram("seconds.compute").unwrap();
+        assert_eq!(h.counts().iter().sum::<u64>(), h.count());
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.counts().len(), SECONDS_BUCKETS.len() + 1);
+        assert_eq!(h.counts()[SECONDS_BUCKETS.len()], 1); // the 50 000 s outlier
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let mut a = MetricsRegistry::new();
+        a.inc("b", 1);
+        a.inc("a", 2);
+        let mut b = MetricsRegistry::new();
+        b.inc("a", 2);
+        b.inc("b", 1);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+}

@@ -36,9 +36,12 @@ impl Trace {
         &self.samples
     }
 
-    /// Peak memory over the trace for each machine.
+    /// Peak memory over the trace for each machine. Sized from the widest
+    /// sample: a run whose machine count changes mid-trace (a post-fault
+    /// rerun on a larger replacement cluster) must not under-report the
+    /// machines its first sample didn't know about.
     pub fn peaks(&self) -> Vec<u64> {
-        let machines = self.samples.first().map(|s| s.mem_per_machine.len()).unwrap_or(0);
+        let machines = self.samples.iter().map(|s| s.mem_per_machine.len()).max().unwrap_or(0);
         let mut peaks = vec![0u64; machines];
         for s in &self.samples {
             for (p, &m) in peaks.iter_mut().zip(&s.mem_per_machine) {
@@ -83,6 +86,17 @@ mod tests {
         t.record(0.0, &[10, 10, 10]);
         t.record(1.0, &[10, 90, 10]);
         assert_eq!(t.max_skew(), 80);
+    }
+
+    #[test]
+    fn peaks_cover_machines_added_after_the_first_sample() {
+        // Regression: a fault rerun can widen the cluster mid-trace; sizing
+        // the peak vector from the first sample under-reported the added
+        // machines.
+        let mut t = Trace::new();
+        t.record(0.0, &[5, 1]);
+        t.record(1.0, &[2, 9, 7]);
+        assert_eq!(t.peaks(), vec![5, 9, 7]);
     }
 
     #[test]

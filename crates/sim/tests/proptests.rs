@@ -1,7 +1,11 @@
-//! Property-based tests for the cluster simulator's accounting invariants.
+//! Property-based tests for the cluster simulator's accounting invariants,
+//! including the journal/registry observability contract: every charge is
+//! journaled, per-phase journal sums reproduce the clock bit-for-bit, and
+//! the registry's counters and histograms agree with the event log.
 
-use graphbench_sim::{Cluster, ClusterSpec, CostProfile, Phase};
+use graphbench_sim::{Cluster, ClusterSpec, CostProfile, Journal, Phase};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -88,5 +92,62 @@ proptest! {
         let cpu = c.cpu_breakdown();
         prop_assert!(cpu.user_avg >= 0.0 && cpu.user_avg <= 1.0 + 1e-9);
         prop_assert!(cpu.io_wait_avg >= 0.0 && cpu.io_wait_avg <= 1.0 + 1e-9);
+
+        // --- Journal invariants -------------------------------------------
+        let j = c.journal();
+        // Event durations sum to the simulated clock, bit-for-bit: both
+        // fold the same charge sequence in the same order.
+        prop_assert_eq!(j.total_time(), c.elapsed());
+        // And per phase, against the cluster's own accounting.
+        let jp = j.phase_times();
+        let cp = c.phase_times();
+        prop_assert_eq!(jp.load, cp.load);
+        prop_assert_eq!(jp.execute, cp.execute);
+        prop_assert_eq!(jp.save, cp.save);
+        prop_assert_eq!(jp.overhead, cp.overhead);
+        // Sequence numbers are the event index; superstep is monotone.
+        for (i, ev) in j.events().iter().enumerate() {
+            prop_assert_eq!(ev.seq, i as u64);
+        }
+        for w in j.events().windows(2) {
+            prop_assert!(w[0].superstep <= w[1].superstep);
+        }
+        // Memory deltas replay to the memory in use.
+        for m in 0..machines {
+            let replayed: i64 = j
+                .events()
+                .iter()
+                .filter_map(|ev| ev.mem_delta.get(m))
+                .sum();
+            prop_assert_eq!(replayed, c.mem_in_use(m) as i64);
+        }
+        // JSONL export round-trips losslessly.
+        let rt = Journal::from_jsonl(&j.to_jsonl()).unwrap();
+        prop_assert_eq!(&rt, j);
+
+        // --- Registry invariants ------------------------------------------
+        let reg = c.registry();
+        // Per-kind: histogram observation count == event counter == number
+        // of journal events of that kind.
+        let mut events_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut hist_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in j.events() {
+            *events_by_kind.entry(ev.kind.counter()).or_default() += 1;
+            *hist_by_kind.entry(ev.kind.seconds_histogram()).or_default() += 1;
+        }
+        for (name, n) in events_by_kind {
+            prop_assert_eq!(reg.counter(name), n, "counter {}", name);
+        }
+        for (name, n) in hist_by_kind {
+            let h = reg.histogram(name).unwrap();
+            prop_assert_eq!(h.count(), n, "histogram {}", name);
+            // Bucket counts always sum to the total observation count.
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), h.count());
+        }
+        // Byte and message totals match the event log.
+        let net: u64 = j.events().iter().map(|ev| ev.net_bytes).sum();
+        prop_assert_eq!(reg.counter("net.bytes"), net);
+        let msgs: u64 = j.events().iter().map(|ev| ev.messages).sum();
+        prop_assert_eq!(reg.counter("net.messages"), msgs);
     }
 }

@@ -38,6 +38,33 @@ fn run_records_are_bit_identical_across_thread_counts() {
     }
 }
 
+#[test]
+fn journals_and_registries_are_thread_count_invariant() {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let rec = |threads: usize| {
+        let mut r = Runner::new(PaperEnv::new(Scale { base: 600 }, 11));
+        r.threads = Some(threads);
+        r.run(&ExperimentSpec {
+            system: SystemId::Giraph,
+            workload: WorkloadKind::PageRank,
+            dataset: DatasetKind::Twitter,
+            machines: 16,
+        })
+    };
+    let serial = rec(1);
+    let parallel = rec(4);
+    // The JSONL export is the external contract: byte-for-byte identical.
+    assert_eq!(serial.journal.to_jsonl(), parallel.journal.to_jsonl());
+    assert_eq!(serial.registry, parallel.registry);
+    // And the journal's per-phase sums reproduce the run's accounting
+    // bit-for-bit (same f64 addition order as the cluster clock).
+    let p = serial.journal.phase_times();
+    assert_eq!(p.load, serial.metrics.phases.load);
+    assert_eq!(p.execute, serial.metrics.phases.execute);
+    assert_eq!(p.save, serial.metrics.phases.save);
+    assert_eq!(p.overhead, serial.metrics.phases.overhead);
+}
+
 mod parallel_bsp_equals_serial {
     use super::THREADS_LOCK;
     use graphbench_algos::reference;

@@ -1,0 +1,203 @@
+//! Golden-record lockdown: serialized [`RunRecord`]s — metrics, notes,
+//! memory traces, the structured journal, and the metrics registry — are
+//! snapshotted under `tests/golden/` and compared byte-for-byte on every
+//! run. Any behavioural drift in the simulator, the engines, or the
+//! observability layer shows up as a diff.
+//!
+//! Workflow:
+//!
+//! * a missing golden file is written from the current run and the test
+//!   passes (self-blessing, so fresh checkouts and new cells bootstrap);
+//! * `GRAPHBENCH_BLESS=1 cargo test` regenerates every snapshot;
+//! * on mismatch the test writes `<name>.actual.json` and
+//!   `<name>.journal.jsonl` next to the golden file (CI uploads them as
+//!   artifacts) and fails with a pointer to both.
+//!
+//! The snapshots are host-independent by construction: simulated time is
+//! deterministic, and the journal/registry are bit-identical across
+//! `GRAPHBENCH_THREADS` settings (see `tests/determinism_parallel.rs`),
+//! so the same files verify at any thread count.
+
+use graphbench::system::GlStop;
+use graphbench::{ExperimentSpec, PaperEnv, RunRecord, Runner, SystemId};
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::{DatasetKind, Scale};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core for this test target.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// A small, fast, fully deterministic configuration. Changing it
+/// invalidates every snapshot, so treat it as frozen.
+fn runner() -> Runner {
+    let mut r = Runner::new(PaperEnv::new(Scale { base: 300 }, 7));
+    r.fixed_pr_iterations = 5;
+    r
+}
+
+fn snapshot_name(system: &str, workload: &str) -> String {
+    format!("{}_{}", system.replace(['(', ')', '+'], ""), workload).to_lowercase()
+}
+
+fn check_snapshot(name: &str, rec: &RunRecord) {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    let golden = dir.join(format!("{name}.json"));
+    let actual = serde_json::to_string_pretty(rec).expect("record serializes");
+    let bless = std::env::var("GRAPHBENCH_BLESS").is_ok_and(|v| v == "1");
+    if bless || !golden.exists() {
+        std::fs::write(&golden, actual.as_bytes()).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).expect("read golden file");
+    if want == actual {
+        return;
+    }
+    // Leave the evidence where CI can pick it up.
+    let actual_path = dir.join(format!("{name}.actual.json"));
+    std::fs::write(&actual_path, actual.as_bytes()).expect("write actual");
+    let journal_path = dir.join(format!("{name}.journal.jsonl"));
+    std::fs::write(&journal_path, rec.journal.to_jsonl()).expect("write journal");
+    // A compact first-divergence pointer beats a full-file diff in a
+    // terminal.
+    let diverge = want
+        .lines()
+        .zip(actual.lines())
+        .position(|(a, b)| a != b)
+        .map(|i| {
+            format!(
+                "first differing line {}:\n  golden: {}\n  actual: {}",
+                i + 1,
+                want.lines().nth(i).unwrap_or(""),
+                actual.lines().nth(i).unwrap_or(""),
+            )
+        })
+        .unwrap_or_else(|| "files differ only in length".into());
+    panic!(
+        "golden mismatch for {name}\n{diverge}\n\
+         actual record: {}\njournal: {}\n\
+         re-bless with GRAPHBENCH_BLESS=1 if the change is intended",
+        actual_path.display(),
+        journal_path.display(),
+    );
+}
+
+fn golden_cell(system: SystemId, workload: WorkloadKind) {
+    let mut r = runner();
+    let rec =
+        r.run(&ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 });
+    // The tentpole invariant, checked on every goldened record: journal
+    // per-phase sums reproduce the run's accounting bit-for-bit.
+    let p = rec.journal.phase_times();
+    assert_eq!(p.load, rec.metrics.phases.load, "{}", rec.system);
+    assert_eq!(p.execute, rec.metrics.phases.execute, "{}", rec.system);
+    assert_eq!(p.save, rec.metrics.phases.save, "{}", rec.system);
+    assert_eq!(p.overhead, rec.metrics.phases.overhead, "{}", rec.system);
+    check_snapshot(&snapshot_name(&rec.system, rec.workload), &rec);
+}
+
+fn gl_sri() -> SystemId {
+    SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Iterations }
+}
+
+#[test]
+fn golden_giraph_pagerank() {
+    golden_cell(SystemId::Giraph, WorkloadKind::PageRank);
+}
+
+#[test]
+fn golden_giraph_wcc() {
+    golden_cell(SystemId::Giraph, WorkloadKind::Wcc);
+}
+
+#[test]
+fn golden_graphlab_pagerank() {
+    golden_cell(gl_sri(), WorkloadKind::PageRank);
+}
+
+#[test]
+fn golden_graphlab_wcc() {
+    golden_cell(gl_sri(), WorkloadKind::Wcc);
+}
+
+#[test]
+fn golden_blogel_v_pagerank() {
+    golden_cell(SystemId::BlogelV, WorkloadKind::PageRank);
+}
+
+#[test]
+fn golden_blogel_v_wcc() {
+    golden_cell(SystemId::BlogelV, WorkloadKind::Wcc);
+}
+
+#[test]
+fn golden_hadoop_pagerank() {
+    golden_cell(SystemId::Hadoop, WorkloadKind::PageRank);
+}
+
+#[test]
+fn golden_hadoop_wcc() {
+    golden_cell(SystemId::Hadoop, WorkloadKind::Wcc);
+}
+
+#[test]
+fn golden_graphx_pagerank() {
+    golden_cell(SystemId::GraphX, WorkloadKind::PageRank);
+}
+
+#[test]
+fn golden_graphx_wcc() {
+    golden_cell(SystemId::GraphX, WorkloadKind::Wcc);
+}
+
+#[test]
+fn golden_vertica_pagerank() {
+    golden_cell(SystemId::Vertica, WorkloadKind::PageRank);
+}
+
+#[test]
+fn golden_vertica_wcc() {
+    golden_cell(SystemId::Vertica, WorkloadKind::Wcc);
+}
+
+/// Every engine in both paper line-ups (plus the COST baseline) satisfies
+/// the journal/metrics contract: the journal is non-empty, its per-phase
+/// sums equal the run's phase accounting bit-for-bit, and the registry's
+/// per-kind event counters sum to the journal length.
+#[test]
+fn every_engine_journal_agrees_with_its_metrics() {
+    let mut cells: Vec<(SystemId, WorkloadKind)> = Vec::new();
+    for s in SystemId::traversal_lineup() {
+        cells.push((s, WorkloadKind::Wcc));
+    }
+    for s in SystemId::pagerank_lineup() {
+        cells.push((s, WorkloadKind::PageRank));
+    }
+    cells.push((SystemId::SingleThread, WorkloadKind::Wcc));
+    for (system, workload) in cells {
+        let mut r = runner();
+        let machines = if system == SystemId::SingleThread { 1 } else { 16 };
+        let rec =
+            r.run(&ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines });
+        let label = format!("{} {}", rec.system, rec.workload);
+        assert!(!rec.journal.is_empty(), "{label}: empty journal");
+        let p = rec.journal.phase_times();
+        assert_eq!(p.load, rec.metrics.phases.load, "{label} load");
+        assert_eq!(p.execute, rec.metrics.phases.execute, "{label} execute");
+        assert_eq!(p.save, rec.metrics.phases.save, "{label} save");
+        assert_eq!(p.overhead, rec.metrics.phases.overhead, "{label} overhead");
+        let counted: u64 = rec
+            .registry
+            .counters()
+            .filter(|(name, _)| name.starts_with("events."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(counted, rec.journal.len() as u64, "{label} event counters");
+        // Network accounting agrees between journal, registry, and metrics.
+        let net: u64 = rec.journal.events().iter().map(|ev| ev.net_bytes).sum();
+        assert_eq!(net, rec.metrics.network_bytes, "{label} net bytes");
+        assert_eq!(net, rec.registry.counter("net.bytes"), "{label} net.bytes counter");
+    }
+}
