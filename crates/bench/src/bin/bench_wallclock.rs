@@ -1,17 +1,29 @@
-//! Wall-clock benchmark for the parallel superstep executor.
+//! Wall-clock benchmark for the parallel superstep executor and the
+//! radix message shuffle.
 //!
-//! Runs the same simulated experiments at 1 host thread (the legacy serial
-//! path) and at every available core, times them with the host clock, checks
-//! that the serialized records are bit-for-bit identical, and writes
-//! `BENCH_parallel.json`. Simulated metrics never depend on the thread
-//! count — only the real time to produce them does.
+//! Two A/B comparisons over the same simulated experiments, timed with the
+//! host clock:
+//!
+//! * **threads** — 1 host thread (the legacy serial path) vs every
+//!   available core, written to `BENCH_parallel.json`;
+//! * **shuffle** — the legacy sort-based shuffle vs the zero-sort radix
+//!   path, at full thread count, written to `BENCH_shuffle.json`.
+//!
+//! Both axes check that the serialized records are bit-for-bit identical
+//! across the compared configurations: neither the thread count nor the
+//! shuffle data path may change any simulated metric — only the real time
+//! to produce them.
 //!
 //! Scale with `GRAPHBENCH_BASE` (default 1500); larger bases give the
 //! executor more per-machine work per superstep and therefore better
-//! speedups.
+//! speedups. **Run on a multi-core host**: on a single-core machine the
+//! threads axis degenerates to 1-vs-1 and the shuffle axis loses the
+//! memory-bandwidth contention that makes the sort path's extra passes
+//! expensive, so both JSONs will understate the gap.
 
 use graphbench::runner::ExperimentSpec;
 use graphbench::system::SystemId;
+use graphbench::ShuffleMode;
 use graphbench_algos::WorkloadKind;
 use graphbench_gen::DatasetKind;
 use serde::Serialize;
@@ -37,11 +49,38 @@ struct Report {
     speedup_geomean: f64,
 }
 
-/// Wall-clock seconds for `reps` runs of `spec` at `threads` host threads,
-/// plus the serialized record of the last run (for the identity check).
-fn time_runs(threads: usize, spec: &ExperimentSpec, reps: u32) -> (f64, String) {
+#[derive(Serialize)]
+struct ShuffleRow {
+    system: String,
+    workload: &'static str,
+    sort_secs: f64,
+    radix_secs: f64,
+    speedup: f64,
+    records_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ShuffleReport {
+    host_cores: usize,
+    threads: usize,
+    scale_base: u64,
+    rows: Vec<ShuffleRow>,
+    /// Geometric mean of per-row sort/radix speedups.
+    speedup_geomean: f64,
+}
+
+/// Wall-clock seconds for `reps` runs of `spec` at `threads` host threads
+/// under `shuffle` (`None` keeps the process-wide mode), plus the serialized
+/// record of the last run (for the identity check).
+fn time_runs(
+    threads: usize,
+    shuffle: Option<ShuffleMode>,
+    spec: &ExperimentSpec,
+    reps: u32,
+) -> (f64, String) {
     let mut runner = graphbench_repro::runner();
     runner.threads = Some(threads);
+    runner.shuffle = shuffle;
     runner.run(spec); // warm the dataset cache outside the timed region
     let start = Instant::now();
     let mut json = String::new();
@@ -51,11 +90,15 @@ fn time_runs(threads: usize, spec: &ExperimentSpec, reps: u32) -> (f64, String) 
     (start.elapsed().as_secs_f64() / reps as f64, json)
 }
 
+fn geomean(speedups: impl Iterator<Item = f64>, n: usize) -> f64 {
+    (speedups.map(|s| s.ln()).sum::<f64>() / n as f64).exp()
+}
+
 fn main() {
     let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     graphbench_repro::banner(
         "bench_wallclock",
-        &format!("executor wall-clock, 1 vs {ncores} host threads"),
+        &format!("executor wall-clock, 1 vs {ncores} host threads; sort vs radix shuffle"),
     );
     let cells = [
         (SystemId::BlogelV, WorkloadKind::PageRank),
@@ -66,11 +109,13 @@ fn main() {
         (SystemId::Hadoop, WorkloadKind::Wcc),
     ];
     let reps = 3;
+
+    // Axis 1: serial vs parallel executor, at the process-wide shuffle mode.
     let mut rows = Vec::new();
     for (system, workload) in cells {
         let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
-        let (serial_secs, serial_json) = time_runs(1, &spec, reps);
-        let (parallel_secs, parallel_json) = time_runs(ncores, &spec, reps);
+        let (serial_secs, serial_json) = time_runs(1, None, &spec, reps);
+        let (parallel_secs, parallel_json) = time_runs(ncores, None, &spec, reps);
         let row = Row {
             system: system.label(),
             workload: workload.name(),
@@ -91,8 +136,7 @@ fn main() {
         assert!(row.records_identical, "{}/{} record diverged", row.system, row.workload);
         rows.push(row);
     }
-    let speedup_geomean =
-        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let speedup_geomean = geomean(rows.iter().map(|r| r.speedup), rows.len());
     let report = Report {
         host_cores: ncores,
         parallel_threads: ncores,
@@ -102,8 +146,47 @@ fn main() {
     };
     std::fs::write("BENCH_parallel.json", serde_json::to_string_pretty(&report).unwrap())
         .expect("write BENCH_parallel.json");
-    println!("\ngeomean speedup {speedup_geomean:.2}x -> BENCH_parallel.json");
+    println!("\ngeomean speedup {speedup_geomean:.2}x -> BENCH_parallel.json\n");
+
+    // Axis 2: sort vs radix shuffle, both at full thread count.
+    let mut srows = Vec::new();
+    for (system, workload) in cells {
+        let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
+        let (sort_secs, sort_json) = time_runs(ncores, Some(ShuffleMode::Sort), &spec, reps);
+        let (radix_secs, radix_json) = time_runs(ncores, Some(ShuffleMode::Radix), &spec, reps);
+        let row = ShuffleRow {
+            system: system.label(),
+            workload: workload.name(),
+            sort_secs,
+            radix_secs,
+            speedup: sort_secs / radix_secs,
+            records_identical: sort_json == radix_json,
+        };
+        println!(
+            "{:>4} {:8}  sort {:8.4}s  radix {:8.4}s  speedup {:5.2}x  identical {}",
+            row.system,
+            row.workload,
+            row.sort_secs,
+            row.radix_secs,
+            row.speedup,
+            row.records_identical
+        );
+        assert!(row.records_identical, "{}/{} record diverged", row.system, row.workload);
+        srows.push(row);
+    }
+    let shuffle_geomean = geomean(srows.iter().map(|r| r.speedup), srows.len());
+    let sreport = ShuffleReport {
+        host_cores: ncores,
+        threads: ncores,
+        scale_base: graphbench_repro::scale().base,
+        rows: srows,
+        speedup_geomean: shuffle_geomean,
+    };
+    std::fs::write("BENCH_shuffle.json", serde_json::to_string_pretty(&sreport).unwrap())
+        .expect("write BENCH_shuffle.json");
+    println!("\ngeomean shuffle speedup {shuffle_geomean:.2}x -> BENCH_shuffle.json");
     graphbench_repro::paper_note(
-        "simulated seconds are identical at every thread count; the speedup is host wall-clock",
+        "simulated seconds are identical at every thread count and shuffle mode; \
+         the speedups are host wall-clock",
     );
 }

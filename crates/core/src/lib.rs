@@ -42,6 +42,7 @@ pub mod runner;
 pub mod system;
 pub mod viz;
 
+pub use graphbench_engines::shuffle::ShuffleMode;
 pub use paper::PaperEnv;
 pub use runner::{ExperimentSpec, RunRecord, Runner};
 pub use system::SystemId;

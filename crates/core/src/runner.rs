@@ -4,6 +4,7 @@ use crate::paper::PaperEnv;
 use crate::system::SystemId;
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadKind};
+use graphbench_engines::shuffle::ShuffleMode;
 use graphbench_engines::EngineInput;
 use graphbench_gen::DatasetKind;
 use graphbench_sim::{Journal, MetricsRegistry, RunMetrics, Trace};
@@ -66,11 +67,16 @@ pub struct Runner {
     /// defaulting to the available cores); `Some(1)` forces the legacy
     /// serial path. Thread count never changes any simulated metric.
     pub threads: Option<usize>,
+    /// Message-shuffle data path for the BSP runtime. `None` keeps the
+    /// process-wide setting (the `GRAPHBENCH_SHUFFLE` environment variable,
+    /// defaulting to the radix path). Shuffle mode never changes any
+    /// simulated metric — both paths produce bit-identical records.
+    pub shuffle: Option<ShuffleMode>,
 }
 
 impl Runner {
     pub fn new(env: PaperEnv) -> Self {
-        Runner { env, fixed_pr_iterations: 30, pr_tolerance: 1e-6, threads: None }
+        Runner { env, fixed_pr_iterations: 30, pr_tolerance: 1e-6, threads: None, shuffle: None }
     }
 
     /// The workload instance a spec resolves to (source vertices and
@@ -99,6 +105,9 @@ impl Runner {
     pub fn run(&mut self, spec: &ExperimentSpec) -> RunRecord {
         if let Some(t) = self.threads {
             graphbench_engines::exec::set_threads(t);
+        }
+        if let Some(s) = self.shuffle {
+            graphbench_engines::shuffle::set_mode(s);
         }
         let workload = self.workload_for(spec);
         let ds = self.env.prepare(spec.dataset);

@@ -322,6 +322,7 @@ fn block_wcc(
         }
         x
     }
+    let machine_of = blocks.vertex_assignment();
     let mut ops0 = vec![0.0f64; machines];
     for e in &input.edges.edges {
         let (bs, bd) = (blocks.block_of[e.src as usize], blocks.block_of[e.dst as usize]);
@@ -345,7 +346,7 @@ fn block_wcc(
             comp_machine.push(blocks.machine_of_block[blocks.block_of[root] as usize] as usize);
         }
         comp_of[v as usize] = comp_of[root];
-        ops0[blocks.machine_of_vertex(v) as usize] += 1.0;
+        ops0[machine_of[v as usize] as usize] += 1.0;
     }
     cluster.set_label("block_local");
     cluster.advance_compute(&ops0, input.cluster.cores)?;
@@ -485,6 +486,10 @@ fn block_traversal(
     let g = input.graph;
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
+    // Flat vertex→machine table: the BFS inner loop below charges a message
+    // per cross-machine edge, and the two-level block lookup was two
+    // dependent loads per neighbor.
+    let machine_of = blocks.vertex_assignment();
 
     // Blocks grouped by owning machine: each worker runs the serial BFS over
     // its own machine's pending blocks. The shared `dist` array is frozen for
@@ -556,7 +561,7 @@ fn block_traversal(
                             q.push_back(t);
                         } else {
                             outgoing.push((t, d + 1));
-                            let mt = blocks.machine_of_vertex(t) as usize;
+                            let mt = machine_of[t as usize] as usize;
                             if mt != mb {
                                 sent += 8;
                                 recv_by[mt] += 8;
@@ -770,10 +775,7 @@ fn block_pagerank(
 /// Adapt the block→machine placement into the vertex→machine form the BSP
 /// runtime consumes.
 fn block_placement_as_edge_cut(blocks: &BlockPartition, machines: usize) -> EdgeCutPartition {
-    EdgeCutPartition::from_assignment(
-        blocks.block_of.iter().map(|&b| blocks.machine_of_block[b as usize]).collect(),
-        machines,
-    )
+    EdgeCutPartition::from_assignment(blocks.vertex_assignment(), machines)
 }
 
 #[cfg(test)]

@@ -22,10 +22,19 @@
 //! simulated metric. Parallelism in the *cost model* (per-machine op
 //! vectors) is what the study measures; host-thread parallelism only
 //! changes how fast the study runs.
+//!
+//! The message path is the zero-sort radix shuffle of [`crate::shuffle`],
+//! addressed by fragment-local dense vertex ids
+//! ([`graphbench_partition::LocalIndex`]): outbox buckets are combined
+//! through epoch-tagged slot arrays, inboxes are grouped by local id via
+//! counting, and each vertex's messages are an O(1) table slice. The
+//! legacy sort-and-search path stays available as `GRAPHBENCH_SHUFFLE=sort`
+//! and is bit-for-bit equivalent in everything the simulation observes.
 
 use crate::exec;
+use crate::shuffle::{self, Combiner, Inbox, ShuffleMode};
 use graphbench_graph::{CsrGraph, VertexId};
-use graphbench_partition::EdgeCutPartition;
+use graphbench_partition::{EdgeCutPartition, LocalIndex};
 use graphbench_sim::{Cluster, SimError};
 
 /// Per-superstep context handed to [`VertexProgram::compute`].
@@ -79,8 +88,9 @@ pub trait VertexProgram: Sync {
     fn init(&mut self, v: VertexId, g: &CsrGraph) -> (Self::Value, bool);
 
     /// One vertex execution. Return `true` to stay active. `msgs` is the
-    /// vertex's slice of the machine's sorted inbox, borrowed — each entry
-    /// is `(target, payload)` with `target == v`.
+    /// vertex's slice of the machine's inbox (grouped per vertex by the
+    /// shuffle), borrowed — each entry is `(target, payload)` with
+    /// `target == v`, in arrival order.
     fn compute(
         &self,
         ctx: &mut Ctx<'_, Self::Msg>,
@@ -164,6 +174,7 @@ pub struct BspOutcome<V> {
 /// the superstep loop and reused: outboxes and send scratch are cleared, not
 /// rebuilt, each superstep.
 struct Shard<V, M> {
+    /// Fragment vertex list, ascending by global id; position = local id.
     verts: Vec<VertexId>,
     /// Parallel to `verts`.
     states: Vec<V>,
@@ -173,6 +184,9 @@ struct Shard<V, M> {
     out: Vec<Vec<(VertexId, M)>>,
     /// Per-vertex send scratch.
     sends: Vec<(VertexId, M)>,
+    /// Sender-side combining scratch (radix mode), shared by all of this
+    /// shard's outbox buckets via epoch tags.
+    comb: Combiner<M>,
 }
 
 /// What one shard reports back from a superstep; merged by the coordinator
@@ -184,26 +198,6 @@ struct ShardStep {
     extra_alloc: u64,
     any_ran: bool,
     agg_max: f64,
-}
-
-/// Sort `buf` by target and fold adjacent same-target entries with the
-/// program's combiner. Deterministic: the permutation depends only on the
-/// buffer contents, which are identical at every host thread count.
-fn combine_in_place<P: VertexProgram>(prog: &P, buf: &mut Vec<(VertexId, P::Msg)>) {
-    if buf.len() <= 1 {
-        return;
-    }
-    buf.sort_unstable_by_key(|&(t, _)| t);
-    let mut w = 0usize;
-    for i in 0..buf.len() {
-        if w > 0 && buf[w - 1].0 == buf[i].0 {
-            buf[w - 1].1 = prog.combine(buf[w - 1].1, buf[i].1);
-        } else {
-            buf[w] = buf[i];
-            w += 1;
-        }
-    }
-    buf.truncate(w);
 }
 
 /// Execute `prog` to completion over `g` partitioned by `part`.
@@ -223,6 +217,11 @@ pub fn run_bsp<P: VertexProgram>(
     assert_eq!(part.machines(), machines, "partition and cluster disagree");
     let msg_mem = cluster.profile().bytes_per_message;
     let wire = prog.wire_bytes() + 4;
+    let mode = shuffle::mode();
+    // Global↔local vertex id tables, built once: one lookup per send in
+    // the hot loop, and the dense address space the radix shuffle files
+    // messages under.
+    let li = LocalIndex::build(part);
 
     let mut init_states: Vec<Option<P::Value>> = Vec::with_capacity(n);
     let mut init_active: Vec<bool> = Vec::with_capacity(n);
@@ -231,10 +230,13 @@ pub fn run_bsp<P: VertexProgram>(
         init_states.push(Some(s));
         init_active.push(a);
     }
-    let mut shards: Vec<Shard<P::Value, P::Msg>> = part
-        .vertices_per_machine()
-        .into_iter()
-        .map(|verts| {
+    let comb_slots = if mode == ShuffleMode::Radix { li.max_locals() } else { 0 };
+    let mut shards: Vec<Shard<P::Value, P::Msg>> = (0..machines)
+        .map(|m| {
+            // The fragment is ascending by global id, so the vertex at
+            // position `i` has fragment-local id `i` — the invariant the
+            // radix inbox's O(1) slicing rests on.
+            let verts = li.globals_of(m).to_vec();
             let states = verts
                 .iter()
                 .map(|&v| init_states[v as usize].take().expect("vertex assigned twice"))
@@ -246,14 +248,17 @@ pub fn run_bsp<P: VertexProgram>(
                 active,
                 out: (0..machines).map(|_| Vec::new()).collect(),
                 sends: Vec::new(),
+                comb: Combiner::with_capacity(comb_slots),
             }
         })
         .collect();
     drop(init_states);
 
-    // Per-machine inboxes (sorted by target), kept outside the shards so
-    // delivery can read every shard's outboxes while writing one inbox.
-    let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = (0..machines).map(|_| Vec::new()).collect();
+    // Per-machine inboxes (grouped per vertex by the shuffle), kept outside
+    // the shards so delivery can read every shard's outboxes while writing
+    // one inbox.
+    let mut inboxes: Vec<Inbox<P::Msg>> =
+        (0..machines).map(|m| Inbox::new(mode, li.num_locals(m))).collect();
     let mut inbox_bytes = vec![0u64; machines];
     // Per-superstep counter vectors, allocated once and overwritten.
     let mut ops = vec![0.0f64; machines];
@@ -281,7 +286,7 @@ pub fn run_bsp<P: VertexProgram>(
         // Compute phase: every shard advances independently on the host
         // thread pool; its inbox is read-only, its outboxes are its own.
         let steps: Vec<ShardStep> = exec::run_machines(&mut shards, |m, shard| {
-            let Shard { verts, states, active, out, sends } = shard;
+            let Shard { verts, states, active, out, sends, comb } = shard;
             for buf in out.iter_mut() {
                 buf.clear();
             }
@@ -292,10 +297,10 @@ pub fn run_bsp<P: VertexProgram>(
             let mut any_ran = false;
             let mut agg_max = 0.0f64;
             for (i, &v) in verts.iter().enumerate() {
-                // Binary search the sorted inbox for this vertex's messages.
-                let lo = inbox.partition_point(|&(t, _)| t < v);
-                let hi = inbox.partition_point(|&(t, _)| t <= v);
-                let has_msgs = hi > lo;
+                // This vertex's message slice: an O(1) offset-table read in
+                // radix mode, a binary search in sort mode.
+                let msgs = inbox.msgs_of(i as u32, v);
+                let has_msgs = !msgs.is_empty();
                 if !active[i] && !has_msgs {
                     continue;
                 }
@@ -310,20 +315,36 @@ pub fn run_bsp<P: VertexProgram>(
                         agg_max: &mut agg_max,
                     };
                     // Borrow the message slice straight out of the inbox.
-                    p.compute(&mut ctx, g, v, &mut states[i], &inbox[lo..hi])
+                    p.compute(&mut ctx, g, v, &mut states[i], msgs)
                 };
                 active[i] = still_active;
                 extra_total += extra;
-                machine_ops += 1 + (hi - lo) as u64 + sends.len() as u64;
+                machine_ops += 1 + msgs.len() as u64 + sends.len() as u64;
                 raw += sends.len() as u64;
                 for &(to, msg) in sends.iter() {
-                    out[part.machine_of(to) as usize].push((to, msg));
+                    out[li.machine_of(to) as usize].push((to, msg));
                 }
             }
-            // Sender-side combining per destination machine.
+            // Sender-side combining per destination machine. Both modes
+            // fold each target's messages in arrival order, so combined
+            // values (f64 included) are bit-identical.
             if combinable_now {
-                for buf in out.iter_mut() {
-                    combine_in_place(p, buf);
+                match mode {
+                    ShuffleMode::Sort => {
+                        for buf in out.iter_mut() {
+                            shuffle::sort_combine_in_place(buf, |a, b| p.combine(a, b));
+                        }
+                    }
+                    ShuffleMode::Radix => {
+                        for (dst, buf) in out.iter_mut().enumerate() {
+                            comb.combine_bucket(
+                                li.num_locals(dst),
+                                |t| li.local_of(t),
+                                buf,
+                                |a, b| p.combine(a, b),
+                            );
+                        }
+                    }
                 }
             }
             ShardStep {
@@ -370,23 +391,20 @@ pub fn run_bsp<P: VertexProgram>(
             }
         }
 
-        // Delivery phase: each destination concatenates its senders'
-        // outboxes in source order, applies receiver-side combining (with a
-        // combiner the inbox holds one entry per distinct target; without
-        // one every message is buffered — the WCC discovery superstep's
-        // memory spike, §5.8), and sorts by target for next superstep's
-        // binary search.
-        let delivered: Vec<u64> = exec::run_machines(&mut inboxes, |dst, items| {
-            items.clear();
-            for shard in shards.iter() {
-                items.extend_from_slice(&shard.out[dst]);
-            }
-            if combinable_now {
-                combine_in_place(p, items);
-            } else {
-                items.sort_unstable_by_key(|&(t, _)| t);
-            }
-            items.len() as u64 * msg_mem
+        // Delivery phase: each destination takes its senders' outboxes in
+        // source order and groups them per vertex — receiver-side combining
+        // keeps one entry per distinct target (without a combiner every
+        // message is buffered — the WCC discovery superstep's memory spike,
+        // §5.8). Radix mode counts messages into per-local-id groups and
+        // records an offset table; sort mode stable-sorts by target.
+        let delivered: Vec<u64> = exec::run_machines(&mut inboxes, |dst, inbox| {
+            inbox.deliver(
+                shards.iter().map(|s| s.out[dst].as_slice()),
+                |t| li.local_of(t),
+                combinable_now,
+                |a, b| p.combine(a, b),
+            );
+            inbox.len() as u64 * msg_mem
         });
         inbox_bytes.copy_from_slice(&delivered);
 
@@ -559,6 +577,110 @@ mod tests {
         assert_eq!(cluster_1.mem_peaks(), cluster_4.mem_peaks());
         assert_eq!(cluster_1.total_net_bytes(), cluster_4.total_net_bytes());
         assert_eq!(cluster_1.total_messages(), cluster_4.total_messages());
+    }
+
+    #[test]
+    fn shuffle_modes_are_bit_identical() {
+        // The tentpole contract: the radix and sort shuffles differ only
+        // in host-side data structures — states, simulated clock, memory
+        // peaks, and network totals are bit-for-bit equal.
+        let _guard = crate::shuffle::TEST_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::shuffle::set_mode(ShuffleMode::Sort);
+        let (states_s, steps_s, cluster_s) = run_maxprop(4);
+        crate::shuffle::set_mode(ShuffleMode::Radix);
+        let (states_r, steps_r, cluster_r) = run_maxprop(4);
+        assert_eq!(states_s, states_r);
+        assert_eq!(steps_s, steps_r);
+        assert_eq!(cluster_s.elapsed().to_bits(), cluster_r.elapsed().to_bits());
+        assert_eq!(cluster_s.mem_peaks(), cluster_r.mem_peaks());
+        assert_eq!(cluster_s.total_net_bytes(), cluster_r.total_net_bytes());
+        assert_eq!(cluster_s.total_messages(), cluster_r.total_messages());
+    }
+
+    /// Folds every incoming payload into the vertex value with an
+    /// order-sensitive hash — any difference in per-vertex inbox contents
+    /// or arrival order between the shuffle modes changes the final states.
+    /// Not combinable, so the counting delivery carries every message.
+    struct TraceInbox {
+        rounds: u64,
+    }
+
+    impl VertexProgram for TraceInbox {
+        type Value = u64;
+        type Msg = u64;
+
+        fn init(&mut self, _v: VertexId, _g: &CsrGraph) -> (u64, bool) {
+            (1, true)
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut Ctx<'_, u64>,
+            g: &CsrGraph,
+            v: VertexId,
+            value: &mut u64,
+            msgs: &[(VertexId, u64)],
+        ) -> bool {
+            for &(t, m) in msgs {
+                assert_eq!(t, v, "message delivered to the wrong vertex");
+                *value = value.wrapping_mul(1_000_003).wrapping_add(m);
+            }
+            for &t in g.out_neighbors(v) {
+                ctx.send(t, v as u64 * 100 + ctx.superstep);
+            }
+            true
+        }
+
+        fn combine(&self, a: u64, b: u64) -> u64 {
+            a.max(b)
+        }
+
+        fn combinable(&self, _s: u64) -> bool {
+            false
+        }
+
+        fn finished(&mut self, superstep: u64, _max_aggregate: f64) -> bool {
+            superstep + 1 >= self.rounds
+        }
+
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn per_vertex_inbox_contents_identical_across_modes() {
+        // Fan-in heavy graph: several sources per target, spread over
+        // machines, so inboxes hold multi-message groups from multiple
+        // senders.
+        let g = csr_from_pairs(&[
+            (0, 4),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+            (5, 4),
+            (4, 0),
+            (4, 1),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 5),
+            (5, 0),
+        ]);
+        let run = |mode: ShuffleMode| {
+            crate::shuffle::set_mode(mode);
+            let part = EdgeCutPartition::random(6, 3, 2);
+            let mut cluster =
+                Cluster::new(ClusterSpec::r3_xlarge(3, 1 << 30), CostProfile::cpp_mpi());
+            run_bsp(&mut cluster, &g, &part, &mut TraceInbox { rounds: 6 }, &BspConfig::default())
+                .unwrap()
+                .states
+        };
+        let _guard = crate::shuffle::TEST_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sorted = run(ShuffleMode::Sort);
+        let radix = run(ShuffleMode::Radix);
+        crate::shuffle::set_mode(ShuffleMode::Radix);
+        assert_eq!(sorted, radix);
     }
 
     #[test]

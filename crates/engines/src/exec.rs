@@ -29,9 +29,11 @@
 //! on the hot path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// 0 = uninitialized; first use resolves the env var / core count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+static WARN_BAD_THREADS: Once = Once::new();
 
 fn detected_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -41,7 +43,18 @@ fn resolve_threads() -> usize {
     match std::env::var("GRAPHBENCH_THREADS") {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
-            _ => detected_threads(),
+            _ => {
+                // A typo'd thread count silently running at core count is a
+                // confusing way to lose a benchmark comparison — say so,
+                // once.
+                WARN_BAD_THREADS.call_once(|| {
+                    eprintln!(
+                        "graphbench: GRAPHBENCH_THREADS={raw:?} is not a positive integer; \
+                         falling back to the detected core count"
+                    );
+                });
+                detected_threads()
+            }
         },
         Err(_) => detected_threads(),
     }

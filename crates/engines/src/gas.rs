@@ -141,15 +141,65 @@ impl Engine for GraphLab {
     }
 }
 
+/// Dense per-endpoint index over one machine's local edges, built by
+/// counting (no hashing in the hot loops): a CSR offset table over global
+/// vertex ids plus the list of endpoints that actually have edges here.
+/// Per-endpoint edge ids keep insertion order, like the `HashMap<_, Vec<_>>`
+/// it replaces — per-vertex f64 folds are unchanged — but iteration over
+/// endpoints is ascending and allocation-free.
+struct EdgeIndex {
+    /// `off[v]..off[v + 1]` delimits vertex `v`'s slice of `ids`.
+    off: Vec<u32>,
+    /// Local edge ids grouped by endpoint, insertion order within a group.
+    ids: Vec<u32>,
+    /// Endpoints with at least one local edge, ascending.
+    verts: Vec<VertexId>,
+}
+
+impl EdgeIndex {
+    fn build(
+        n: usize,
+        edges: &[(VertexId, VertexId)],
+        key: impl Fn(&(VertexId, VertexId)) -> VertexId,
+    ) -> EdgeIndex {
+        let mut off = vec![0u32; n + 1];
+        for e in edges {
+            off[key(e) as usize + 1] += 1;
+        }
+        for v in 0..n {
+            off[v + 1] += off[v];
+        }
+        let mut cursor: Vec<u32> = off[..n].to_vec();
+        let mut ids = vec![0u32; edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let k = key(e) as usize;
+            ids[cursor[k] as usize] = i as u32;
+            cursor[k] += 1;
+        }
+        let verts = (0..n as VertexId).filter(|&v| off[v as usize + 1] > off[v as usize]).collect();
+        EdgeIndex { off, ids, verts }
+    }
+
+    /// Local edge ids incident to `v` (empty when `v` has none here).
+    fn of(&self, v: VertexId) -> &[u32] {
+        &self.ids[self.off[v as usize] as usize..self.off[v as usize + 1] as usize]
+    }
+
+    /// Endpoints with at least one local edge, ascending.
+    fn verts(&self) -> &[VertexId] {
+        &self.verts
+    }
+}
+
 /// Per-machine edge store with per-vertex indexes (GraphLab keeps edges
 /// indexed by both endpoints so gather can run over either direction).
 struct MachineData {
     /// Directed local edges.
     edges: Vec<(VertexId, VertexId)>,
-    /// v -> indexes of local edges with dst == v (gather over in-edges).
-    in_idx: std::collections::HashMap<VertexId, Vec<u32>>,
-    /// v -> indexes of local edges with src == v (scatter over out-edges).
-    out_idx: std::collections::HashMap<VertexId, Vec<u32>>,
+    /// Gather over in-edges: dense index keyed by dst.
+    in_idx: EdgeIndex,
+    /// Scatter over out-edges: dense index keyed by src.
+    out_idx: EdgeIndex,
 }
 
 fn execute(
@@ -226,20 +276,18 @@ fn execute(
     cluster.sample_trace();
 
     // Build per-machine indexed edge stores.
-    let mut data: Vec<MachineData> = (0..machines)
-        .map(|_| MachineData {
-            edges: Vec::new(),
-            in_idx: std::collections::HashMap::new(),
-            out_idx: std::collections::HashMap::new(),
+    let mut local_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); machines];
+    for (i, e) in edges.edges.iter().enumerate() {
+        local_edges[part.machine_of_edge(i) as usize].push((e.src, e.dst));
+    }
+    let data: Vec<MachineData> = local_edges
+        .into_iter()
+        .map(|edges| {
+            let in_idx = EdgeIndex::build(n, &edges, |&(_, dst)| dst);
+            let out_idx = EdgeIndex::build(n, &edges, |&(src, _)| src);
+            MachineData { edges, in_idx, out_idx }
         })
         .collect();
-    for (i, e) in edges.edges.iter().enumerate() {
-        let m = part.machine_of_edge(i) as usize;
-        let idx = data[m].edges.len() as u32;
-        data[m].edges.push((e.src, e.dst));
-        data[m].in_idx.entry(e.dst).or_default().push(idx);
-        data[m].out_idx.entry(e.src).or_default().push(idx);
-    }
 
     // Out-degrees on the self-edge-free graph (PageRank denominators).
     let mut outdeg = vec![0u32; n];
@@ -401,11 +449,11 @@ fn sync_pagerank(
             let mut my_sent = 0u64;
             let mut my_msgs = 0u64;
             let mut recv_by = vec![0u64; ctx.machines];
-            for (&v, idxs) in &md.in_idx {
+            for &v in md.in_idx.verts() {
                 if !active[v as usize] {
                     continue;
                 }
-                for &i in idxs {
+                for &i in md.in_idx.of(v) {
                     let (u, _) = md.edges[i as usize];
                     s.incoming[v as usize] += ranks[u as usize] / ctx.outdeg[u as usize] as f64;
                     machine_ops += 1;
@@ -659,7 +707,7 @@ fn wcc_propagate(cluster: &mut Cluster, ctx: &GasCtx<'_>) -> Result<Vec<VertexId
             }
             // Partial aggregation traffic for signaled vertices mastered
             // elsewhere.
-            for &v in md.in_idx.keys() {
+            for &v in md.in_idx.verts() {
                 if signaled[v as usize] && ctx.part.master_of(v) as usize != m {
                     my_sent += 8;
                     recv_by[ctx.part.master_of(v) as usize] += 8;
@@ -780,18 +828,16 @@ fn traversal(
                 if d >= bound {
                     continue;
                 }
-                if let Some(idxs) = md.out_idx.get(&v) {
-                    for &i in idxs {
-                        let (_, t) = md.edges[i as usize];
-                        machine_ops += 1;
-                        if d + 1 < dist[t as usize] {
-                            improved.push((t, d + 1));
-                            let master = ctx.part.master_of(t) as usize;
-                            if master != m {
-                                my_sent += 8;
-                                recv_by[master] += 8;
-                                my_msgs += 1;
-                            }
+                for &i in md.out_idx.of(v) {
+                    let (_, t) = md.edges[i as usize];
+                    machine_ops += 1;
+                    if d + 1 < dist[t as usize] {
+                        improved.push((t, d + 1));
+                        let master = ctx.part.master_of(t) as usize;
+                        if master != m {
+                            my_sent += 8;
+                            recv_by[master] += 8;
+                            my_msgs += 1;
                         }
                     }
                 }

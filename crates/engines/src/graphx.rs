@@ -131,6 +131,11 @@ struct SparkCtx<'a> {
     /// Simulated time of the last checkpoint (or execution start): the
     /// point lineage recovery replays from.
     recovery_point: f64,
+    /// Mirror-sync scratch: epoch stamp per machine plus the reused list of
+    /// a vertex's distinct replica machines (no per-vertex allocation).
+    sync_stamp: Vec<u32>,
+    sync_ms: Vec<usize>,
+    sync_epoch: u32,
 }
 
 impl SparkCtx<'_> {
@@ -296,6 +301,9 @@ fn execute(
         checkpoint_every: engine.checkpoint_every,
         result_state_bytes: n as u64 * 16,
         recovery_point: 0.0,
+        sync_stamp: vec![0; machines],
+        sync_ms: Vec::new(),
+        sync_epoch: 0,
     };
 
     cluster.begin_phase(Phase::Execute);
@@ -333,22 +341,39 @@ fn charge_compute(cluster: &mut Cluster, ctx: &SparkCtx<'_>, ops: &[f64]) -> Res
 /// Mirror synchronization across machines for changed vertices.
 fn mirror_sync(
     cluster: &mut Cluster,
-    ctx: &SparkCtx<'_>,
+    ctx: &mut SparkCtx<'_>,
     changed: &[VertexId],
 ) -> Result<(), SimError> {
     let mut sent = vec![0u64; ctx.machines];
     let mut recv = vec![0u64; ctx.machines];
     let mut msgs = vec![0u64; ctx.machines];
+    let part = ctx.part;
+    let machine_of_slot = ctx.machine_of_slot;
     for &v in changed {
-        let mut ms: Vec<usize> =
-            ctx.part.replicas_of(v).iter().map(|&s| ctx.machine_of_slot[s as usize]).collect();
-        ms.sort_unstable();
-        ms.dedup();
-        if ms.len() > 1 {
+        // Epoch-stamped dedup of the replica machines into reused scratch
+        // (the old per-vertex collect + sort + dedup allocated on every
+        // changed vertex). The small distinct list is then sorted so the
+        // hash-based master pick sees the same ascending order as before.
+        if ctx.sync_epoch == u32::MAX {
+            ctx.sync_stamp.fill(0);
+            ctx.sync_epoch = 0;
+        }
+        ctx.sync_epoch += 1;
+        ctx.sync_ms.clear();
+        for &s in part.replicas_of(v) {
+            let m = machine_of_slot[s as usize];
+            if ctx.sync_stamp[m] != ctx.sync_epoch {
+                ctx.sync_stamp[m] = ctx.sync_epoch;
+                ctx.sync_ms.push(m);
+            }
+        }
+        if ctx.sync_ms.len() > 1 {
+            ctx.sync_ms.sort_unstable();
             // Hash-select the coordinating copy (always taking the lowest
             // machine id would pile coordination onto machine 0).
-            let master = ms[(splitmix(v as u64 ^ 0xc0de) % ms.len() as u64) as usize];
-            for &m in &ms {
+            let master =
+                ctx.sync_ms[(splitmix(v as u64 ^ 0xc0de) % ctx.sync_ms.len() as u64) as usize];
+            for &m in &ctx.sync_ms {
                 if m != master {
                     sent[master] += 16;
                     recv[m] += 16;

@@ -41,6 +41,11 @@ impl EdgeCutPartition {
         self.assignment[v as usize]
     }
 
+    /// The full vertex→machine table, indexed by global vertex id.
+    pub fn assignment(&self) -> &[MachineId] {
+        &self.assignment
+    }
+
     /// Vertices owned by each machine.
     pub fn vertices_per_machine(&self) -> Vec<Vec<VertexId>> {
         let mut out = vec![Vec::new(); self.machines];

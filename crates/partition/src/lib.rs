@@ -14,8 +14,13 @@
 //! * **Block-centric** ([`voronoi`]) — Blogel's Graph Voronoi Diagram
 //!   partitioning groups vertices into connected blocks via multi-round
 //!   seed sampling and parallel BFS (§2.3).
+//!
+//! [`local_index`] supplements the edge-cut family with fragment-local
+//! dense vertex ids — the addressing scheme behind the engines' zero-sort
+//! radix message shuffle.
 
 pub mod edge_cut;
+pub mod local_index;
 pub mod metrics;
 pub mod pds;
 pub mod two_d;
@@ -23,6 +28,7 @@ pub mod vertex_cut;
 pub mod voronoi;
 
 pub use edge_cut::EdgeCutPartition;
+pub use local_index::LocalIndex;
 pub use vertex_cut::{VertexCutPartition, VertexCutStrategy};
 pub use voronoi::{BlockPartition, VoronoiConfig};
 

@@ -152,6 +152,13 @@ impl BlockPartition {
         self.machine_of_block[self.block_of[v as usize] as usize]
     }
 
+    /// Flattened vertex→machine table: one array read per vertex in hot
+    /// loops instead of the two-level block lookup, and directly usable as
+    /// an [`crate::EdgeCutPartition`] assignment.
+    pub fn vertex_assignment(&self) -> Vec<MachineId> {
+        self.block_of.iter().map(|&b| self.machine_of_block[b as usize]).collect()
+    }
+
     /// Vertices per machine.
     pub fn vertices_per_machine(&self, machines: usize) -> Vec<u64> {
         let mut counts = vec![0u64; machines];
@@ -231,6 +238,17 @@ mod tests {
             for &v in verts {
                 assert_eq!(p.block_of[v as usize], b as u32);
             }
+        }
+    }
+
+    #[test]
+    fn vertex_assignment_matches_two_level_lookup() {
+        let el = grid(20);
+        let p = BlockPartition::build(&el, 4, &VoronoiConfig::default());
+        let flat = p.vertex_assignment();
+        assert_eq!(flat.len(), 400);
+        for v in 0..400u32 {
+            assert_eq!(flat[v as usize], p.machine_of_vertex(v));
         }
     }
 

@@ -1,0 +1,198 @@
+//! The shuffle data path's contract: `GRAPHBENCH_SHUFFLE=sort` and
+//! `GRAPHBENCH_SHUFFLE=radix` differ only in host-side data structures.
+//! Serialized [`graphbench::RunRecord`]s — simulated times, memory traces,
+//! message counts, journals, registries, results, everything the harness
+//! writes — must be bit-for-bit identical between the two modes, at any
+//! host thread count.
+
+use graphbench::{ExperimentSpec, PaperEnv, Runner, ShuffleMode, SystemId};
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::{DatasetKind, Scale};
+use std::sync::Mutex;
+
+/// `shuffle::set_mode` is process-global and cargo runs tests concurrently;
+/// every test that flips the shuffle mode serializes on this lock.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn record(shuffle: ShuffleMode, threads: usize, spec: &ExperimentSpec) -> graphbench::RunRecord {
+    let mut r = Runner::new(PaperEnv::new(Scale { base: 600 }, 11));
+    r.threads = Some(threads);
+    r.shuffle = Some(shuffle);
+    r.run(spec)
+}
+
+fn record_json(shuffle: ShuffleMode, threads: usize, spec: &ExperimentSpec) -> String {
+    serde_json::to_string(&record(shuffle, threads, spec)).unwrap()
+}
+
+#[test]
+fn run_records_are_bit_identical_across_shuffle_modes() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let systems = [SystemId::Giraph, SystemId::BlogelV, SystemId::BlogelB, SystemId::GraphX];
+    let workloads = [WorkloadKind::Wcc, WorkloadKind::KHop];
+    for system in systems {
+        for workload in workloads {
+            let spec =
+                ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
+            let sort = record_json(ShuffleMode::Sort, 4, &spec);
+            let radix = record_json(ShuffleMode::Radix, 4, &spec);
+            assert_eq!(
+                sort, radix,
+                "{system:?}/{workload:?} diverged between sort and radix shuffles"
+            );
+        }
+    }
+}
+
+#[test]
+fn journals_and_registries_are_shuffle_mode_invariant() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // PageRank exercises the order-sensitive f64 combiner fold: the radix
+    // combiner must fold per-target messages in exactly the arrival order
+    // the stable sort groups them in, or the ranks (and every downstream
+    // simulated second) drift in the last bits.
+    let spec = ExperimentSpec {
+        system: SystemId::Giraph,
+        workload: WorkloadKind::PageRank,
+        dataset: DatasetKind::Twitter,
+        machines: 16,
+    };
+    let sort = record(ShuffleMode::Sort, 4, &spec);
+    let radix = record(ShuffleMode::Radix, 4, &spec);
+    // The JSONL export is the external contract: byte-for-byte identical.
+    assert_eq!(sort.journal.to_jsonl(), radix.journal.to_jsonl());
+    assert_eq!(sort.registry, radix.registry);
+    let ps = sort.journal.phase_times();
+    let pr = radix.journal.phase_times();
+    assert_eq!(ps.load, pr.load);
+    assert_eq!(ps.execute, pr.execute);
+    assert_eq!(ps.save, pr.save);
+    assert_eq!(ps.overhead, pr.overhead);
+}
+
+#[test]
+fn thread_count_and_shuffle_mode_compose() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The two process-global knobs are orthogonal: the serial sort path and
+    // the threaded radix path still agree byte-for-byte.
+    let spec = ExperimentSpec {
+        system: SystemId::BlogelV,
+        workload: WorkloadKind::Sssp,
+        dataset: DatasetKind::Twitter,
+        machines: 16,
+    };
+    let serial_sort = record_json(ShuffleMode::Sort, 1, &spec);
+    let threaded_radix = record_json(ShuffleMode::Radix, 4, &spec);
+    assert_eq!(serial_sort, threaded_radix);
+}
+
+mod radix_bsp_equals_sort_bsp {
+    use super::MODE_LOCK;
+    use graphbench_algos::workload::{PageRankConfig, StopCriterion};
+    use graphbench_algos::DAMPING;
+    use graphbench_engines::bsp::{run_bsp, BspConfig};
+    use graphbench_engines::programs::{wcc_labels, PageRankProgram, SsspProgram, WccProgram};
+    use graphbench_engines::shuffle::{self, ShuffleMode};
+    use graphbench_graph::builder::csr_from_pairs;
+    use graphbench_graph::{CsrGraph, VertexId};
+    use graphbench_partition::EdgeCutPartition;
+    use graphbench_sim::{Cluster, ClusterSpec, CostProfile};
+    use proptest::prelude::*;
+
+    fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+        prop::collection::vec((0u32..25, 0u32..25), 1..120).prop_map(|pairs| csr_from_pairs(&pairs))
+    }
+
+    fn cluster(machines: usize) -> Cluster {
+        Cluster::new(ClusterSpec::r3_xlarge(machines, 1 << 30), CostProfile::cpp_mpi())
+    }
+
+    /// Per-vertex states plus every observable cluster total, f64s by bits.
+    struct Obs<T> {
+        states: Vec<T>,
+        elapsed_bits: u64,
+        mem_peaks: Vec<u64>,
+        net_bytes: u64,
+        messages: u64,
+    }
+
+    fn observe<T>(states: Vec<T>, cl: &Cluster) -> Obs<T> {
+        Obs {
+            states,
+            elapsed_bits: cl.elapsed().to_bits(),
+            mem_peaks: cl.mem_peaks(),
+            net_bytes: cl.total_net_bytes(),
+            messages: cl.total_messages(),
+        }
+    }
+
+    fn wcc(g: &CsrGraph, machines: usize, seed: u64) -> Obs<VertexId> {
+        let part = EdgeCutPartition::random(g.num_vertices() as u64, machines, seed);
+        let mut cl = cluster(machines);
+        let mut prog = WccProgram::new(g.num_vertices(), 8);
+        let states = wcc_labels(
+            run_bsp(&mut cl, g, &part, &mut prog, &BspConfig::default()).unwrap().states,
+        );
+        observe(states, &cl)
+    }
+
+    fn sssp(g: &CsrGraph, machines: usize, seed: u64, src: VertexId) -> Obs<u32> {
+        let part = EdgeCutPartition::random(g.num_vertices() as u64, machines, seed);
+        let mut cl = cluster(machines);
+        let mut prog = SsspProgram::new(src);
+        let states = run_bsp(&mut cl, g, &part, &mut prog, &BspConfig::default()).unwrap().states;
+        observe(states, &cl)
+    }
+
+    fn pagerank(g: &CsrGraph, machines: usize, seed: u64) -> Obs<u64> {
+        let part = EdgeCutPartition::random(g.num_vertices() as u64, machines, seed);
+        let mut cl = cluster(machines);
+        let cfg = PageRankConfig {
+            damping: DAMPING,
+            stop: StopCriterion::Iterations(5),
+            approximate: false,
+        };
+        let mut prog = PageRankProgram::new(cfg);
+        let states = run_bsp(&mut cl, g, &part, &mut prog, &BspConfig::default()).unwrap().states;
+        // Compare ranks by bits: the combiner fold order must match exactly.
+        observe(states.into_iter().map(f64::to_bits).collect(), &cl)
+    }
+
+    fn assert_obs_eq<T: PartialEq + std::fmt::Debug>(
+        a: &Obs<T>,
+        b: &Obs<T>,
+    ) -> Result<(), TestCaseError> {
+        prop_assert_eq!(&a.states, &b.states);
+        prop_assert_eq!(a.elapsed_bits, b.elapsed_bits);
+        prop_assert_eq!(&a.mem_peaks, &b.mem_peaks);
+        prop_assert_eq!(a.net_bytes, b.net_bytes);
+        prop_assert_eq!(a.messages, b.messages);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn radix_matches_sort_on_random_graphs(
+            g in arb_graph(),
+            machines in 1usize..9,
+            seed in 0u64..50,
+            src_raw in 0u32..25,
+        ) {
+            let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let src = src_raw % g.num_vertices() as u32;
+            shuffle::set_mode(ShuffleMode::Sort);
+            let wcc_s = wcc(&g, machines, seed);
+            let sssp_s = sssp(&g, machines, seed, src);
+            let pr_s = pagerank(&g, machines, seed);
+            shuffle::set_mode(ShuffleMode::Radix);
+            let wcc_r = wcc(&g, machines, seed);
+            let sssp_r = sssp(&g, machines, seed, src);
+            let pr_r = pagerank(&g, machines, seed);
+            assert_obs_eq(&wcc_s, &wcc_r)?;
+            assert_obs_eq(&sssp_s, &sssp_r)?;
+            assert_obs_eq(&pr_s, &pr_r)?;
+        }
+    }
+}
