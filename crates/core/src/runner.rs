@@ -7,7 +7,7 @@ use graphbench_algos::{Workload, WorkloadKind};
 use graphbench_engines::shuffle::ShuffleMode;
 use graphbench_engines::EngineInput;
 use graphbench_gen::DatasetKind;
-use graphbench_sim::{Journal, MetricsRegistry, RunMetrics, Trace};
+use graphbench_sim::{FaultPlan, Journal, MetricsRegistry, RunMetrics, Trace};
 use serde::Serialize;
 
 /// One cell of the paper's experiment matrix (Table 2).
@@ -72,11 +72,42 @@ pub struct Runner {
     /// defaulting to the radix path). Shuffle mode never changes any
     /// simulated metric — both paths produce bit-identical records.
     pub shuffle: Option<ShuffleMode>,
+    /// Fault schedule injected into every run. `None` keeps the process-wide
+    /// setting (the `GRAPHBENCH_FAULTS` environment variable, e.g.
+    /// `"crash@120:m3; straggler@60+30:m1x2"`), which itself defaults to a
+    /// fault-free plan.
+    pub faults: Option<FaultPlan>,
+}
+
+/// `GRAPHBENCH_FAULTS`, parsed once per process. A malformed value is
+/// reported to stderr once and treated as fault-free rather than aborting
+/// every run in the matrix.
+fn env_fault_plan() -> FaultPlan {
+    use std::sync::OnceLock;
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    PLAN.get_or_init(|| match std::env::var("GRAPHBENCH_FAULTS") {
+        Ok(s) if !s.trim().is_empty() => match FaultPlan::parse(&s) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("GRAPHBENCH_FAULTS ignored: {e}");
+                FaultPlan::none()
+            }
+        },
+        _ => FaultPlan::none(),
+    })
+    .clone()
 }
 
 impl Runner {
     pub fn new(env: PaperEnv) -> Self {
-        Runner { env, fixed_pr_iterations: 30, pr_tolerance: 1e-6, threads: None, shuffle: None }
+        Runner {
+            env,
+            fixed_pr_iterations: 30,
+            pr_tolerance: 1e-6,
+            threads: None,
+            shuffle: None,
+            faults: None,
+        }
     }
 
     /// The workload instance a spec resolves to (source vertices and
@@ -111,11 +142,12 @@ impl Runner {
         }
         let workload = self.workload_for(spec);
         let ds = self.env.prepare(spec.dataset);
-        let cluster = if spec.system == SystemId::SingleThread {
+        let mut cluster = if spec.system == SystemId::SingleThread {
             self.env.cost_machine_spec(spec.dataset)
         } else {
             self.env.cluster_for(spec.dataset, spec.machines, spec.workload)
         };
+        cluster.faults = self.faults.clone().unwrap_or_else(env_fault_plan);
         let partitions = self.env.graphx_partitions(spec.dataset, spec.machines);
         let engine = spec.system.build(partitions);
         let input = EngineInput {

@@ -24,6 +24,7 @@
 use crate::bsp::{run_bsp, BspConfig};
 use crate::exec;
 use crate::programs::{wcc_labels, KHopProgram, PageRankProgram, SsspProgram, WccProgram};
+use crate::recovery::{Recovery, RecoveryModel};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::PageRankConfig;
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -281,16 +282,31 @@ fn run_block_mode(
     cluster.sample_trace();
 
     cluster.begin_phase(Phase::Execute);
+    // Blogel has no checkpointing (Table 1): losing a machine restarts the
+    // computation. Faults are detected at the block-superstep barriers
+    // through the unified recovery layer; the vertex-centric tail of block
+    // PageRank delegates to `run_bsp`, which brings its own replay.
+    let mut recovery = Recovery::new(cluster, RecoveryModel::QueryRestart);
     let result = match input.workload {
-        Workload::Wcc => WorkloadResult::Labels(block_wcc(cluster, input, &blocks)?),
-        Workload::Sssp { source } => {
-            WorkloadResult::Distances(block_traversal(cluster, input, &blocks, source, u32::MAX)?)
-        }
-        Workload::KHop { source, k } => {
-            WorkloadResult::Distances(block_traversal(cluster, input, &blocks, source, k)?)
-        }
+        Workload::Wcc => WorkloadResult::Labels(block_wcc(cluster, input, &blocks, &mut recovery)?),
+        Workload::Sssp { source } => WorkloadResult::Distances(block_traversal(
+            cluster,
+            input,
+            &blocks,
+            source,
+            u32::MAX,
+            &mut recovery,
+        )?),
+        Workload::KHop { source, k } => WorkloadResult::Distances(block_traversal(
+            cluster,
+            input,
+            &blocks,
+            source,
+            k,
+            &mut recovery,
+        )?),
         Workload::PageRank(pr) => {
-            WorkloadResult::Ranks(block_pagerank(cluster, input, &blocks, pr)?)
+            WorkloadResult::Ranks(block_pagerank(cluster, input, &blocks, pr, &mut recovery)?)
         }
     };
 
@@ -309,6 +325,7 @@ fn block_wcc(
     cluster: &mut Cluster,
     input: &EngineInput<'_>,
     blocks: &BlockPartition,
+    recovery: &mut Recovery,
 ) -> Result<Vec<VertexId>, SimError> {
     let machines = cluster.machines();
     let n = input.graph.num_vertices();
@@ -352,6 +369,7 @@ fn block_wcc(
     cluster.advance_compute(&ops0, input.cluster.cores)?;
     cluster.set_label("barrier");
     cluster.barrier()?;
+    recovery.at_barrier(cluster)?;
 
     // Undirected component graph over cross-block (or cross-component)
     // edges, deduplicated.
@@ -457,6 +475,7 @@ fn block_wcc(
         cluster.exchange(&sent, &recv, &msgs)?;
         cluster.set_label("barrier");
         cluster.barrier()?;
+        recovery.at_barrier(cluster)?;
         if !any_updates {
             break;
         }
@@ -480,6 +499,7 @@ fn block_traversal(
     blocks: &BlockPartition,
     source: VertexId,
     max_depth: u32,
+    recovery: &mut Recovery,
 ) -> Result<Vec<u32>, SimError> {
     let machines = cluster.machines();
     let n = input.graph.num_vertices();
@@ -598,6 +618,7 @@ fn block_traversal(
         cluster.exchange(&sent, &recv, &msgs)?;
         cluster.set_label("barrier");
         cluster.barrier()?;
+        recovery.at_barrier(cluster)?;
         // Intra-block writes first (disjoint vertex sets per worker), then
         // cross-block candidates min-folded in machine order.
         let mut steps = steps;
@@ -629,6 +650,7 @@ fn block_pagerank(
     input: &EngineInput<'_>,
     blocks: &BlockPartition,
     pr: PageRankConfig,
+    recovery: &mut Recovery,
 ) -> Result<Vec<f64>, SimError> {
     let machines = cluster.machines();
     let g = input.graph;
@@ -715,6 +737,7 @@ fn block_pagerank(
         cluster.advance_compute(&ops, input.cluster.cores)?;
         cluster.set_label("barrier");
         cluster.barrier()?;
+        recovery.at_barrier(cluster)?;
     }
 
     // Phase 1b: PageRank on the block graph with cross-edge-count weights.
@@ -757,6 +780,7 @@ fn block_pagerank(
             cluster.exchange(&bytes, &bytes, &even_share(edges.len() as u64, machines))?;
             cluster.set_label("barrier");
             cluster.barrier()?;
+            recovery.at_barrier(cluster)?;
             if max_delta < local_tol {
                 break;
             }

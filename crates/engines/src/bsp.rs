@@ -32,6 +32,7 @@
 //! and is bit-for-bit equivalent in everything the simulation observes.
 
 use crate::exec;
+use crate::recovery::{Recovery, RecoveryModel};
 use crate::shuffle::{self, Combiner, Inbox, ShuffleMode};
 use graphbench_graph::{CsrGraph, VertexId};
 use graphbench_partition::{EdgeCutPartition, LocalIndex};
@@ -200,6 +201,148 @@ struct ShardStep {
     agg_max: f64,
 }
 
+/// Snapshot backing checkpoint-replay recovery: per-shard vertex state plus
+/// the delivered inboxes at a superstep boundary. Captured at execution
+/// start (restart-from-input) and refreshed at every global checkpoint —
+/// and only when the fault plan actually schedules a crash.
+struct BspCheckpoint<V, M> {
+    /// First superstep to re-execute after restoring.
+    superstep: u64,
+    states: Vec<Vec<V>>,
+    active: Vec<Vec<bool>>,
+    inboxes: Vec<Inbox<M>>,
+}
+
+impl<V: Clone, M: Copy> BspCheckpoint<V, M> {
+    fn capture(superstep: u64, shards: &[Shard<V, M>], inboxes: &[Inbox<M>]) -> Self {
+        BspCheckpoint {
+            superstep,
+            states: shards.iter().map(|s| s.states.clone()).collect(),
+            active: shards.iter().map(|s| s.active.clone()).collect(),
+            inboxes: inboxes.to_vec(),
+        }
+    }
+
+    fn restore(&self, shards: &mut [Shard<V, M>], inboxes: &mut [Inbox<M>]) {
+        for (shard, (states, active)) in shards.iter_mut().zip(self.states.iter().zip(&self.active))
+        {
+            shard.states.clone_from(states);
+            shard.active.clone_from(active);
+        }
+        for (dst, src) in inboxes.iter_mut().zip(&self.inboxes) {
+            dst.clone_from(src);
+        }
+    }
+}
+
+/// One superstep's compute: every shard advances independently on the host
+/// thread pool; its inbox is read-only, its outboxes are its own. Shared by
+/// the live loop and recovery replay (which discards the reports).
+#[allow(clippy::too_many_arguments)]
+fn compute_superstep<P: VertexProgram>(
+    shards: &mut [Shard<P::Value, P::Msg>],
+    inboxes: &[Inbox<P::Msg>],
+    li: &LocalIndex,
+    g: &CsrGraph,
+    p: &P,
+    superstep: u64,
+    combinable_now: bool,
+    mode: ShuffleMode,
+) -> Vec<ShardStep> {
+    exec::run_machines(shards, |m, shard| {
+        let Shard { verts, states, active, out, sends, comb } = shard;
+        for buf in out.iter_mut() {
+            buf.clear();
+        }
+        let inbox = &inboxes[m];
+        let mut machine_ops = 0u64;
+        let mut raw = 0u64;
+        let mut extra_total = 0u64;
+        let mut any_ran = false;
+        let mut agg_max = 0.0f64;
+        for (i, &v) in verts.iter().enumerate() {
+            // This vertex's message slice: an O(1) offset-table read in
+            // radix mode, a binary search in sort mode.
+            let msgs = inbox.msgs_of(i as u32, v);
+            let has_msgs = !msgs.is_empty();
+            if !active[i] && !has_msgs {
+                continue;
+            }
+            any_ran = true;
+            sends.clear();
+            let mut extra = 0u64;
+            let still_active = {
+                let mut ctx = Ctx {
+                    superstep,
+                    sends: &mut *sends,
+                    extra_bytes: &mut extra,
+                    agg_max: &mut agg_max,
+                };
+                // Borrow the message slice straight out of the inbox.
+                p.compute(&mut ctx, g, v, &mut states[i], msgs)
+            };
+            active[i] = still_active;
+            extra_total += extra;
+            machine_ops += 1 + msgs.len() as u64 + sends.len() as u64;
+            raw += sends.len() as u64;
+            for &(to, msg) in sends.iter() {
+                out[li.machine_of(to) as usize].push((to, msg));
+            }
+        }
+        // Sender-side combining per destination machine. Both modes
+        // fold each target's messages in arrival order, so combined
+        // values (f64 included) are bit-identical.
+        if combinable_now {
+            match mode {
+                ShuffleMode::Sort => {
+                    for buf in out.iter_mut() {
+                        shuffle::sort_combine_in_place(buf, |a, b| p.combine(a, b));
+                    }
+                }
+                ShuffleMode::Radix => {
+                    for (dst, buf) in out.iter_mut().enumerate() {
+                        comb.combine_bucket(
+                            li.num_locals(dst),
+                            |t| li.local_of(t),
+                            buf,
+                            |a, b| p.combine(a, b),
+                        );
+                    }
+                }
+            }
+        }
+        ShardStep {
+            ops: machine_ops as f64,
+            raw_messages: raw,
+            extra_alloc: extra_total,
+            any_ran,
+            agg_max,
+        }
+    })
+}
+
+/// One superstep's delivery: each destination takes its senders' outboxes
+/// in source order and groups them per vertex. Returns per-machine inbox
+/// bytes. Shared by the live loop and recovery replay.
+fn deliver_superstep<P: VertexProgram>(
+    inboxes: &mut [Inbox<P::Msg>],
+    shards: &[Shard<P::Value, P::Msg>],
+    li: &LocalIndex,
+    p: &P,
+    combinable_now: bool,
+    msg_mem: u64,
+) -> Vec<u64> {
+    exec::run_machines(inboxes, |dst, inbox| {
+        inbox.deliver(
+            shards.iter().map(|s| s.out[dst].as_slice()),
+            |t| li.local_of(t),
+            combinable_now,
+            |a, b| p.combine(a, b),
+        );
+        inbox.len() as u64 * msg_mem
+    })
+}
+
 /// Execute `prog` to completion over `g` partitioned by `part`.
 ///
 /// The caller is responsible for phase bookkeeping and for charging the
@@ -270,11 +413,14 @@ pub fn run_bsp<P: VertexProgram>(
 
     let mut supersteps = 0u64;
     let mut raw_messages = 0u64;
-    // Fault-tolerance bookkeeping: the recovery point is the last global
-    // checkpoint (or the start of execution without checkpointing).
-    let execute_start = cluster.elapsed();
-    let mut recovery_point = execute_start;
-    let mut failed_once = false;
+    // Fault-tolerance bookkeeping: Table 1's checkpoint-replay mechanism.
+    // The recovery point is the last global checkpoint (or the start of
+    // execution without checkpointing); the snapshot holds the matching
+    // program state so recovery can *recompute* rather than merely bill.
+    let mut recovery = Recovery::new(cluster, RecoveryModel::CheckpointReplay)
+        .with_checkpoint_bytes(cfg.checkpoint_bytes);
+    let mut snapshot: Option<BspCheckpoint<P::Value, P::Msg>> =
+        cluster.plan_has_crashes().then(|| BspCheckpoint::capture(0, &shards, &inboxes));
 
     loop {
         if supersteps >= cfg.max_supersteps {
@@ -285,76 +431,8 @@ pub fn run_bsp<P: VertexProgram>(
 
         // Compute phase: every shard advances independently on the host
         // thread pool; its inbox is read-only, its outboxes are its own.
-        let steps: Vec<ShardStep> = exec::run_machines(&mut shards, |m, shard| {
-            let Shard { verts, states, active, out, sends, comb } = shard;
-            for buf in out.iter_mut() {
-                buf.clear();
-            }
-            let inbox = &inboxes[m];
-            let mut machine_ops = 0u64;
-            let mut raw = 0u64;
-            let mut extra_total = 0u64;
-            let mut any_ran = false;
-            let mut agg_max = 0.0f64;
-            for (i, &v) in verts.iter().enumerate() {
-                // This vertex's message slice: an O(1) offset-table read in
-                // radix mode, a binary search in sort mode.
-                let msgs = inbox.msgs_of(i as u32, v);
-                let has_msgs = !msgs.is_empty();
-                if !active[i] && !has_msgs {
-                    continue;
-                }
-                any_ran = true;
-                sends.clear();
-                let mut extra = 0u64;
-                let still_active = {
-                    let mut ctx = Ctx {
-                        superstep: supersteps,
-                        sends: &mut *sends,
-                        extra_bytes: &mut extra,
-                        agg_max: &mut agg_max,
-                    };
-                    // Borrow the message slice straight out of the inbox.
-                    p.compute(&mut ctx, g, v, &mut states[i], msgs)
-                };
-                active[i] = still_active;
-                extra_total += extra;
-                machine_ops += 1 + msgs.len() as u64 + sends.len() as u64;
-                raw += sends.len() as u64;
-                for &(to, msg) in sends.iter() {
-                    out[li.machine_of(to) as usize].push((to, msg));
-                }
-            }
-            // Sender-side combining per destination machine. Both modes
-            // fold each target's messages in arrival order, so combined
-            // values (f64 included) are bit-identical.
-            if combinable_now {
-                match mode {
-                    ShuffleMode::Sort => {
-                        for buf in out.iter_mut() {
-                            shuffle::sort_combine_in_place(buf, |a, b| p.combine(a, b));
-                        }
-                    }
-                    ShuffleMode::Radix => {
-                        for (dst, buf) in out.iter_mut().enumerate() {
-                            comb.combine_bucket(
-                                li.num_locals(dst),
-                                |t| li.local_of(t),
-                                buf,
-                                |a, b| p.combine(a, b),
-                            );
-                        }
-                    }
-                }
-            }
-            ShardStep {
-                ops: machine_ops as f64,
-                raw_messages: raw,
-                extra_alloc: extra_total,
-                any_ran,
-                agg_max,
-            }
-        });
+        let steps: Vec<ShardStep> =
+            compute_superstep(&mut shards, &inboxes, &li, g, p, supersteps, combinable_now, mode);
 
         // Merge shard reports in machine-index order.
         let mut any_ran = false;
@@ -397,15 +475,8 @@ pub fn run_bsp<P: VertexProgram>(
         // message is buffered — the WCC discovery superstep's memory spike,
         // §5.8). Radix mode counts messages into per-local-id groups and
         // records an offset table; sort mode stable-sorts by target.
-        let delivered: Vec<u64> = exec::run_machines(&mut inboxes, |dst, inbox| {
-            inbox.deliver(
-                shards.iter().map(|s| s.out[dst].as_slice()),
-                |t| li.local_of(t),
-                combinable_now,
-                |a, b| p.combine(a, b),
-            );
-            inbox.len() as u64 * msg_mem
-        });
+        let delivered: Vec<u64> =
+            deliver_superstep(&mut inboxes, &shards, &li, p, combinable_now, msg_mem);
         inbox_bytes.copy_from_slice(&delivered);
 
         // Charge this superstep: sender buffers are flushed to the wire
@@ -439,27 +510,34 @@ pub fn run_bsp<P: VertexProgram>(
 
         supersteps += 1;
         // Global checkpoint: all machines persist state to HDFS and the
-        // recovery point moves forward.
+        // recovery point (and its state snapshot) moves forward.
         if let Some(k) = cfg.checkpoint_every {
             if k > 0 && supersteps.is_multiple_of(k) && cfg.checkpoint_bytes > 0 {
                 cluster.set_label("checkpoint");
                 cluster.hdfs_write(&crate::even_share(cfg.checkpoint_bytes, machines))?;
-                recovery_point = cluster.elapsed();
+                recovery.mark_checkpoint(cluster);
+                if let Some(s) = snapshot.as_mut() {
+                    *s = BspCheckpoint::capture(supersteps, &shards, &inboxes);
+                }
             }
         }
         // Failure detection happens at the barrier. Recovery in the Pregel
         // model: a replacement worker reloads the last checkpoint (or the
         // input, without checkpointing) and every superstep since then is
-        // re-executed — modelled as a stall of that length. Results are
-        // unaffected: the replayed computation is deterministic.
-        if let Some(_machine) = cluster.take_failure() {
-            failed_once = true;
-            cluster.set_label("recovery");
-            if cfg.checkpoint_bytes > 0 {
-                cluster.hdfs_read(&crate::even_share(cfg.checkpoint_bytes, machines))?;
+        // re-executed. The simulated cost is the replay stall charged by
+        // [`Recovery`]; the program state is restored from the snapshot and
+        // genuinely recomputed — uncharged, since the stall already billed
+        // it — so a recovered run equals the fault-free run by replay, not
+        // by assumption.
+        if recovery.at_barrier(cluster)? {
+            if let Some(ckpt) = &snapshot {
+                ckpt.restore(&mut shards, &mut inboxes);
+                for r in ckpt.superstep..supersteps {
+                    let c = p.combinable(r);
+                    compute_superstep(&mut shards, &inboxes, &li, g, p, r, c, mode);
+                    deliver_superstep(&mut inboxes, &shards, &li, p, c, msg_mem);
+                }
             }
-            let replay = cluster.elapsed() - recovery_point;
-            cluster.advance_stall(replay)?;
         }
         let no_more_work = inboxes.iter().all(|i| i.is_empty())
             && !shards.iter().any(|s| s.active.iter().any(|&a| a));
@@ -483,7 +561,12 @@ pub fn run_bsp<P: VertexProgram>(
     let states =
         final_states.into_iter().map(|s| s.expect("partition covers all vertices")).collect();
 
-    Ok(BspOutcome { states, supersteps, raw_messages, recovered_from_failure: failed_once })
+    Ok(BspOutcome {
+        states,
+        supersteps,
+        raw_messages,
+        recovered_from_failure: recovery.crashes_recovered() > 0,
+    })
 }
 
 #[cfg(test)]
@@ -681,6 +764,60 @@ mod tests {
         let radix = run(ShuffleMode::Radix);
         crate::shuffle::set_mode(ShuffleMode::Radix);
         assert_eq!(sorted, radix);
+    }
+
+    fn run_maxprop_with_faults(
+        plan: graphbench_sim::FaultPlan,
+        cfg: &BspConfig,
+    ) -> (BspOutcome<VertexId>, Cluster) {
+        let g = csr_from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 0)]);
+        let part = EdgeCutPartition::random(6, 4, 1);
+        let mut cluster = Cluster::new(
+            ClusterSpec { faults: plan, ..ClusterSpec::r3_xlarge(4, 1 << 30) },
+            CostProfile::cpp_mpi(),
+        );
+        let out = run_bsp(&mut cluster, &g, &part, &mut MaxProp, cfg).unwrap();
+        (out, cluster)
+    }
+
+    #[test]
+    fn recovery_replay_reproduces_fault_free_states() {
+        // With checkpointing: the crash restores the snapshot, replays the
+        // supersteps since, and must land on the fault-free answer while
+        // costing extra simulated time.
+        let cfg = BspConfig {
+            checkpoint_every: Some(2),
+            checkpoint_bytes: 1 << 20,
+            ..BspConfig::default()
+        };
+        let (clean, c_clean) = run_maxprop_with_faults(graphbench_sim::FaultPlan::none(), &cfg);
+        let (faulted, c_faulted) =
+            run_maxprop_with_faults(graphbench_sim::FaultPlan::single(0.01, 1), &cfg);
+        assert_eq!(clean.states, faulted.states);
+        assert!(faulted.recovered_from_failure);
+        assert!(!clean.recovered_from_failure);
+        assert!(c_faulted.elapsed() > c_clean.elapsed());
+        assert!(c_faulted.journal().events().iter().any(|e| e.label == "recovery"));
+    }
+
+    #[test]
+    fn restart_from_input_without_checkpoints_is_still_correct() {
+        let cfg = BspConfig::default(); // no checkpointing (the study's setup)
+        let (clean, _) = run_maxprop_with_faults(graphbench_sim::FaultPlan::none(), &cfg);
+        let (faulted, c_faulted) =
+            run_maxprop_with_faults(graphbench_sim::FaultPlan::single(0.05, 2), &cfg);
+        assert_eq!(clean.states, faulted.states);
+        assert!(faulted.recovered_from_failure);
+        assert!(c_faulted.registry().counter("faults.crash.recovered") >= 1);
+    }
+
+    #[test]
+    fn unreached_fault_is_not_consumed() {
+        let cfg = BspConfig::default();
+        let (out, cluster) =
+            run_maxprop_with_faults(graphbench_sim::FaultPlan::single(80_000.0, 1), &cfg);
+        assert!(!out.recovered_from_failure);
+        assert_eq!(cluster.unreached_faults().len(), 1);
     }
 
     #[test]

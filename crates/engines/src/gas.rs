@@ -24,6 +24,7 @@
 //!   on long-running workloads — the WRN-at-128-machines OOM of Figure 10.
 
 use crate::exec;
+use crate::recovery::{Recovery, RecoveryModel};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -315,21 +316,26 @@ fn execute(
         cores: engine.compute_cores.min(input.cluster.cores),
         seed: input.seed,
     };
+    // The paper ran GraphLab without snapshots, so a machine loss restarts
+    // the computation (Table 1): query-restart cost at every iteration
+    // boundary, detected through the same unified recovery layer as every
+    // other engine.
+    let mut recovery = Recovery::new(cluster, RecoveryModel::QueryRestart);
     let result = match input.workload {
         Workload::PageRank(pr) => {
             let mut cfg = pr;
             cfg.approximate = engine.approximate_pagerank;
             WorkloadResult::Ranks(match engine.mode {
-                GasMode::Sync => sync_pagerank(cluster, &ctx, &cfg, updates)?,
-                GasMode::Async => async_pagerank(cluster, &ctx, &cfg, updates)?,
+                GasMode::Sync => sync_pagerank(cluster, &ctx, &cfg, updates, &mut recovery)?,
+                GasMode::Async => async_pagerank(cluster, &ctx, &cfg, updates, &mut recovery)?,
             })
         }
-        Workload::Wcc => WorkloadResult::Labels(wcc_propagate(cluster, &ctx)?),
+        Workload::Wcc => WorkloadResult::Labels(wcc_propagate(cluster, &ctx, &mut recovery)?),
         Workload::Sssp { source } => {
-            WorkloadResult::Distances(traversal(cluster, &ctx, source, u32::MAX)?)
+            WorkloadResult::Distances(traversal(cluster, &ctx, source, u32::MAX, &mut recovery)?)
         }
         Workload::KHop { source, k } => {
-            WorkloadResult::Distances(traversal(cluster, &ctx, source, k)?)
+            WorkloadResult::Distances(traversal(cluster, &ctx, source, k, &mut recovery)?)
         }
     };
 
@@ -403,6 +409,7 @@ fn sync_pagerank(
     ctx: &GasCtx<'_>,
     cfg: &PageRankConfig,
     updates: &mut Vec<u64>,
+    recovery: &mut Recovery,
 ) -> Result<Vec<f64>, SimError> {
     let n = ctx.n;
     let mut ranks = vec![1.0f64; n];
@@ -521,6 +528,7 @@ fn sync_pagerank(
         ctx.charge_mirror_sync(cluster, changed.into_iter())?;
         cluster.set_label("barrier");
         cluster.barrier()?;
+        recovery.at_barrier(cluster)?;
         cluster.sample_trace();
         updates.push(updated);
         iter += 1;
@@ -542,6 +550,7 @@ fn async_pagerank(
     ctx: &GasCtx<'_>,
     cfg: &PageRankConfig,
     updates: &mut Vec<u64>,
+    recovery: &mut Recovery,
 ) -> Result<Vec<f64>, SimError> {
     let n = ctx.n;
     let mut ranks = vec![1.0f64; n];
@@ -643,6 +652,8 @@ fn async_pagerank(
         cluster.set_label("lock_wait");
         cluster.advance_network_wait(&waits)?;
         cluster.free_all(&to_free);
+        // No global barrier in async mode; losses surface between rounds.
+        recovery.at_barrier(cluster)?;
         cluster.sample_trace();
         updates.push(updated);
         queue = next;
@@ -654,7 +665,11 @@ fn async_pagerank(
 /// Signal-driven minimum-label propagation (WCC). GraphLab sees both ends
 /// of every edge, so the gather runs over the undirected view with no
 /// reverse-edge discovery pass (§3.2).
-fn wcc_propagate(cluster: &mut Cluster, ctx: &GasCtx<'_>) -> Result<Vec<VertexId>, SimError> {
+fn wcc_propagate(
+    cluster: &mut Cluster,
+    ctx: &GasCtx<'_>,
+    recovery: &mut Recovery,
+) -> Result<Vec<VertexId>, SimError> {
     let n = ctx.n;
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     // Undirected neighbour lists per machine are implicit in edges; signal
@@ -749,6 +764,7 @@ fn wcc_propagate(cluster: &mut Cluster, ctx: &GasCtx<'_>) -> Result<Vec<VertexId
         cluster.exchange(&sent, &recv, &msgs)?;
         cluster.set_label("barrier");
         cluster.barrier()?;
+        recovery.at_barrier(cluster)?;
         cluster.sample_trace();
         // Apply + scatter: changed vertices signal their neighbours.
         let mut changed: Vec<VertexId> = Vec::new();
@@ -794,6 +810,7 @@ fn traversal(
     ctx: &GasCtx<'_>,
     source: VertexId,
     bound: u32,
+    recovery: &mut Recovery,
 ) -> Result<Vec<u32>, SimError> {
     let n = ctx.n;
     let mut dist = vec![UNREACHABLE; n];
@@ -866,6 +883,7 @@ fn traversal(
             cluster.set_label("barrier");
             cluster.barrier()?;
         }
+        recovery.at_barrier(cluster)?;
         let mut changed: Vec<VertexId> = Vec::new();
         for step in steps {
             for (t, d) in step.improved {

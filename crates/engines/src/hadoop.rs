@@ -20,6 +20,7 @@
 //! and 128-machine clusters — reproduced here as the `SHFL` failure.
 
 use crate::exec;
+use crate::recovery::{Recovery, RecoveryModel};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -151,8 +152,10 @@ fn run_mapreduce(
 }
 
 /// Charge one MapReduce job executing one workload iteration.
+#[allow(clippy::too_many_arguments)]
 fn charge_iteration(
     cluster: &mut Cluster,
+    recovery: &mut Recovery,
     machines: usize,
     cores: u32,
     haloop: bool,
@@ -176,7 +179,7 @@ fn charge_iteration(
     cluster.set_label("job_submit");
     let submit = (2.0 + 0.02 * machines as f64) * sscale;
     cluster.advance_network_wait(&vec![submit; machines])?;
-    let iteration_start = cluster.elapsed();
+    recovery.begin_iteration(cluster);
     cluster.set_label("map");
 
     // Map input: HaLoop reads the cached adjacency from local disk after
@@ -241,12 +244,9 @@ fn charge_iteration(
     cluster.barrier()?;
     // Fault tolerance by task re-execution (Table 1): a dead worker only
     // loses its slice of the current iteration, which the survivors re-run
-    // — far cheaper than rolling a whole in-memory computation back.
-    if cluster.take_failure().is_some() {
-        cluster.set_label("recovery");
-        let lost = (cluster.elapsed() - iteration_start) / (machines.max(2) - 1) as f64;
-        cluster.advance_stall(lost)?;
-    }
+    // — far cheaper than rolling a whole in-memory computation back. No
+    // state snapshot is needed: iteration output already sits in HDFS.
+    recovery.at_barrier(cluster)?;
     cluster.sample_trace();
     Ok(())
 }
@@ -275,6 +275,7 @@ fn mr_pagerank(
         StopCriterion::Tolerance(t) => (t, u32::MAX),
         StopCriterion::Iterations(k) => (0.0, k),
     };
+    let mut recovery = Recovery::new(cluster, RecoveryModel::TaskReexecution);
     let mut iter = 0u64;
     while (iter as u32) < max_iters {
         let shape = IterationShape {
@@ -285,6 +286,7 @@ fn mr_pagerank(
         };
         charge_iteration(
             cluster,
+            &mut recovery,
             machines,
             input.cluster.cores,
             haloop,
@@ -340,6 +342,7 @@ fn mr_wcc(
     let n = g.num_vertices();
     let machines = cluster.machines();
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut recovery = Recovery::new(cluster, RecoveryModel::TaskReexecution);
     let mut iter = 0u64;
     loop {
         let shape = IterationShape {
@@ -351,6 +354,7 @@ fn mr_wcc(
         };
         charge_iteration(
             cluster,
+            &mut recovery,
             machines,
             input.cluster.cores,
             haloop,
@@ -411,6 +415,7 @@ fn mr_traversal(
     let machines = cluster.machines();
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
+    let mut recovery = Recovery::new(cluster, RecoveryModel::TaskReexecution);
     let mut iter = 0u64;
     loop {
         // MapReduce scans every edge every iteration — it cannot restrict
@@ -424,6 +429,7 @@ fn mr_traversal(
         };
         charge_iteration(
             cluster,
+            &mut recovery,
             machines,
             input.cluster.cores,
             haloop,

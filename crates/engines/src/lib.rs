@@ -30,6 +30,7 @@ pub mod graphx;
 pub mod hadoop;
 pub mod pregel;
 pub mod programs;
+pub mod recovery;
 pub mod shuffle;
 pub mod single;
 pub(crate) mod util;

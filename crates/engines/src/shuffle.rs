@@ -216,7 +216,7 @@ impl<M: Copy> Combiner<M> {
 /// messages are grouped by fragment-local id via two-pass counting (or a
 /// single combining pass) and `msgs_of` is one offset-table read. Both
 /// modes expose identical per-vertex message slices.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Inbox<M> {
     mode: ShuffleMode,
     /// Messages for this machine; radix mode keeps them grouped by local

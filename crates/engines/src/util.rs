@@ -8,12 +8,17 @@ use graphbench_sim::{Cluster, RunMetrics, RunStatus, SimError};
 pub(crate) fn output_from(
     cluster: Cluster,
     outcome: Result<WorkloadResult, SimError>,
-    notes: Vec<String>,
+    mut notes: Vec<String>,
 ) -> RunOutput {
     let (status, result) = match outcome {
         Ok(r) => (RunStatus::Ok, Some(r)),
         Err(e) => (RunStatus::from_error(&e), None),
     };
+    // Scheduled fault events the run never reached (e.g. a crash timed
+    // after the last barrier) are surfaced, not silently dropped.
+    for f in cluster.unreached_faults() {
+        notes.push(format!("fault event unreached: {f}"));
+    }
     let metrics = RunMetrics {
         status,
         phases: cluster.phase_times(),

@@ -23,6 +23,7 @@
 //! "relational engines are competitive" claim.
 
 use crate::exec;
+use crate::recovery::{Recovery, RecoveryModel};
 use crate::{even_share, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -98,8 +99,9 @@ struct SqlCtx {
     vertex_table_bytes: u64,
     /// Vertex-table refresh policy (§2.6).
     refresh: TableRefresh,
-    /// Simulated time at which execution began (query-restart recovery).
-    execute_start: f64,
+    /// Query-restart recovery anchored at execution start (Table 1 lists no
+    /// graph-workload fault tolerance for Vertica).
+    recovery: Recovery,
 }
 
 impl SqlCtx {
@@ -108,16 +110,12 @@ impl SqlCtx {
     /// A node loss mid-statement aborts and restarts the whole query (the
     /// paper's Table 1 lists no graph-workload fault tolerance for
     /// Vertica): the stall replays everything since execution began.
-    fn charge_statement(&self, cluster: &mut Cluster) -> Result<(), SimError> {
+    fn charge_statement(&mut self, cluster: &mut Cluster) -> Result<(), SimError> {
         cluster.set_label("catalog");
         let fixed = (2.0 * catalog_op_secs(self.machines) + shuffle_setup_secs(self.machines))
             * cluster.spec().superstep_scale;
         cluster.advance_network_wait(&vec![fixed; self.machines])?;
-        if cluster.take_failure().is_some() {
-            cluster.set_label("recovery");
-            let replay = cluster.elapsed() - self.execute_start;
-            cluster.advance_stall(replay)?;
-        }
+        self.recovery.at_barrier(cluster)?;
         cluster.set_label("barrier");
         cluster.barrier()
     }
@@ -219,24 +217,26 @@ fn execute(
     cluster.sample_trace();
 
     cluster.begin_phase(Phase::Execute);
-    let ctx = SqlCtx {
+    let mut ctx = SqlCtx {
         machines,
         cores: input.cluster.cores,
         n,
         edge_table_bytes,
         vertex_table_bytes,
         refresh: engine.refresh,
-        execute_start: cluster.elapsed(),
+        recovery: Recovery::new(cluster, RecoveryModel::QueryRestart),
     };
     let g = input.graph;
     let result = match input.workload {
-        Workload::PageRank(pr) => WorkloadResult::Ranks(sql_pagerank(cluster, &ctx, input, pr)?),
-        Workload::Wcc => WorkloadResult::Labels(sql_wcc(cluster, &ctx, input)?),
+        Workload::PageRank(pr) => {
+            WorkloadResult::Ranks(sql_pagerank(cluster, &mut ctx, input, pr)?)
+        }
+        Workload::Wcc => WorkloadResult::Labels(sql_wcc(cluster, &mut ctx, input)?),
         Workload::Sssp { source } => {
-            WorkloadResult::Distances(sql_traversal(cluster, &ctx, input, source, u32::MAX)?)
+            WorkloadResult::Distances(sql_traversal(cluster, &mut ctx, input, source, u32::MAX)?)
         }
         Workload::KHop { source, k } => {
-            WorkloadResult::Distances(sql_traversal(cluster, &ctx, input, source, k)?)
+            WorkloadResult::Distances(sql_traversal(cluster, &mut ctx, input, source, k)?)
         }
     };
     let _ = g;
@@ -249,7 +249,7 @@ fn execute(
 
 fn sql_pagerank(
     cluster: &mut Cluster,
-    ctx: &SqlCtx,
+    ctx: &mut SqlCtx,
     input: &EngineInput<'_>,
     cfg: PageRankConfig,
 ) -> Result<Vec<f64>, SimError> {
@@ -313,7 +313,7 @@ fn sql_pagerank(
 
 fn sql_wcc(
     cluster: &mut Cluster,
-    ctx: &SqlCtx,
+    ctx: &mut SqlCtx,
     input: &EngineInput<'_>,
 ) -> Result<Vec<VertexId>, SimError> {
     let g = input.graph;
@@ -367,7 +367,7 @@ fn sql_wcc(
 
 fn sql_traversal(
     cluster: &mut Cluster,
-    ctx: &SqlCtx,
+    ctx: &mut SqlCtx,
     input: &EngineInput<'_>,
     source: VertexId,
     bound: u32,

@@ -121,7 +121,7 @@ mod fault_tolerance {
     use graphbench_engines::pregel::Giraph;
     use graphbench_engines::{Engine, EngineInput, ScaleInfo};
     use graphbench_gen::{Dataset, DatasetKind, Scale};
-    use graphbench_sim::{ClusterSpec, FaultSpec};
+    use graphbench_sim::{ClusterSpec, FaultPlan};
 
     fn input(
         ds: &(graphbench_graph::EdgeList, graphbench_graph::CsrGraph),
@@ -129,7 +129,7 @@ mod fault_tolerance {
     ) -> EngineInput<'_> {
         let mut cluster = ClusterSpec::r3_xlarge(8, 1 << 30);
         cluster.work_scale = 10_000.0; // make execution long enough to fault into
-        cluster.fault = fault_at.map(|at_time| FaultSpec { at_time, machine: 3 });
+        cluster.faults = fault_at.map(|at_time| FaultPlan::single(at_time, 3)).unwrap_or_default();
         EngineInput {
             edges: &ds.0,
             graph: &ds.1,

@@ -4,9 +4,30 @@ use crate::cost::CostProfile;
 use crate::journal::{EventKind, Journal, JournalEvent};
 use crate::metrics::{CpuBreakdown, PhaseTimes};
 use crate::registry::{MetricsRegistry, SECONDS_BUCKETS};
-use crate::spec::ClusterSpec;
+use crate::spec::{ClusterSpec, FaultEvent};
 use crate::trace::Trace;
 use crate::{MachineId, SimError};
+
+/// A transient fault taken from the plan: the engine retries it with a
+/// bounded backoff instead of aborting (`attempts` failed tries, each paying
+/// a backoff stall, then success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientFault {
+    /// A shuffle fetch from `machine` was lost and must be re-requested.
+    LostShuffleFetch { machine: MachineId, attempts: u32 },
+    /// An HDFS write on `machine` failed and must be re-issued.
+    FailedHdfsWrite { machine: MachineId, attempts: u32 },
+}
+
+impl TransientFault {
+    /// Failed attempts before the retry succeeds.
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            TransientFault::LostShuffleFetch { attempts, .. }
+            | TransientFault::FailedHdfsWrite { attempts, .. } => attempts,
+        }
+    }
+}
 
 /// End-to-end processing phases, matching the paper's reporting (§4.2):
 /// load (read + partition), execute, save, and overhead (everything else —
@@ -84,15 +105,36 @@ pub struct Cluster {
     supersteps: u64,
     total_net_bytes: u64,
     total_messages: u64,
-    fault_taken: bool,
+    /// One consumption flag per `spec.faults` event; set the first time an
+    /// event affects the run, so unconsumed events can be reported instead
+    /// of silently dropped.
+    fault_consumed: Vec<bool>,
+    /// Fast-path flags so fault-free runs never scan the plan per charge.
+    has_stragglers: bool,
+    has_net_degradation: bool,
     label: &'static str,
     journal: Journal,
     registry: MetricsRegistry,
 }
 
 impl Cluster {
+    /// Build a cluster for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spec.faults` fails [`crate::FaultPlan::validate`]: an
+    /// event that could never fire (machine out of range, trigger past the
+    /// deadline) is a harness bug, not a runtime condition.
     pub fn new(spec: ClusterSpec, profile: CostProfile) -> Self {
+        if let Err(why) = spec.faults.validate(spec.machines, spec.deadline) {
+            panic!("invalid fault plan: {why}");
+        }
         let machines = vec![Machine::default(); spec.machines];
+        let fault_consumed = vec![false; spec.faults.events.len()];
+        let has_stragglers =
+            spec.faults.events.iter().any(|e| matches!(e, FaultEvent::Straggler { .. }));
+        let has_net_degradation =
+            spec.faults.events.iter().any(|e| matches!(e, FaultEvent::NetworkDegradation { .. }));
         Cluster {
             spec,
             profile,
@@ -104,7 +146,9 @@ impl Cluster {
             supersteps: 0,
             total_net_bytes: 0,
             total_messages: 0,
-            fault_taken: false,
+            fault_consumed,
+            has_stragglers,
+            has_net_degradation,
             label: Phase::Overhead.name(),
             journal: Journal::new(),
             registry: MetricsRegistry::new(),
@@ -247,6 +291,66 @@ impl Cluster {
         self.advance(dt)
     }
 
+    /// Commit a surplus `Stall` under its own journal label (`straggler`,
+    /// `recovery`, `retry`) without disturbing the caller's label, so fault
+    /// cost is attributable in `Journal::breakdown` while the surrounding
+    /// charge stream stays exactly as in a fault-free run.
+    fn commit_labeled_stall(&mut self, label: &'static str, dt: f64) -> Result<(), SimError> {
+        let saved = self.label;
+        self.label = label;
+        let r = self.commit(EventKind::Stall, Charge { dt, ..Charge::default() });
+        self.label = saved;
+        r
+    }
+
+    /// Busy-time slowdown factors per machine for a charge starting at the
+    /// current clock, or `None` when no straggler window is active (the
+    /// fault-free fast path). Marks newly-applied windows consumed.
+    fn straggler_factors(&mut self) -> Option<Vec<f64>> {
+        if !self.has_stragglers {
+            return None;
+        }
+        let mut factors: Option<Vec<f64>> = None;
+        for i in 0..self.spec.faults.events.len() {
+            if let FaultEvent::Straggler { start, duration, machine, slowdown } =
+                self.spec.faults.events[i]
+            {
+                if self.clock >= start && self.clock < start + duration {
+                    factors.get_or_insert_with(|| vec![1.0; self.spec.machines])[machine] *=
+                        slowdown;
+                    if !self.fault_consumed[i] {
+                        self.fault_consumed[i] = true;
+                        self.registry.inc("faults.straggler.applied", 1);
+                    }
+                }
+            }
+        }
+        factors
+    }
+
+    /// Combined bandwidth multiplier for an exchange starting at the
+    /// current clock, or `None` when no degradation window is active.
+    fn net_degradation_factor(&mut self) -> Option<f64> {
+        if !self.has_net_degradation {
+            return None;
+        }
+        let mut factor: Option<f64> = None;
+        for i in 0..self.spec.faults.events.len() {
+            if let FaultEvent::NetworkDegradation { start, duration, factor: f } =
+                self.spec.faults.events[i]
+            {
+                if self.clock >= start && self.clock < start + duration {
+                    *factor.get_or_insert(1.0) *= f;
+                    if !self.fault_consumed[i] {
+                        self.fault_consumed[i] = true;
+                        self.registry.inc("faults.netdeg.applied", 1);
+                    }
+                }
+            }
+        }
+        factor
+    }
+
     /// Charge the framework's one-time start-up for this cluster size.
     pub fn charge_startup(&mut self) -> Result<(), SimError> {
         let dt = self.profile.startup_for(self.spec.machines);
@@ -256,33 +360,56 @@ impl Cluster {
     /// Charge compute work: `ops[i]` elementary operations on machine `i`,
     /// spread over `cores` cores. Wall time is the slowest machine's time
     /// (BSP semantics); every machine's busy time is recorded for the
-    /// utilization breakdown.
+    /// utilization breakdown. An active straggler window slows the affected
+    /// machine's busy time; the surplus over the fault-free wall time is
+    /// committed as a separate `straggler`-labeled stall so the base charge
+    /// stream stays bit-identical to a fault-free run.
     pub fn advance_compute(&mut self, ops: &[f64], cores: u32) -> Result<(), SimError> {
         assert_eq!(ops.len(), self.spec.machines, "one ops entry per machine");
         assert!(cores >= 1);
+        let slow = self.straggler_factors();
         let per_core = self.profile.sec_per_op * self.spec.work_scale;
         let mut max_t = 0.0f64;
         let mut min_t = f64::INFINITY;
-        for (m, &o) in self.machines.iter_mut().zip(ops) {
+        let mut max_slowed = 0.0f64;
+        for (i, &o) in ops.iter().enumerate() {
             let t = o * per_core / cores as f64;
-            m.busy_user += t;
+            let ts = match &slow {
+                Some(s) => t * s[i],
+                None => t,
+            };
+            self.machines[i].busy_user += ts;
             max_t = max_t.max(t);
             min_t = min_t.min(t);
+            max_slowed = max_slowed.max(ts);
         }
         let wait = (max_t - min_t).max(0.0);
         self.commit(
             EventKind::Compute,
             Charge { dt: max_t, barrier_wait: wait, ..Charge::default() },
-        )
+        )?;
+        if slow.is_some() {
+            self.commit_labeled_stall("straggler", (max_slowed - max_t).max(0.0))?;
+        }
+        Ok(())
     }
 
     /// Charge serial compute on a single machine (e.g. master-side work).
     pub fn advance_compute_on(&mut self, machine: MachineId, ops: f64) -> Result<(), SimError> {
+        let slow = self.straggler_factors();
         let t = ops * self.profile.sec_per_op * self.spec.work_scale;
-        self.machines[machine].busy_user += t;
+        let ts = match &slow {
+            Some(s) => t * s[machine],
+            None => t,
+        };
+        self.machines[machine].busy_user += ts;
         // Every other machine idles for the full charge.
         let wait = if self.spec.machines > 1 { t } else { 0.0 };
-        self.commit(EventKind::Compute, Charge { dt: t, barrier_wait: wait, ..Charge::default() })
+        self.commit(EventKind::Compute, Charge { dt: t, barrier_wait: wait, ..Charge::default() })?;
+        if slow.is_some() {
+            self.commit_labeled_stall("straggler", (ts - t).max(0.0))?;
+        }
+        Ok(())
     }
 
     /// Charge a message exchange: machine `i` sends `sent[i]` bytes in
@@ -294,18 +421,25 @@ impl Cluster {
         assert_eq!(sent.len(), self.spec.machines);
         assert_eq!(recv.len(), self.spec.machines);
         assert_eq!(msgs.len(), self.spec.machines);
+        let deg = self.net_degradation_factor();
         let bw = self.spec.net.bandwidth / self.spec.work_scale;
         let ovh = self.spec.net.per_message_overhead;
         let mut max_t = 0.0f64;
         let mut min_t = f64::INFINITY;
+        let mut max_degraded = 0.0f64;
         let mut bytes = 0u64;
         let mut messages = 0u64;
         for i in 0..self.machines.len() {
             let wire_sent = sent[i] + ovh * msgs[i];
             let t = (wire_sent.max(recv[i])) as f64 / bw;
-            self.machines[i].busy_net += t;
+            let td = match deg {
+                Some(f) => t / f,
+                None => t,
+            };
+            self.machines[i].busy_net += td;
             max_t = max_t.max(t);
             min_t = min_t.min(t);
+            max_degraded = max_degraded.max(td);
             // Reported bytes are paper-equivalent (scaled) totals.
             bytes += (wire_sent as f64 * self.spec.work_scale) as u64;
             messages += (msgs[i] as f64 * self.spec.work_scale) as u64;
@@ -322,21 +456,86 @@ impl Cluster {
                 messages,
                 ..Charge::default()
             },
-        )
+        )?;
+        if deg.is_some() {
+            self.commit_labeled_stall("straggler", (max_degraded - max_t).max(0.0))?;
+        }
+        Ok(())
     }
 
-    /// Report the injected machine failure once its time has passed.
-    /// Returns the dead machine exactly once; engines call this at their
-    /// recovery points (superstep barriers, iteration boundaries) and then
-    /// charge whatever their fault-tolerance mechanism costs.
-    pub fn take_failure(&mut self) -> Option<MachineId> {
-        match self.spec.fault {
-            Some(f) if !self.fault_taken && self.clock >= f.at_time => {
-                self.fault_taken = true;
-                Some(f.machine)
+    /// Report the next due machine crash from the fault plan. Each crash is
+    /// returned exactly once; engines call this at their recovery points
+    /// (superstep barriers, iteration boundaries) and then charge whatever
+    /// their Table 1 fault-tolerance mechanism costs.
+    pub fn take_crash(&mut self) -> Option<MachineId> {
+        for i in 0..self.spec.faults.events.len() {
+            if self.fault_consumed[i] {
+                continue;
             }
-            _ => None,
+            if let FaultEvent::Crash { at_time, machine } = self.spec.faults.events[i] {
+                if self.clock >= at_time {
+                    self.fault_consumed[i] = true;
+                    self.registry.inc("faults.crash.recovered", 1);
+                    return Some(machine);
+                }
+            }
         }
+        None
+    }
+
+    /// Legacy name for [`Cluster::take_crash`] (kept for the single-fault
+    /// scenarios that predate fault plans).
+    pub fn take_failure(&mut self) -> Option<MachineId> {
+        self.take_crash()
+    }
+
+    /// Report the next due transient fault (lost shuffle fetch, failed HDFS
+    /// write). Each event is returned exactly once; engines charge the
+    /// bounded retry/backoff stalls and continue.
+    pub fn take_transient(&mut self) -> Option<TransientFault> {
+        for i in 0..self.spec.faults.events.len() {
+            if self.fault_consumed[i] {
+                continue;
+            }
+            match self.spec.faults.events[i] {
+                FaultEvent::LostShuffleFetch { at_time, machine, attempts }
+                    if self.clock >= at_time =>
+                {
+                    self.fault_consumed[i] = true;
+                    self.registry.inc("faults.fetch.retried", 1);
+                    return Some(TransientFault::LostShuffleFetch { machine, attempts });
+                }
+                FaultEvent::FailedHdfsWrite { at_time, machine, attempts }
+                    if self.clock >= at_time =>
+                {
+                    self.fault_consumed[i] = true;
+                    self.registry.inc("faults.hdfs.retried", 1);
+                    return Some(TransientFault::FailedHdfsWrite { machine, attempts });
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Whether the plan schedules any machine crash (engines only maintain
+    /// recovery snapshots when one can actually fire).
+    pub fn plan_has_crashes(&self) -> bool {
+        self.spec.faults.has_crashes()
+    }
+
+    /// Scheduled fault events that never affected the run (e.g. triggers
+    /// past the point where the workload finished). Reported in
+    /// `RunRecord.notes` so plans are never silently dropped.
+    pub fn unreached_faults(&self) -> Vec<String> {
+        self.spec
+            .faults
+            .events
+            .iter()
+            .zip(&self.fault_consumed)
+            .filter(|&(_, &consumed)| !consumed)
+            .map(|(e, _)| e.to_string())
+            .collect()
     }
 
     /// Advance the clock without attributing busy time to any machine:
@@ -383,14 +582,21 @@ impl Cluster {
 
     fn disk(&mut self, kind: EventKind, bytes: &[u64], bps: f64) -> Result<(), SimError> {
         assert_eq!(bytes.len(), self.spec.machines);
+        let slow = self.straggler_factors();
         let mut max_t = 0.0f64;
         let mut min_t = f64::INFINITY;
+        let mut max_slowed = 0.0f64;
         let mut total = 0u64;
-        for (m, &b) in self.machines.iter_mut().zip(bytes) {
+        for (i, &b) in bytes.iter().enumerate() {
             let t = b as f64 * self.spec.work_scale / bps;
-            m.busy_io += t;
+            let ts = match &slow {
+                Some(s) => t * s[i],
+                None => t,
+            };
+            self.machines[i].busy_io += ts;
             max_t = max_t.max(t);
             min_t = min_t.min(t);
+            max_slowed = max_slowed.max(ts);
             // Reported bytes are paper-equivalent (scaled), as for network.
             total += (b as f64 * self.spec.work_scale) as u64;
         }
@@ -398,7 +604,11 @@ impl Cluster {
         self.commit(
             kind,
             Charge { dt: max_t, barrier_wait: wait, disk_bytes: total, ..Charge::default() },
-        )
+        )?;
+        if slow.is_some() {
+            self.commit_labeled_stall("straggler", (max_slowed - max_t).max(0.0))?;
+        }
+        Ok(())
     }
 
     /// Charge a parallel HDFS read (`bytes[i]` read by machine `i`).
@@ -687,19 +897,160 @@ mod tests {
         assert!(b.net_avg < 0.01);
     }
 
+    fn faulted(machines: usize, plan: crate::FaultPlan) -> Cluster {
+        Cluster::new(
+            ClusterSpec { faults: plan, ..ClusterSpec::r3_xlarge(machines, 1 << 30) },
+            CostProfile::cpp_mpi(),
+        )
+    }
+
     #[test]
     fn fault_is_reported_exactly_once_after_its_time() {
-        let mut c = Cluster::new(
-            ClusterSpec {
-                fault: Some(crate::FaultSpec { at_time: 5.0, machine: 1 }),
-                ..ClusterSpec::r3_xlarge(2, 1 << 30)
-            },
-            CostProfile::cpp_mpi(),
-        );
+        let mut c = faulted(2, crate::FaultPlan::single(5.0, 1));
         assert_eq!(c.take_failure(), None); // not yet
         c.advance_stall(10.0).unwrap();
         assert_eq!(c.take_failure(), Some(1));
         assert_eq!(c.take_failure(), None); // only once
+        assert_eq!(c.registry().counter("faults.crash.recovered"), 1);
+        assert!(c.unreached_faults().is_empty());
+    }
+
+    #[test]
+    fn multiple_crashes_fire_in_schedule_order() {
+        let plan = crate::FaultPlan {
+            events: vec![
+                crate::FaultEvent::Crash { at_time: 2.0, machine: 0 },
+                crate::FaultEvent::Crash { at_time: 5.0, machine: 1 },
+            ],
+        };
+        let mut c = faulted(2, plan);
+        c.advance_stall(3.0).unwrap();
+        assert_eq!(c.take_crash(), Some(0));
+        assert_eq!(c.take_crash(), None); // second not due yet
+        c.advance_stall(3.0).unwrap();
+        assert_eq!(c.take_crash(), Some(1));
+        assert_eq!(c.take_crash(), None);
+        assert_eq!(c.registry().counter("faults.crash.recovered"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn construction_rejects_impossible_fault_plans() {
+        // Machine 5 does not exist in a 2-machine cluster.
+        faulted(2, crate::FaultPlan::single(5.0, 5));
+    }
+
+    #[test]
+    fn unreached_faults_are_reported_not_dropped() {
+        let mut c = faulted(2, crate::FaultPlan::single(100.0, 1));
+        c.advance_stall(1.0).unwrap();
+        assert_eq!(c.take_crash(), None);
+        let unreached = c.unreached_faults();
+        assert_eq!(unreached, vec!["crash@100:m1".to_string()]);
+    }
+
+    #[test]
+    fn straggler_window_charges_a_labeled_surplus_stall() {
+        let plan = crate::FaultPlan {
+            events: vec![crate::FaultEvent::Straggler {
+                start: 0.0,
+                duration: 10.0,
+                machine: 1,
+                slowdown: 3.0,
+            }],
+        };
+        let mut c = faulted(2, plan);
+        c.advance_compute(&[1.0e9, 1.0e9], 1).unwrap();
+        let base = 1.0e9 * CostProfile::cpp_mpi().sec_per_op;
+        // Base compute event is exactly the fault-free charge; the surplus
+        // (slowdown-1)x lands in a separate straggler-labeled stall.
+        let events = c.journal().events();
+        assert_eq!(events[0].kind, EventKind::Compute);
+        assert!((events[0].dt - base).abs() < 1e-9);
+        assert_eq!(events[1].kind, EventKind::Stall);
+        assert_eq!(events[1].label, "straggler");
+        assert!((events[1].dt - 2.0 * base).abs() < 1e-9, "{}", events[1].dt);
+        assert_eq!(c.registry().counter("faults.straggler.applied"), 1);
+        assert!(c.unreached_faults().is_empty());
+        // Outside the window the surplus disappears.
+        let mut late = faulted(
+            2,
+            crate::FaultPlan {
+                events: vec![crate::FaultEvent::Straggler {
+                    start: 50.0,
+                    duration: 1.0,
+                    machine: 1,
+                    slowdown: 3.0,
+                }],
+            },
+        );
+        late.advance_compute(&[1.0e9, 1.0e9], 1).unwrap();
+        assert_eq!(late.journal().len(), 1);
+        assert_eq!(late.unreached_faults().len(), 1);
+    }
+
+    #[test]
+    fn straggler_leaves_fault_free_charges_bit_identical() {
+        let plan = crate::FaultPlan {
+            events: vec![crate::FaultEvent::Straggler {
+                start: 0.0,
+                duration: 10.0,
+                machine: 0,
+                slowdown: 2.0,
+            }],
+        };
+        let mut with = faulted(2, plan);
+        let mut without = faulted(2, crate::FaultPlan::none());
+        for c in [&mut with, &mut without] {
+            c.advance_compute(&[1.0e9, 2.0e9], 2).unwrap();
+        }
+        let (a, b) = (&with.journal().events()[0], &without.journal().events()[0]);
+        assert_eq!(a.dt.to_bits(), b.dt.to_bits());
+        assert_eq!(a.barrier_wait.to_bits(), b.barrier_wait.to_bits());
+    }
+
+    #[test]
+    fn network_degradation_charges_a_labeled_surplus_stall() {
+        let plan = crate::FaultPlan {
+            events: vec![crate::FaultEvent::NetworkDegradation {
+                start: 0.0,
+                duration: 10.0,
+                factor: 0.5,
+            }],
+        };
+        let mut c = faulted(2, plan);
+        c.exchange(&[125_000_000, 0], &[0, 125_000_000], &[1, 0]).unwrap();
+        let events = c.journal().events();
+        assert_eq!(events[0].kind, EventKind::Network);
+        assert!((events[0].dt - 1.0).abs() < 1e-3); // base, as fault-free
+        assert_eq!(events[1].kind, EventKind::Stall);
+        assert_eq!(events[1].label, "straggler");
+        assert!((events[1].dt - 1.0).abs() < 1e-3, "{}", events[1].dt); // 2x - 1x
+        assert_eq!(c.registry().counter("faults.netdeg.applied"), 1);
+    }
+
+    #[test]
+    fn transient_faults_are_taken_exactly_once() {
+        let plan = crate::FaultPlan {
+            events: vec![
+                crate::FaultEvent::LostShuffleFetch { at_time: 1.0, machine: 0, attempts: 2 },
+                crate::FaultEvent::FailedHdfsWrite { at_time: 1.0, machine: 1, attempts: 1 },
+            ],
+        };
+        let mut c = faulted(2, plan);
+        assert_eq!(c.take_transient(), None);
+        c.advance_stall(2.0).unwrap();
+        assert_eq!(
+            c.take_transient(),
+            Some(TransientFault::LostShuffleFetch { machine: 0, attempts: 2 })
+        );
+        assert_eq!(
+            c.take_transient(),
+            Some(TransientFault::FailedHdfsWrite { machine: 1, attempts: 1 })
+        );
+        assert_eq!(c.take_transient(), None);
+        assert_eq!(c.registry().counter("faults.fetch.retried"), 1);
+        assert_eq!(c.registry().counter("faults.hdfs.retried"), 1);
     }
 
     #[test]

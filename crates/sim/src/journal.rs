@@ -287,6 +287,20 @@ impl Journal {
         self.events.iter().map(|e| e.net_bytes).sum()
     }
 
+    /// Simulated seconds attributable to injected faults: the sum over
+    /// events labeled `recovery` (crash recovery), `retry` (transient
+    /// backoff), and `straggler` (slowdown / degradation surplus). Zero on
+    /// a fault-free run.
+    pub fn fault_seconds(&self) -> f64 {
+        let mut t = 0.0;
+        for ev in &self.events {
+            if matches!(ev.label.as_str(), "recovery" | "retry" | "straggler") {
+                t += ev.dt;
+            }
+        }
+        t
+    }
+
     /// Total paper-equivalent disk bytes across events (all channels).
     pub fn disk_bytes(&self) -> u64 {
         self.events.iter().map(|e| e.disk_bytes).sum()
@@ -424,6 +438,18 @@ mod tests {
         assert_eq!(rows[1].messages, 5);
         assert_eq!(rows[2].barrier, 0.25);
         assert_eq!(rows[2].total(), 0.25);
+    }
+
+    #[test]
+    fn fault_seconds_sums_only_fault_labels() {
+        let mut j = Journal::new();
+        j.push(ev(EventKind::Compute, "execute", "superstep", 2.0));
+        j.push(ev(EventKind::Stall, "execute", "recovery", 3.0));
+        j.push(ev(EventKind::Stall, "execute", "retry", 0.5));
+        j.push(ev(EventKind::Stall, "execute", "straggler", 1.5));
+        j.push(ev(EventKind::Barrier, "execute", "barrier", 0.25));
+        assert_eq!(j.fault_seconds(), 5.0);
+        assert_eq!(Journal::new().fault_seconds(), 0.0);
     }
 
     #[test]

@@ -27,12 +27,14 @@ pub mod registry;
 pub mod spec;
 pub mod trace;
 
-pub use cluster::{Cluster, Phase};
+pub use cluster::{Cluster, Phase, TransientFault};
 pub use cost::CostProfile;
 pub use journal::{EventKind, Journal, JournalEvent, LabelCost};
 pub use metrics::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus};
 pub use registry::{Histogram, MetricsRegistry, SECONDS_BUCKETS};
-pub use spec::{ClusterSpec, DiskSpec, FaultSpec, NetworkSpec};
+pub use spec::{
+    ClusterSpec, DiskSpec, FaultEvent, FaultPlan, FaultSpec, NetworkSpec, RETRY_MAX_ATTEMPTS,
+};
 pub use trace::{Trace, TraceSample};
 
 /// Machine index within a cluster.

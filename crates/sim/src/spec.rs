@@ -61,12 +61,254 @@ impl Default for DiskSpec {
 /// A machine failure to inject during a run (Table 1's fault-tolerance
 /// column is exercised by killing a worker mid-execution and watching each
 /// system's recovery mechanism pay for it).
+///
+/// Legacy single-event form; [`FaultPlan::single`] (or `FaultSpec::into()`)
+/// bridges it into the multi-event schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Simulated time at which the machine dies.
     pub at_time: f64,
     /// Which machine dies.
     pub machine: usize,
+}
+
+/// Most failed attempts a transient fault may charge before it must
+/// succeed: the bounded retry/backoff model never aborts a run.
+pub const RETRY_MAX_ATTEMPTS: u32 = 3;
+
+/// One scheduled fault event. Times are simulated seconds; an event fires
+/// when the simulated clock first reaches its trigger time at the charge or
+/// barrier where the affected engine can observe it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Machine `machine` dies at `at_time`; the engine detects it at its
+    /// next barrier and pays its Table 1 recovery mechanism's cost.
+    Crash { at_time: f64, machine: usize },
+    /// Machine `machine` runs `slowdown`× slower for busy-time charges
+    /// (compute and disk) that *start* inside `[start, start + duration)`.
+    /// The surplus over the fault-free charge is journaled as a `Stall`
+    /// labeled `straggler`, so the base charge stream stays bit-identical.
+    Straggler { start: f64, duration: f64, machine: usize, slowdown: f64 },
+    /// Cluster-wide bandwidth multiplier `factor` (0 < factor ≤ 1) for
+    /// exchanges that start inside `[start, start + duration)`. Surplus
+    /// transfer time is journaled as a `Stall` labeled `straggler`.
+    NetworkDegradation { start: f64, duration: f64, factor: f64 },
+    /// A shuffle fetch from `machine` is lost at `at_time`; the engine
+    /// retries with exponential backoff (`attempts` failed tries, each
+    /// charged as a `Stall` labeled `retry`) and then succeeds.
+    LostShuffleFetch { at_time: f64, machine: usize, attempts: u32 },
+    /// An HDFS write on `machine` fails at `at_time`; retried with the same
+    /// bounded backoff model as a lost fetch.
+    FailedHdfsWrite { at_time: f64, machine: usize, attempts: u32 },
+}
+
+impl FaultEvent {
+    /// The simulated time at which the event becomes eligible to fire.
+    pub fn trigger_time(&self) -> f64 {
+        match *self {
+            FaultEvent::Crash { at_time, .. }
+            | FaultEvent::LostShuffleFetch { at_time, .. }
+            | FaultEvent::FailedHdfsWrite { at_time, .. } => at_time,
+            FaultEvent::Straggler { start, .. } | FaultEvent::NetworkDegradation { start, .. } => {
+                start
+            }
+        }
+    }
+
+    /// Short grammar keyword (also the prefix used by [`FaultPlan::parse`]).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            FaultEvent::Crash { .. } => "crash",
+            FaultEvent::Straggler { .. } => "straggler",
+            FaultEvent::NetworkDegradation { .. } => "netdeg",
+            FaultEvent::LostShuffleFetch { .. } => "fetch",
+            FaultEvent::FailedHdfsWrite { .. } => "hdfs",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultEvent::Crash { at_time, machine } => write!(f, "crash@{at_time}:m{machine}"),
+            FaultEvent::Straggler { start, duration, machine, slowdown } => {
+                write!(f, "straggler@{start}+{duration}:m{machine}x{slowdown}")
+            }
+            FaultEvent::NetworkDegradation { start, duration, factor } => {
+                write!(f, "netdeg@{start}+{duration}:x{factor}")
+            }
+            FaultEvent::LostShuffleFetch { at_time, machine, attempts } => {
+                write!(f, "fetch@{at_time}:m{machine}x{attempts}")
+            }
+            FaultEvent::FailedHdfsWrite { at_time, machine, attempts } => {
+                write!(f, "hdfs@{at_time}:m{machine}x{attempts}")
+            }
+        }
+    }
+}
+
+/// An ordered, seed-reproducible schedule of fault events injected into one
+/// run. The empty plan is the fault-free default and charges nothing.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Legacy bridge: the single machine-kill the old `FaultSpec` expressed.
+    pub fn single(at_time: f64, machine: usize) -> Self {
+        FaultPlan { events: vec![FaultEvent::Crash { at_time, machine }] }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether any scheduled event is a machine crash (engines only
+    /// maintain recovery snapshots when one can actually fire).
+    pub fn has_crashes(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, FaultEvent::Crash { .. }))
+    }
+
+    /// Validate every event against the cluster shape. Rejects events that
+    /// could never fire (machine out of range, trigger past the deadline,
+    /// non-positive times) or that break model invariants (slowdown < 1,
+    /// bandwidth factor outside (0, 1], retry attempts outside
+    /// `1..=RETRY_MAX_ATTEMPTS`).
+    pub fn validate(&self, machines: usize, deadline: f64) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            let fail = |why: String| Err(format!("fault event #{i} ({e}): {why}"));
+            let t = e.trigger_time();
+            if !t.is_finite() || t < 0.0 {
+                return fail(format!("trigger time {t} is not a non-negative finite number"));
+            }
+            if t > deadline {
+                return fail(format!("trigger time {t} is past the {deadline}s deadline"));
+            }
+            match *e {
+                FaultEvent::Crash { machine, .. }
+                | FaultEvent::LostShuffleFetch { machine, .. }
+                | FaultEvent::FailedHdfsWrite { machine, .. }
+                | FaultEvent::Straggler { machine, .. }
+                    if machine >= machines =>
+                {
+                    return fail(format!("machine {machine} >= cluster size {machines}"));
+                }
+                FaultEvent::Straggler { duration, slowdown, .. } => {
+                    if !duration.is_finite() || duration < 0.0 {
+                        return fail(format!("duration {duration} must be >= 0"));
+                    }
+                    if !slowdown.is_finite() || slowdown < 1.0 {
+                        return fail(format!("slowdown {slowdown} must be >= 1"));
+                    }
+                }
+                FaultEvent::NetworkDegradation { duration, factor, .. } => {
+                    if !duration.is_finite() || duration < 0.0 {
+                        return fail(format!("duration {duration} must be >= 0"));
+                    }
+                    if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                        return fail(format!("bandwidth factor {factor} must be in (0, 1]"));
+                    }
+                }
+                FaultEvent::LostShuffleFetch { attempts, .. }
+                | FaultEvent::FailedHdfsWrite { attempts, .. } => {
+                    if attempts == 0 || attempts > RETRY_MAX_ATTEMPTS {
+                        return fail(format!(
+                            "attempts {attempts} must be in 1..={RETRY_MAX_ATTEMPTS}"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the `GRAPHBENCH_FAULTS` grammar: semicolon-separated events,
+    ///
+    /// ```text
+    /// crash@T:mM            straggler@T+D:mMxS     netdeg@T+D:xF
+    /// fetch@T:mM[xA]        hdfs@T:mM[xA]
+    /// ```
+    ///
+    /// where `T`/`D` are seconds, `M` a machine index, `S` a slowdown
+    /// factor, `F` a bandwidth multiplier and `A` a retry-attempt count
+    /// (default 1).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for raw in s.split(';') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            events.push(Self::parse_event(part)?);
+        }
+        Ok(FaultPlan { events })
+    }
+
+    fn parse_event(part: &str) -> Result<FaultEvent, String> {
+        let err = |why: &str| format!("cannot parse fault event {part:?}: {why}");
+        let (kind, rest) = part.split_once('@').ok_or_else(|| err("missing '@'"))?;
+        let (when, body) = rest.split_once(':').ok_or_else(|| err("missing ':'"))?;
+        let time = |s: &str| s.trim().parse::<f64>().map_err(|_| err("bad time"));
+        let (start, duration) = match when.split_once('+') {
+            Some((t, d)) => (time(t)?, Some(time(d)?)),
+            None => (time(when)?, None),
+        };
+        let machine = |s: &str| -> Result<usize, String> {
+            s.trim()
+                .strip_prefix('m')
+                .and_then(|m| m.parse::<usize>().ok())
+                .ok_or_else(|| err("expected mN machine index"))
+        };
+        match kind.trim() {
+            "crash" => Ok(FaultEvent::Crash { at_time: start, machine: machine(body)? }),
+            "straggler" => {
+                let (m, s) = body.split_once('x').ok_or_else(|| err("expected mMxS"))?;
+                Ok(FaultEvent::Straggler {
+                    start,
+                    duration: duration.ok_or_else(|| err("straggler needs @T+D"))?,
+                    machine: machine(m)?,
+                    slowdown: s.trim().parse().map_err(|_| err("bad slowdown"))?,
+                })
+            }
+            "netdeg" => Ok(FaultEvent::NetworkDegradation {
+                start,
+                duration: duration.ok_or_else(|| err("netdeg needs @T+D"))?,
+                factor: body
+                    .trim()
+                    .strip_prefix('x')
+                    .and_then(|f| f.parse::<f64>().ok())
+                    .ok_or_else(|| err("expected xF factor"))?,
+            }),
+            "fetch" | "hdfs" => {
+                let (m, attempts) = match body.split_once('x') {
+                    Some((m, a)) => {
+                        (m, a.trim().parse::<u32>().map_err(|_| err("bad attempt count"))?)
+                    }
+                    None => (body, 1),
+                };
+                let machine = machine(m)?;
+                Ok(if kind.trim() == "fetch" {
+                    FaultEvent::LostShuffleFetch { at_time: start, machine, attempts }
+                } else {
+                    FaultEvent::FailedHdfsWrite { at_time: start, machine, attempts }
+                })
+            }
+            other => Err(err(&format!("unknown event kind {other:?}"))),
+        }
+    }
+}
+
+impl From<FaultSpec> for FaultPlan {
+    fn from(f: FaultSpec) -> Self {
+        FaultPlan::single(f.at_time, f.machine)
+    }
 }
 
 /// A shared-nothing cluster.
@@ -100,11 +342,14 @@ pub struct ClusterSpec {
     /// proportional work is already correct because its sum over supersteps
     /// is data-proportional.
     pub superstep_scale: f64,
-    /// Optional machine failure injected during the run. Engines detect it
-    /// at their natural recovery points (superstep barriers, iteration
-    /// boundaries) via [`crate::Cluster::take_failure`] and charge their
-    /// fault-tolerance mechanism's recovery cost.
-    pub fault: Option<FaultSpec>,
+    /// Fault events injected during the run. Engines detect crashes at
+    /// their natural recovery points (superstep barriers, iteration
+    /// boundaries) via [`crate::Cluster::take_crash`] and charge their
+    /// fault-tolerance mechanism's recovery cost; stragglers and network
+    /// degradation apply inside the charge primitives; transients surface
+    /// through [`crate::Cluster::take_transient`]. The plan is validated at
+    /// [`crate::Cluster::new`].
+    pub faults: FaultPlan,
 }
 
 impl ClusterSpec {
@@ -120,7 +365,7 @@ impl ClusterSpec {
             deadline: 24.0 * 3600.0,
             work_scale: 1.0,
             superstep_scale: 1.0,
-            fault: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -160,5 +405,72 @@ mod tests {
         let d = DiskSpec::default();
         assert!(d.hdfs_write < d.hdfs_read);
         assert!(d.hdfs_write < d.local_write);
+    }
+
+    #[test]
+    fn fault_plan_parses_the_env_grammar() {
+        let plan = FaultPlan::parse(
+            "crash@5:m1; straggler@2+3:m0x2.5; netdeg@1+4:x0.5; fetch@6:m2; hdfs@7:m3x2",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent::Crash { at_time: 5.0, machine: 1 },
+                FaultEvent::Straggler { start: 2.0, duration: 3.0, machine: 0, slowdown: 2.5 },
+                FaultEvent::NetworkDegradation { start: 1.0, duration: 4.0, factor: 0.5 },
+                FaultEvent::LostShuffleFetch { at_time: 6.0, machine: 2, attempts: 1 },
+                FaultEvent::FailedHdfsWrite { at_time: 7.0, machine: 3, attempts: 2 },
+            ]
+        );
+        assert!(plan.has_crashes());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("crash@x:m1").is_err());
+        assert!(FaultPlan::parse("explode@5:m1").is_err());
+        assert!(FaultPlan::parse("straggler@5:m1x2").is_err(), "straggler requires a duration");
+    }
+
+    #[test]
+    fn fault_plan_display_round_trips_through_parse() {
+        let plan = FaultPlan::parse("crash@5:m1; straggler@2+3:m0x2.5; netdeg@1+4:x0.5").unwrap();
+        let printed = plan.events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ");
+        assert_eq!(FaultPlan::parse(&printed).unwrap(), plan);
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_unreachable_events() {
+        let deadline = 100.0;
+        let ok = FaultPlan::single(5.0, 3);
+        assert!(ok.validate(4, deadline).is_ok());
+        assert!(FaultPlan::single(5.0, 4).validate(4, deadline).is_err(), "machine out of range");
+        assert!(FaultPlan::single(101.0, 0).validate(4, deadline).is_err(), "past the deadline");
+        assert!(FaultPlan::single(-1.0, 0).validate(4, deadline).is_err(), "negative time");
+        let bad_slow = FaultPlan {
+            events: vec![FaultEvent::Straggler {
+                start: 1.0,
+                duration: 1.0,
+                machine: 0,
+                slowdown: 0.5,
+            }],
+        };
+        assert!(bad_slow.validate(4, deadline).is_err(), "slowdown < 1");
+        let bad_factor = FaultPlan {
+            events: vec![FaultEvent::NetworkDegradation { start: 1.0, duration: 1.0, factor: 1.5 }],
+        };
+        assert!(bad_factor.validate(4, deadline).is_err(), "factor > 1");
+        let bad_attempts = FaultPlan {
+            events: vec![FaultEvent::LostShuffleFetch {
+                at_time: 1.0,
+                machine: 0,
+                attempts: RETRY_MAX_ATTEMPTS + 1,
+            }],
+        };
+        assert!(bad_attempts.validate(4, deadline).is_err(), "too many retry attempts");
+    }
+
+    #[test]
+    fn legacy_fault_spec_bridges_into_a_plan() {
+        let plan: FaultPlan = FaultSpec { at_time: 7.0, machine: 2 }.into();
+        assert_eq!(plan, FaultPlan::single(7.0, 2));
     }
 }

@@ -1,0 +1,272 @@
+//! Chaos harness: proptest-generated multi-event fault plans thrown at the
+//! Table 1 recovery mechanisms.
+//!
+//! Every generated case runs one engine/workload cell clean, then replays
+//! it under growing time-ordered prefixes of a generated [`FaultPlan`],
+//! asserting the fault subsystem's whole contract:
+//!
+//! 1. **answers survive** — every faulted run reproduces the fault-free
+//!    result bit-for-bit (checkpoint replay and lineage recompute actually
+//!    restore state; the cost-only mechanisms never touch it);
+//! 2. **thread-count invariance** — the faulted run's metrics, journal,
+//!    registry, and result are bit-identical at 1 and 4 host threads;
+//! 3. **monotonic cost** — simulated runtime never decreases as the next
+//!    scheduled event is appended to the plan (prefixes are taken in
+//!    trigger-time order and windows are capped at the next trigger, the
+//!    form for which this is a theorem — see DESIGN.md);
+//! 4. **nothing vanishes** — every scheduled event is either consumed
+//!    (counted in the `faults.*` registry counters) or reported in
+//!    `notes` as `fault event unreached: ...`.
+//!
+//! The proptest RNG is seeded with a fixed ChaCha key so CI failures
+//! reproduce locally; scale the case count with `GRAPHBENCH_CHAOS_CASES`.
+
+use graphbench_algos::workload::PageRankConfig;
+use graphbench_algos::Workload;
+use graphbench_engines::graphx::GraphX;
+use graphbench_engines::hadoop::Hadoop;
+use graphbench_engines::pregel::Giraph;
+use graphbench_engines::vertica::Vertica;
+use graphbench_engines::{exec, Engine, EngineInput, RunOutput, ScaleInfo};
+use graphbench_gen::{Dataset, DatasetKind, Scale};
+use graphbench_graph::{CsrGraph, EdgeList};
+use graphbench_sim::{ClusterSpec, FaultEvent, FaultPlan, RETRY_MAX_ATTEMPTS};
+use proptest::prelude::*;
+use proptest::test_runner::{Config, RngAlgorithm, TestCaseError, TestRng, TestRunner};
+use std::sync::{Mutex, OnceLock};
+
+/// `exec::set_threads` is process-global and cargo runs tests concurrently;
+/// the thread-invariance check serializes on this lock.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+const MACHINES: usize = 8;
+
+fn dataset() -> &'static (EdgeList, CsrGraph) {
+    static DS: OnceLock<(EdgeList, CsrGraph)> = OnceLock::new();
+    DS.get_or_init(|| {
+        let d = Dataset::generate(DatasetKind::Twitter, Scale { base: 400 }, 3);
+        let g = d.to_csr();
+        (d.edges, g)
+    })
+}
+
+/// The four Table 1 mechanisms, one representative cell each.
+fn cell(idx: usize) -> (&'static str, Box<dyn Engine>, Workload) {
+    let pr = Workload::PageRank(PageRankConfig::fixed(8));
+    match idx % 4 {
+        0 => (
+            "Giraph/ckpt3/PageRank",
+            Box::new(Giraph { checkpoint_every: Some(3), ..Giraph::default() }),
+            pr,
+        ),
+        1 => (
+            "GraphX/lineage/Wcc",
+            Box::new(GraphX { num_partitions: Some(64), ..GraphX::default() }),
+            Workload::Wcc,
+        ),
+        2 => ("Hadoop/reexec/PageRank", Box::new(Hadoop), pr),
+        3 => ("Vertica/restart/Wcc", Box::new(Vertica::default()), Workload::Wcc),
+        _ => unreachable!(),
+    }
+}
+
+fn run_cell(idx: usize, faults: FaultPlan) -> RunOutput {
+    let ds = dataset();
+    let (_, engine, workload) = cell(idx);
+    let mut cluster = ClusterSpec::r3_xlarge(MACHINES, 1 << 30);
+    cluster.work_scale = 10_000.0; // long enough to fault into
+    cluster.faults = faults;
+    engine.run(&EngineInput {
+        edges: &ds.0,
+        graph: &ds.1,
+        workload,
+        cluster,
+        seed: 7,
+        scale: ScaleInfo::actual(&ds.0),
+    })
+}
+
+/// One abstract fault in a slot, expressed in fractions of the fault-free
+/// runtime so the same generated value works across engines of different
+/// speeds. `kind` selects the variant, the other fields parameterize it.
+#[derive(Debug, Clone)]
+struct AbstractFault {
+    kind: u8,
+    /// Position inside the slot, `0..1`.
+    offset: f64,
+    machine: usize,
+    slowdown: f64,
+    factor: f64,
+    attempts: u32,
+    /// Window length as a share of the gap to the next trigger, `0..1`.
+    dur_scale: f64,
+}
+
+fn arb_fault() -> impl Strategy<Value = AbstractFault> {
+    (
+        0u8..5,
+        0.0..0.6f64,
+        0..MACHINES,
+        1.5..3.0f64,
+        0.3..0.9f64,
+        1..=RETRY_MAX_ATTEMPTS,
+        0.1..0.9f64,
+    )
+        .prop_map(|(kind, offset, machine, slowdown, factor, attempts, dur_scale)| {
+            AbstractFault { kind, offset, machine, slowdown, factor, attempts, dur_scale }
+        })
+}
+
+/// Materialize abstract faults against a concrete fault-free runtime.
+///
+/// Slot `i` of `n` owns the fraction interval `[0.05 + 0.85*i/n, 0.05 +
+/// 0.85*(i+1)/n)`; triggers land in the lower 60% of their slot and
+/// windows are capped at the next slot's trigger, so prefixes taken in
+/// order are genuinely time-ordered and window effects never straddle a
+/// later event's trigger (the precondition of the monotonicity theorem).
+/// At most two crashes per plan: restart-style recovery doubles the
+/// remaining runtime per crash, and the cap keeps every prefix far from
+/// the 24 h simulated deadline.
+fn materialize(abstracts: &[AbstractFault], t_clean: f64) -> FaultPlan {
+    let n = abstracts.len();
+    let frac = |i: usize, off: f64| 0.05 + 0.85 * (i as f64 + off) / n as f64;
+    let mut crashes = 0;
+    let mut events = Vec::with_capacity(n);
+    for (i, a) in abstracts.iter().enumerate() {
+        let start = frac(i, a.offset) * t_clean;
+        let gap = (frac(i + 1, 0.0) - frac(i, a.offset)) * t_clean;
+        let duration = a.dur_scale * gap;
+        let mut kind = a.kind;
+        if kind == 0 {
+            crashes += 1;
+            if crashes > 2 {
+                kind = 3; // demote surplus crashes to transients
+            }
+        }
+        events.push(match kind {
+            0 => FaultEvent::Crash { at_time: start, machine: a.machine },
+            1 => {
+                FaultEvent::Straggler { start, duration, machine: a.machine, slowdown: a.slowdown }
+            }
+            2 => FaultEvent::NetworkDegradation { start, duration, factor: a.factor },
+            3 => FaultEvent::LostShuffleFetch {
+                at_time: start,
+                machine: a.machine,
+                attempts: a.attempts,
+            },
+            4 => FaultEvent::FailedHdfsWrite {
+                at_time: start,
+                machine: a.machine,
+                attempts: a.attempts,
+            },
+            _ => unreachable!(),
+        });
+    }
+    FaultPlan { events }
+}
+
+/// Events the run consumed, per the registry's fault counters.
+fn consumed(out: &RunOutput) -> u64 {
+    [
+        "faults.crash.recovered",
+        "faults.fetch.retried",
+        "faults.hdfs.retried",
+        "faults.straggler.applied",
+        "faults.netdeg.applied",
+    ]
+    .iter()
+    .map(|name| out.registry.counter(name))
+    .sum()
+}
+
+fn unreached(out: &RunOutput) -> u64 {
+    out.notes.iter().filter(|n| n.starts_with("fault event unreached:")).count() as u64
+}
+
+/// The serialized faces of a run that must be thread-count invariant.
+fn fingerprint(out: &RunOutput) -> (String, String, String) {
+    (
+        serde_json::to_string(&out.metrics).expect("metrics serialize"),
+        out.journal.to_jsonl(),
+        serde_json::to_string(&out.registry).expect("registry serializes"),
+    )
+}
+
+fn check_case(idx: usize, abstracts: &[AbstractFault]) -> Result<(), TestCaseError> {
+    let (label, _, _) = cell(idx);
+    let clean = run_cell(idx, FaultPlan::none());
+    prop_assert!(clean.metrics.status.is_ok(), "{label}: clean run failed");
+    let t_clean = clean.metrics.total_time();
+    let plan = materialize(abstracts, t_clean);
+
+    // 3+4: each time-ordered prefix costs at least as much as the last,
+    // and accounts for every scheduled event.
+    let mut prev = t_clean;
+    for k in 1..=plan.events.len() {
+        let prefix = FaultPlan { events: plan.events[..k].to_vec() };
+        let out = run_cell(idx, prefix);
+        prop_assert!(out.metrics.status.is_ok(), "{label}: prefix {k} failed");
+        // 1: the answer survives every fault combination.
+        prop_assert_eq!(&clean.result, &out.result, "{} prefix {}: answer changed", label, k);
+        let t = out.metrics.total_time();
+        prop_assert!(
+            t >= prev - 1e-9,
+            "{} prefix {}: runtime decreased {} -> {}",
+            label,
+            k,
+            prev,
+            t
+        );
+        prev = t;
+        prop_assert_eq!(
+            consumed(&out) + unreached(&out),
+            k as u64,
+            "{} prefix {}: events neither consumed nor reported",
+            label,
+            k
+        );
+    }
+
+    // 2: the full faulted run is bit-identical across host thread counts.
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    exec::set_threads(1);
+    let serial = run_cell(idx, plan.clone());
+    exec::set_threads(4);
+    let parallel = run_cell(idx, plan);
+    exec::set_threads(1);
+    prop_assert_eq!(&serial.result, &parallel.result, "{}: result diverged across threads", label);
+    prop_assert_eq!(fingerprint(&serial), fingerprint(&parallel), "{}: record diverged", label);
+    Ok(())
+}
+
+/// Fixed RNG seed: CI failures replay locally with no shrink-seed hunting.
+const CHAOS_SEED: [u8; 32] = *b"graphbench-chaos-harness-seed-01";
+
+#[test]
+fn chaos_generated_fault_plans_uphold_the_recovery_contract() {
+    let cases =
+        std::env::var("GRAPHBENCH_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
+    let mut runner = TestRunner::new_with_rng(
+        Config { cases, failure_persistence: None, ..Config::default() },
+        TestRng::from_seed(RngAlgorithm::ChaCha, &CHAOS_SEED),
+    );
+    let strategy = (0usize..4, prop::collection::vec(arb_fault(), 1..=4));
+    runner
+        .run(&strategy, |(idx, abstracts)| check_case(idx, &abstracts))
+        .unwrap_or_else(|e| panic!("chaos case failed: {e}"));
+}
+
+/// The empty plan is the identity: a `FaultPlan::none()` run is
+/// byte-identical to one with no plan field set at all (the legacy
+/// default), for every mechanism cell.
+#[test]
+fn empty_plan_is_byte_identical_to_fault_free() {
+    for idx in 0..4 {
+        let (label, _, _) = cell(idx);
+        let a = run_cell(idx, FaultPlan::none());
+        let b = run_cell(idx, FaultPlan::default());
+        assert_eq!(a.result, b.result, "{label}");
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{label}");
+        assert_eq!(a.journal.fault_seconds(), 0.0, "{label}: fault cost on a fault-free run");
+    }
+}

@@ -22,6 +22,7 @@ use graphbench::system::GlStop;
 use graphbench::{ExperimentSpec, PaperEnv, RunRecord, Runner, SystemId};
 use graphbench_algos::WorkloadKind;
 use graphbench_gen::{DatasetKind, Scale};
+use graphbench_sim::{FaultEvent, FaultPlan};
 use std::path::{Path, PathBuf};
 
 fn golden_dir() -> PathBuf {
@@ -160,6 +161,61 @@ fn golden_vertica_pagerank() {
 #[test]
 fn golden_vertica_wcc() {
     golden_cell(SystemId::Vertica, WorkloadKind::Wcc);
+}
+
+/// A faulted run is as deterministic as a fault-free one: the same golden
+/// snapshot verifies at 1 and 4 host threads, and the journal decomposes
+/// the injected fault cost under the `recovery`/`straggler`/`retry`
+/// labels. The plan (a crash, a straggler window, a lost shuffle fetch) is
+/// derived from the clean run's phase times, which are themselves frozen
+/// by `golden_giraph_pagerank`.
+#[test]
+fn golden_giraph_pagerank_faulted() {
+    let spec = ExperimentSpec {
+        system: SystemId::Giraph,
+        workload: WorkloadKind::PageRank,
+        dataset: DatasetKind::Twitter,
+        machines: 16,
+    };
+    let clean = runner().run(&spec);
+    let p = clean.metrics.phases;
+    let exec_at = |alpha: f64| p.overhead + p.load + alpha * p.execute;
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent::Straggler {
+                start: exec_at(0.1),
+                duration: 0.2 * p.execute,
+                machine: 1,
+                slowdown: 2.0,
+            },
+            FaultEvent::Crash { at_time: exec_at(0.5), machine: 3 },
+            FaultEvent::LostShuffleFetch { at_time: exec_at(0.75), machine: 2, attempts: 2 },
+        ],
+    };
+    let rec = |threads: usize| {
+        let mut r = runner();
+        r.threads = Some(threads);
+        r.faults = Some(plan.clone());
+        r.run(&spec)
+    };
+    let serial = rec(1);
+    let parallel = rec(4);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "faulted record diverged between 1 and 4 host threads"
+    );
+    // Every injected event left its mark: recovery + straggler surplus +
+    // retry backoff all contribute simulated seconds.
+    for label in ["recovery", "straggler", "retry"] {
+        assert!(
+            serial.journal.events().iter().any(|e| e.label == label),
+            "no `{label}` event in the faulted journal"
+        );
+    }
+    assert!(serial.journal.fault_seconds() > 0.0);
+    assert!(serial.metrics.total_time() > clean.metrics.total_time());
+    check_snapshot("giraph_pagerank_faulted", &serial);
 }
 
 /// Every engine in both paper line-ups (plus the COST baseline) satisfies

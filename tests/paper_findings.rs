@@ -15,7 +15,7 @@ use graphbench_algos::{Workload, WorkloadKind};
 use graphbench_engines::{Engine, EngineInput, ScaleInfo};
 use graphbench_gen::{Dataset, DatasetKind, Scale};
 use graphbench_graph::{CsrGraph, EdgeList};
-use graphbench_sim::ClusterSpec;
+use graphbench_sim::{ClusterSpec, FaultPlan};
 
 fn dataset(kind: DatasetKind) -> (EdgeList, CsrGraph) {
     let d = Dataset::generate(kind, Scale { base: 400 }, 3);
@@ -389,6 +389,80 @@ fn vertica_gets_slower_as_machines_are_added() {
         large.metrics.phases.execute,
         small.metrics.phases.execute
     );
+}
+
+/// Like [`input`], but with a long execution (`work_scale`) to fault into
+/// and a fault schedule attached.
+fn faulted_input<'a>(
+    ds: &'a (EdgeList, CsrGraph),
+    workload: Workload,
+    machines: usize,
+    faults: FaultPlan,
+) -> EngineInput<'a> {
+    let mut cluster = ClusterSpec::r3_xlarge(machines, 1 << 30);
+    cluster.work_scale = 10_000.0;
+    cluster.faults = faults;
+    EngineInput {
+        edges: &ds.0,
+        graph: &ds.1,
+        workload,
+        cluster,
+        seed: 7,
+        scale: ScaleInfo::actual(&ds.0),
+    }
+}
+
+/// Table 1, exercised end-to-end: a global checkpoint recovers cheaper
+/// than restarting from input, and lineage recompute cost grows with the
+/// iterations since the last materialization point. Every recovered run
+/// reproduces the fault-free answer.
+#[test]
+fn table1_checkpoint_beats_restart_and_lineage_cost_grows_with_depth() {
+    use graphbench_engines::graphx::GraphX;
+    use graphbench_engines::pregel::Giraph;
+    let ds = dataset(DatasetKind::Twitter);
+    let pr = Workload::PageRank(PageRankConfig::fixed(20));
+
+    // Giraph: a crash at 75% of execution replays from the last global
+    // checkpoint instead of from the start of execution.
+    let clean = Giraph::default().run(&faulted_input(&ds, pr, 8, FaultPlan::none()));
+    assert!(clean.metrics.status.is_ok(), "{:?}", clean.metrics.status);
+    let p = clean.metrics.phases;
+    let crash = |alpha: f64| FaultPlan::single(p.overhead + p.load + alpha * p.execute, 3);
+    let restart = Giraph::default().run(&faulted_input(&ds, pr, 8, crash(0.75)));
+    let ckpt = Giraph { checkpoint_every: Some(5), ..Giraph::default() }.run(&faulted_input(
+        &ds,
+        pr,
+        8,
+        crash(0.75),
+    ));
+    assert_eq!(clean.result, restart.result, "restart-from-input changed the answer");
+    assert_eq!(clean.result, ckpt.result, "checkpoint replay changed the answer");
+    let (c_restart, c_ckpt) = (restart.journal.fault_seconds(), ckpt.journal.fault_seconds());
+    assert!(c_restart > 0.0 && c_ckpt > 0.0, "restart {c_restart}, ckpt {c_ckpt}");
+    assert!(c_ckpt < c_restart, "ckpt recovery {c_ckpt} should undercut restart {c_restart}");
+
+    // GraphX: without checkpoints, lineage rewinds to the start of
+    // execution, so recovery cost grows with how deep the crash lands...
+    let gx = || GraphX { num_partitions: Some(64), ..GraphX::default() };
+    let clean = gx().run(&faulted_input(&ds, pr, 8, FaultPlan::none()));
+    assert!(clean.metrics.status.is_ok(), "{:?}", clean.metrics.status);
+    let p = clean.metrics.phases;
+    let crash = |alpha: f64| FaultPlan::single(p.overhead + p.load + alpha * p.execute, 2);
+    let mut last = 0.0;
+    for alpha in [0.3, 0.55, 0.8] {
+        let out = gx().run(&faulted_input(&ds, pr, 8, crash(alpha)));
+        assert_eq!(clean.result, out.result, "crash at {alpha} changed the answer");
+        let cost = out.journal.fault_seconds();
+        assert!(cost > last, "crash at {alpha}: lineage cost {cost} vs shallower {last}");
+        last = cost;
+    }
+    // ...and a checkpoint every 5 iterations bounds the rewind.
+    let ckpt = GraphX { num_partitions: Some(64), checkpoint_every: Some(5), ..GraphX::default() }
+        .run(&faulted_input(&ds, pr, 8, crash(0.8)));
+    assert_eq!(clean.result, ckpt.result, "lineage + checkpoint changed the answer");
+    let c_ckpt = ckpt.journal.fault_seconds();
+    assert!(c_ckpt < last, "ckpt-bounded lineage {c_ckpt} vs unbounded {last}");
 }
 
 /// §5.10: Hadoop spends more time in I/O wait than in user CPU — the
