@@ -62,11 +62,15 @@ fn main() {
             trace: out.trace,
             journal: out.journal,
             registry: out.registry,
+            timeline: out.timeline,
+            runtime: out.runtime,
+            host_spans: out.host_spans,
         });
     }
     println!();
     println!("{}", phase_table("phase breakdown", &records).render());
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     graphbench_repro::paper_note(
         "§5.6's full story: lineage kills the plain run; checkpointing survives by \
          paying I/O per checkpoint (the paper saw timeouts at full scale); the \

@@ -59,10 +59,14 @@ fn main() {
             trace: out.trace,
             journal: out.journal,
             registry: out.registry,
+            timeline: out.timeline,
+            runtime: out.runtime,
+            host_spans: out.host_spans,
         });
     }
     println!("{}", phase_table("Blogel-B WCC @16 by partitioner", &records).render());
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     graphbench_repro::paper_note(
         "GVD fails WRN with the MPI aggregation overflow; the 2-D partitioner needs no \
          sampling aggregation and completes. On the web graph, host-prefix blocks skip \

@@ -34,6 +34,7 @@ fn main() {
     println!();
     println!("{}", phase_table("Figure 3 — stock BB vs modified BB*", &records).render());
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     graphbench_repro::paper_note(
         "removing the write-to-HDFS + read-back between GVD partitioning and execution \
          reduced end-to-end response ~50% in the paper.",

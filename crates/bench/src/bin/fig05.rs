@@ -27,6 +27,7 @@ fn main() {
         println!("{}", table.render());
     }
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     graphbench_repro::paper_note(
         "shapes: Blogel-B has the shortest execution for reachability workloads, \
          Blogel-V the best end-to-end; Hadoop/HaLoop are 1-2 orders slower; HaLoop \

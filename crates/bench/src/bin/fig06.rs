@@ -32,6 +32,7 @@ fn main() {
         .collect();
     println!("{}", graphbench::viz::stacked_bars("Twitter @16 (as stacked bars)", &stacks, 60));
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     graphbench_repro::paper_note(
         "expected failures: GL tolerance variants OOM on UK@16 (random) and WRN@16 \
          (both); HaLoop SHFL at 64/128; the rest complete, with BV leading end-to-end.",

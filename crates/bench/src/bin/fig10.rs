@@ -2,6 +2,7 @@
 //! vs asynchronous PageRank on the road network at 128 machines — the
 //! asynchronous lock-record pool balloons until the run dies.
 
+use graphbench::report::critical_path_table;
 use graphbench::runner::ExperimentSpec;
 use graphbench::system::{GlStop, SystemId};
 use graphbench::viz;
@@ -11,6 +12,7 @@ use graphbench_gen::DatasetKind;
 fn main() {
     graphbench_repro::banner("fig10", "GraphLab memory traces, sync vs async (WRN PR @128)");
     let mut runner = graphbench_repro::runner();
+    let mut records = Vec::new();
     for (label, sync) in [("synchronous", true), ("asynchronous", false)] {
         let rec = runner.run(&ExperimentSpec {
             system: SystemId::GraphLab { sync, auto: true, stop: GlStop::Tolerance },
@@ -24,7 +26,13 @@ fn main() {
             rec.trace.max_skew()
         );
         println!("{}", viz::memory_timeseries(&rec.trace, 70, 12));
+        // The "why" behind the memory picture: which machines and labels
+        // the simulated runtime actually decomposes into.
+        println!("{}", critical_path_table(&format!("{label}: critical path"), &rec, 8).render());
+        records.push(rec);
     }
+    graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     graphbench_repro::paper_note(
         "in the paper's asynchronous run, unreleased allocations from distributed \
          locking made several machines balloon away from the rest until the \

@@ -48,6 +48,7 @@ fn main() {
         );
     }
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
     println!("{}", viz::bars("(b) peak memory per machine, KB", &mem_items, 50));
     println!("{}", viz::bars("(c) network traffic, GB (paper-equivalent)", &net_items, 50));
     graphbench_repro::paper_note(

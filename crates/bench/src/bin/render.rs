@@ -31,6 +31,10 @@ struct Rec {
     journal: graphbench_sim::Journal,
     #[serde(default)]
     registry: graphbench_sim::MetricsRegistry,
+    #[serde(default)]
+    timeline: graphbench_sim::Timeline,
+    #[serde(default)]
+    runtime: f64,
 }
 
 fn main() {
@@ -54,6 +58,9 @@ fn main() {
             trace: r.trace,
             journal: r.journal,
             registry: r.registry,
+            timeline: r.timeline,
+            runtime: r.runtime,
+            host_spans: vec![],
         })
         .collect();
 

@@ -46,4 +46,5 @@ fn main() {
     std::fs::write("repro_results.json", &json).expect("write repro_results.json");
     println!("wrote {} records to repro_results.json", records.len());
     graphbench_repro::export_journals(&records);
+    graphbench_repro::export_traces(&records);
 }

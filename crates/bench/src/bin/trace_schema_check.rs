@@ -1,0 +1,104 @@
+//! Validate that an exported trace file is well-formed Chrome trace-event
+//! JSON — the format <https://ui.perfetto.dev> and `chrome://tracing`
+//! consume. Used by CI on the golden trace artifact.
+//!
+//! ```sh
+//! trace_schema_check <trace.json> [--machines N]
+//! ```
+//!
+//! Checks: the file parses as JSON with a `traceEvents` array; every event
+//! has a string `ph`, numeric `pid`/`tid`, and a string `name`; every `"X"`
+//! complete event has a numeric `ts` and a non-negative `dur`. With
+//! `--machines N`, additionally requires exactly one named track per
+//! simulated machine (`machine 0` .. `machine N-1`). Any violation prints
+//! what failed and exits nonzero.
+
+use serde_json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_schema_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut machines: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--machines" => {
+                i += 1;
+                let n = args.get(i).unwrap_or_else(|| fail("--machines takes a count"));
+                machines =
+                    Some(n.parse().unwrap_or_else(|_| fail(&format!("bad --machines {n:?}"))));
+            }
+            a => {
+                if path.is_some() {
+                    fail(&format!("unexpected argument {a:?}"));
+                }
+                path = Some(a.to_string());
+            }
+        }
+        i += 1;
+    }
+    let path =
+        path.unwrap_or_else(|| fail("usage: trace_schema_check <trace.json> [--machines N]"));
+    let data = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let v: Value = serde_json::from_str(&data)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path} has no traceEvents array")));
+    let mut complete = 0usize;
+    let mut tracks: Vec<String> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(&format!("event {i} has no string ph: {e}")));
+        if e.get("pid").and_then(Value::as_u64).is_none()
+            || e.get("tid").and_then(Value::as_u64).is_none()
+        {
+            fail(&format!("event {i} lacks numeric pid/tid: {e}"));
+        }
+        if e.get("name").and_then(Value::as_str).is_none() {
+            fail(&format!("event {i} has no string name: {e}"));
+        }
+        match ph {
+            "X" => {
+                if e.get("ts").and_then(Value::as_f64).is_none() {
+                    fail(&format!("complete event {i} has no numeric ts: {e}"));
+                }
+                if !e.get("dur").and_then(Value::as_f64).is_some_and(|d| d >= 0.0) {
+                    fail(&format!("complete event {i} has no non-negative dur: {e}"));
+                }
+                complete += 1;
+            }
+            "M" => {
+                if e["name"] == "thread_name" {
+                    if let Some(n) = e["args"]["name"].as_str() {
+                        tracks.push(n.to_string());
+                    }
+                }
+            }
+            other => fail(&format!("event {i} has unexpected ph {other:?}: {e}")),
+        }
+    }
+    if let Some(n) = machines {
+        for m in 0..n {
+            let want = format!("machine {m}");
+            let found = tracks.iter().filter(|t| **t == want).count();
+            if found != 1 {
+                fail(&format!("expected one {want:?} track, found {found}"));
+            }
+        }
+    }
+    println!(
+        "{path}: OK ({} events, {complete} complete spans, {} named tracks)",
+        events.len(),
+        tracks.len()
+    );
+}

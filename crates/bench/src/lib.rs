@@ -27,6 +27,8 @@
 //! | `fig13` | resource utilization breakdowns |
 //! | `repro_all` | everything above, plus a JSON dump |
 //! | `render` | replay a saved `repro_results.json` without re-running |
+//! | `trace_report` | per-engine critical-path decomposition (top-k gating machines/labels) |
+//! | `trace_schema_check` | validate an exported Chrome trace-event JSON file |
 //!
 //! Ablations beyond the paper (questions it raises but could not run):
 //!
@@ -63,8 +65,15 @@ pub fn runner() -> Runner {
     Runner::new(PaperEnv::new(scale(), seed()))
 }
 
-/// Standard banner: what this target reproduces and at what scale.
+/// Standard banner: what this target reproduces and at what scale. Also
+/// the process-wide switch-on point for host-wallclock tracing: every bin
+/// prints its banner before running anything, so enabling here guarantees
+/// the executor records host spans for all of the bin's runs when a
+/// `--trace` destination is configured.
 pub fn banner(target: &str, what: &str) {
+    if trace_path().is_some() {
+        graphbench_sim::hosttrace::enable();
+    }
     println!("=== {target}: {what} ===");
     println!("scale base {} (set GRAPHBENCH_BASE to change), seed {}\n", scale().base, seed());
 }
@@ -90,10 +99,35 @@ pub fn journal_path() -> Option<String> {
     std::env::var("GRAPHBENCH_JOURNAL").ok()
 }
 
+/// The Perfetto/Chrome trace export destination, if any: `--trace <path>`
+/// (or `--trace=<path>`) on the command line, else the `GRAPHBENCH_TRACE`
+/// environment variable.
+pub fn trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().expect("--trace takes a path"));
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("GRAPHBENCH_TRACE").ok()
+}
+
+/// An export the user explicitly asked for could not be written. Silent
+/// loss (or a panic with a backtrace) would be worse than stopping: say
+/// exactly what failed and exit nonzero so scripts notice.
+fn fail_export(what: &str, path: &str, err: &std::io::Error) -> ! {
+    eprintln!("graphbench: cannot write {what} to {path}: {err}");
+    std::process::exit(1);
+}
+
 /// Write every record's structured journal to one JSONL file when a
 /// destination is configured (see [`journal_path`]); a no-op otherwise.
 /// Each run contributes a `{"run": ...}` header line identifying it,
-/// followed by its events, one JSON object per line.
+/// followed by its events, one JSON object per line. An unwritable path
+/// prints a clear message and exits nonzero.
 pub fn export_journals(records: &[RunRecord]) {
     let Some(path) = journal_path() else { return };
     let mut out = String::new();
@@ -112,6 +146,42 @@ pub fn export_journals(records: &[RunRecord]) {
         out.push('\n');
         out.push_str(&r.journal.to_jsonl());
     }
-    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    if let Err(e) = std::fs::write(&path, out) {
+        fail_export("journal", &path, &e);
+    }
     println!("wrote {} journals to {path}", records.len());
+}
+
+/// Write each record's Chrome trace-event JSON (simulated machine tracks +
+/// host-thread wallclock tracks) when a destination is configured (see
+/// [`trace_path`]); a no-op otherwise. A single record writes exactly the
+/// configured path; multiple records derive one file each by inserting
+/// `<index>.<system>.<workload>` before the extension. An unwritable path
+/// prints a clear message and exits nonzero. Load the files at
+/// <https://ui.perfetto.dev>.
+pub fn export_traces(records: &[RunRecord]) {
+    let Some(path) = trace_path() else { return };
+    for (i, r) in records.iter().enumerate() {
+        let file = if records.len() == 1 { path.clone() } else { derive_trace_path(&path, i, r) };
+        let json = r.timeline.chrome_trace_with_host(&r.host_spans);
+        if let Err(e) = std::fs::write(&file, json) {
+            fail_export("trace", &file, &e);
+        }
+        println!(
+            "wrote trace ({} spans, {} machines, {} host spans) to {file}",
+            r.timeline.len(),
+            r.timeline.machines(),
+            r.host_spans.len()
+        );
+    }
+}
+
+fn derive_trace_path(path: &str, index: usize, r: &RunRecord) -> String {
+    let tag = format!("{:03}.{}.{}", index, r.system, r.workload);
+    match path.rsplit_once('.') {
+        // Only treat the suffix as an extension when it looks like one
+        // (no path separator after the dot).
+        Some((stem, ext)) if !ext.contains('/') => format!("{stem}.{tag}.{ext}"),
+        _ => format!("{path}.{tag}"),
+    }
 }

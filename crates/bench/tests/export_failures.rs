@@ -1,0 +1,118 @@
+//! Export I/O failure contract: a `--journal` or `--trace` destination the
+//! user asked for but that cannot be written must produce a clear message
+//! and a nonzero exit — never silent loss, never a panic backtrace. The
+//! happy path is locked too: the golden trace_report run writes both files
+//! and the schema checker accepts the trace it produced.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn trace_report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_report"))
+        .args(args)
+        // The flags under test must be the only export configuration.
+        .env_remove("GRAPHBENCH_JOURNAL")
+        .env_remove("GRAPHBENCH_TRACE")
+        .output()
+        .expect("spawn trace_report")
+}
+
+fn schema_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_schema_check"))
+        .args(args)
+        .output()
+        .expect("spawn trace_schema_check")
+}
+
+/// A per-test scratch directory (tests in one binary run concurrently).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphbench_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn unwritable_journal_path_fails_loudly() {
+    let dir = scratch("journal_fail");
+    let bad = dir.join("no-such-subdir").join("out.jsonl");
+    let out = trace_report(&["--golden", "--journal", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "expected nonzero exit for unwritable journal path");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write journal"),
+        "stderr should say what failed, got: {stderr}"
+    );
+}
+
+#[test]
+fn unwritable_trace_path_fails_loudly() {
+    let dir = scratch("trace_fail");
+    let bad = dir.join("no-such-subdir").join("out.trace.json");
+    let out = trace_report(&["--golden", "--trace", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "expected nonzero exit for unwritable trace path");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot write trace"), "stderr should say what failed, got: {stderr}");
+}
+
+#[test]
+fn golden_trace_report_exports_and_the_schema_check_accepts_it() {
+    let dir = scratch("golden_export");
+    let trace = dir.join("golden.trace.json");
+    let journal = dir.join("golden.journal.jsonl");
+    let out = trace_report(&[
+        "--golden",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "trace_report --golden failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.is_file(), "trace file not written");
+    assert!(journal.is_file(), "journal file not written");
+
+    // The golden run is Giraph PageRank on 16 machines; the trace must
+    // carry one named track per simulated machine.
+    let check = schema_check(&[trace.to_str().unwrap(), "--machines", "16"]);
+    assert!(
+        check.status.success(),
+        "schema check rejected the exported trace:\n{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("OK"));
+}
+
+#[test]
+fn schema_check_rejects_malformed_files() {
+    let dir = scratch("schema_reject");
+    // Valid JSON, wrong shape.
+    let no_events = dir.join("no_events.json");
+    std::fs::write(&no_events, "{}").unwrap();
+    let out = schema_check(&[no_events.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no traceEvents"));
+
+    // Not JSON at all.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json").unwrap();
+    assert!(!schema_check(&[garbage.to_str().unwrap()]).status.success());
+
+    // Missing file.
+    let missing = dir.join("missing.json");
+    assert!(!schema_check(&[missing.to_str().unwrap()]).status.success());
+
+    // A complete event with a negative duration.
+    let bad_dur = dir.join("bad_dur.json");
+    std::fs::write(
+        &bad_dur,
+        r#"{"traceEvents":[{"ph":"X","pid":1,"tid":0,"name":"x","ts":0,"dur":-1}]}"#,
+    )
+    .unwrap();
+    let out = schema_check(&[bad_dur.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("non-negative dur"));
+}

@@ -186,6 +186,48 @@ pub fn cost_breakdown(title: &str, rec: &RunRecord) -> Table {
     t
 }
 
+/// Top-`top` critical-path contributors of one run: which (gating machine,
+/// label) buckets the simulated runtime decomposes into, with the skew
+/// seconds the rest of the cluster spent waiting for that machine — the
+/// "why is this engine slow" view behind the paper's §6 discussion.
+pub fn critical_path_table(title: &str, rec: &RunRecord, top: usize) -> Table {
+    let cp = rec.timeline.critical_path();
+    let mut t = Table::new(title, &["machine", "label", "seconds", "share", "skew", "spans"]);
+    let total = cp.total;
+    for row in cp.rows.iter().take(top) {
+        let machine = match row.machine {
+            Some(m) => format!("m{m}"),
+            None => "cluster".to_string(),
+        };
+        let share =
+            if total > 0.0 { format!("{:.1}%", 100.0 * row.seconds / total) } else { "-".into() };
+        t.row(vec![
+            machine,
+            row.label.clone(),
+            fmt_secs(row.seconds),
+            share,
+            fmt_secs(row.skew),
+            row.spans.to_string(),
+        ]);
+    }
+    if cp.rows.len() > top {
+        let shown: f64 = cp.rows.iter().take(top).map(|r| r.seconds).sum();
+        t.row(vec![
+            "...".into(),
+            format!("({} more)", cp.rows.len() - top),
+            fmt_secs(total - shown),
+            if total > 0.0 {
+                format!("{:.1}%", 100.0 * (total - shown) / total)
+            } else {
+                "-".into()
+            },
+            String::new(),
+            String::new(),
+        ]);
+    }
+    t
+}
+
 /// Export records as a JSON array.
 pub fn to_json(records: &[RunRecord]) -> String {
     serde_json::to_string_pretty(records).expect("records serialize")
@@ -195,7 +237,7 @@ pub fn to_json(records: &[RunRecord]) -> String {
 mod tests {
     use super::*;
     use graphbench_sim::{
-        CpuBreakdown, Journal, MetricsRegistry, PhaseTimes, RunMetrics, RunStatus, Trace,
+        CpuBreakdown, Journal, MetricsRegistry, PhaseTimes, RunMetrics, RunStatus, Timeline, Trace,
     };
 
     fn record(system: &str, machines: usize, total: f64, ok: bool) -> RunRecord {
@@ -227,6 +269,9 @@ mod tests {
             trace: Trace::new(),
             journal: Journal::new(),
             registry: MetricsRegistry::new(),
+            timeline: Timeline::default(),
+            runtime: total,
+            host_spans: vec![],
         }
     }
 
@@ -293,6 +338,38 @@ mod tests {
         assert_eq!(t.rows[0][0], "superstep");
         assert_eq!(t.rows[1][0], "shuffle");
         assert!(t.render().contains("30.0s"));
+    }
+
+    #[test]
+    fn critical_path_table_names_gating_machines_and_truncates() {
+        use graphbench_sim::{EventKind, Span};
+        let mut rec = record("G", 16, 9.0, true);
+        let mut tl = Timeline::new(2);
+        let span = |seq: u64, label: &str, start: f64, dt: f64, per: Vec<f64>| Span {
+            seq,
+            superstep: 0,
+            phase: "execute".into(),
+            label: label.into(),
+            kind: EventKind::Compute,
+            start,
+            dt,
+            barrier_wait: 0.0,
+            per_machine: per,
+        };
+        tl.push(span(0, "superstep", 0.0, 6.0, vec![6.0, 1.0]));
+        tl.push(span(1, "shuffle", 6.0, 2.0, vec![1.0, 2.0]));
+        tl.push(span(2, "barrier", 8.0, 1.0, vec![]));
+        rec.timeline = tl;
+        let t = critical_path_table("cp", &rec, 2);
+        assert_eq!(t.rows[0][0], "m0");
+        assert_eq!(t.rows[0][1], "superstep");
+        assert!(t.rows[0][3].starts_with("66.7%"));
+        // Three buckets, top 2 shown, remainder folded into a "..." row.
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[2][0], "...");
+        // The cluster-wide barrier bucket exists (shown or folded).
+        let full = critical_path_table("cp", &rec, 10);
+        assert!(full.rows.iter().any(|r| r[0] == "cluster" && r[1] == "barrier"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use graphbench_algos::{Workload, WorkloadKind};
 use graphbench_engines::shuffle::ShuffleMode;
 use graphbench_engines::EngineInput;
 use graphbench_gen::DatasetKind;
-use graphbench_sim::{FaultPlan, Journal, MetricsRegistry, RunMetrics, Trace};
+use graphbench_sim::{FaultPlan, HostSpan, Journal, MetricsRegistry, RunMetrics, Timeline, Trace};
 use serde::Serialize;
 
 /// One cell of the paper's experiment matrix (Table 2).
@@ -38,6 +38,19 @@ pub struct RunRecord {
     pub journal: Journal,
     /// Named counters and histograms accumulated during the run.
     pub registry: MetricsRegistry,
+    /// Per-machine span timeline behind the `--trace` Perfetto export and
+    /// the critical-path report. Replaying it reproduces `runtime`
+    /// bit-for-bit.
+    pub timeline: Timeline,
+    /// The simulated runtime: the cluster clock when the run ended.
+    /// `metrics.total_time()` sums the same charges per phase and so can
+    /// differ in the last ulps; this field is the clock itself.
+    pub runtime: f64,
+    /// Host-wallclock executor spans (empty unless tracing is enabled).
+    /// Nondeterministic — deliberately excluded from serialization so
+    /// golden records and determinism checks never see them.
+    #[serde(skip)]
+    pub host_spans: Vec<HostSpan>,
 }
 
 impl RunRecord {
@@ -170,6 +183,9 @@ impl Runner {
             trace: out.trace,
             journal: out.journal,
             registry: out.registry,
+            timeline: out.timeline,
+            runtime: out.runtime,
+            host_spans: out.host_spans,
         }
     }
 

@@ -429,6 +429,7 @@ fn block_wcc(
     let mut recv = vec![0u64; machines];
     let mut msgs = vec![0u64; machines];
     loop {
+        cluster.set_label("superstep");
         let steps: Vec<WccStep> = exec::run_machines(&mut shards, |mc, shard| {
             let mut ops = 0.0f64;
             let mut sent = 0u64;
@@ -547,6 +548,7 @@ fn block_traversal(
     }
 
     loop {
+        cluster.set_label("superstep");
         let steps: Vec<TravStep> = exec::run_machines(&mut shards, |mb, shard| {
             let mut ops = 0u64;
             let mut sent = 0u64;
@@ -682,6 +684,7 @@ fn block_pagerank(
         for b in 0..nb {
             block_shards[blocks.machine_of_block[b] as usize].push(b as u32);
         }
+        cluster.set_label("block_local");
         let steps: Vec<PrStep> = exec::run_machines(&mut block_shards, |_mb, mine| {
             let mut block_ops = 0u64;
             let mut ranks: Vec<(VertexId, f64)> = Vec::new();

@@ -431,6 +431,8 @@ pub fn run_bsp<P: VertexProgram>(
 
         // Compute phase: every shard advances independently on the host
         // thread pool; its inbox is read-only, its outboxes are its own.
+        // Label before the host work so its wallclock spans carry it.
+        cluster.set_label("superstep");
         let steps: Vec<ShardStep> =
             compute_superstep(&mut shards, &inboxes, &li, g, p, supersteps, combinable_now, mode);
 
@@ -446,7 +448,6 @@ pub fn run_bsp<P: VertexProgram>(
         }
 
         // Free last superstep's consumed inbox buffers.
-        cluster.set_label("superstep");
         cluster.free_all(&inbox_bytes);
 
         // Wire accounting: outbox sizes are post-combine message counts.

@@ -28,8 +28,10 @@
 //! originally planned for, with identical semantics and one less dependency
 //! on the hot path.
 
+use graphbench_sim::hosttrace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
+use std::time::Instant;
 
 /// 0 = uninitialized; first use resolves the env var / core count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -96,8 +98,25 @@ where
 {
     let n = scratch.len();
     let t = threads().min(n);
+    // Host-wallclock tracing (the `--trace` Perfetto export) times each
+    // closure with `Instant` pairs; the disabled fast path is one relaxed
+    // atomic load.
+    let tracing = hosttrace::enabled();
     if t <= 1 {
-        return scratch.iter_mut().enumerate().map(|(m, s)| f(m, s)).collect();
+        return scratch
+            .iter_mut()
+            .enumerate()
+            .map(|(m, s)| {
+                if tracing {
+                    let t0 = Instant::now();
+                    let r = f(m, s);
+                    hosttrace::record(0, t0);
+                    r
+                } else {
+                    f(m, s)
+                }
+            })
+            .collect();
     }
     let mut buckets: Vec<Vec<(usize, &mut S)>> = (0..t).map(|_| Vec::new()).collect();
     for (m, s) in scratch.iter_mut().enumerate() {
@@ -107,10 +126,23 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .into_iter()
-            .map(|bucket| {
+            .enumerate()
+            .map(|(worker, bucket)| {
                 let f = &f;
                 scope.spawn(move || {
-                    bucket.into_iter().map(|(m, s)| (m, f(m, s))).collect::<Vec<(usize, R)>>()
+                    bucket
+                        .into_iter()
+                        .map(|(m, s)| {
+                            if tracing {
+                                let t0 = Instant::now();
+                                let r = f(m, s);
+                                hosttrace::record(worker, t0);
+                                (m, r)
+                            } else {
+                                (m, f(m, s))
+                            }
+                        })
+                        .collect::<Vec<(usize, R)>>()
                 })
             })
             .collect();

@@ -448,6 +448,7 @@ fn sync_pagerank(
         }
         // Gather: every machine scans its local in-edges of active vertices
         // and accumulates partial sums, sent to the vertex master.
+        cluster.set_label("gather");
         let steps: Vec<GatherStep> = exec::run_machines(&mut scratch, |m, s| {
             let md = &ctx.data[m];
             s.incoming.fill(0.0);
@@ -696,6 +697,7 @@ fn wcc_propagate(
     let mut recv = vec![0u64; ctx.machines];
     let mut msgs = vec![0u64; ctx.machines];
     loop {
+        cluster.set_label("gather");
         let steps: Vec<WccStep> = exec::run_machines(&mut scratch, |m, s| {
             let md = &ctx.data[m];
             s.best.copy_from_slice(&label);
@@ -782,6 +784,7 @@ fn wcc_propagate(
         // Rebuild the signal set: one worker per machine lists the vertices
         // its edges signal; setting flags is idempotent, so merge order does
         // not matter.
+        cluster.set_label("scatter");
         let signal_lists: Vec<Vec<VertexId>> = exec::for_machines(ctx.machines, |m| {
             let md = &ctx.data[m];
             let mut sig: Vec<VertexId> = Vec::new();
@@ -833,6 +836,7 @@ fn traversal(
     while !frontier.is_empty() {
         // Scatter from the frontier along local out-edges; improvements are
         // applied at target masters.
+        cluster.set_label("scatter");
         let steps: Vec<TravStep> = exec::for_machines(ctx.machines, |m| {
             let md = &ctx.data[m];
             let mut machine_ops = 0u64;

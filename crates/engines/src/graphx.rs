@@ -464,6 +464,9 @@ fn spark_pagerank(
                 }
             }
         }
+        // Label before the host work so its wallclock spans carry it
+        // (charge_compute sets the same label before the charge itself).
+        cluster.set_label("superstep");
         let max_delta = pagerank_step(ctx, g, &cfg, &mut ranks, &mut incoming, &mut ops);
         charge_compute(cluster, ctx, &ops)?;
         let changed: Vec<VertexId> = (0..n as VertexId).collect();
@@ -553,6 +556,7 @@ fn spark_wcc(cluster: &mut Cluster, ctx: &mut SparkCtx<'_>) -> Result<Vec<Vertex
                 }
             }
         }
+        cluster.set_label("superstep");
         wcc_step(ctx, &mut label, &mut ops, &mut changed);
         charge_compute(cluster, ctx, &ops)?;
         mirror_sync(cluster, ctx, &changed)?;
@@ -646,6 +650,7 @@ fn spark_traversal(
                 }
             }
         }
+        cluster.set_label("superstep");
         traversal_step(ctx, bound, &mut dist, &mut active, &mut frontier, &mut ops);
         charge_compute(cluster, ctx, &ops)?;
         mirror_sync(cluster, ctx, &frontier)?;

@@ -296,6 +296,7 @@ fn mr_pagerank(
         )?;
         // The actual reduce computation: one partial accumulator per
         // contiguous source chunk, folded in chunk order.
+        cluster.set_label("reduce");
         let partials: Vec<Vec<f64>> = exec::for_machines(machines, |c| {
             let (lo, hi) = chunk_range(c, machines, n);
             let mut part = vec![0.0f64; n];
@@ -364,6 +365,7 @@ fn mr_wcc(
         )?;
         // HashMin over one contiguous source chunk per worker; partial min
         // vectors merge in chunk order (min-folds are order-independent).
+        cluster.set_label("reduce");
         let partials: Vec<(Vec<VertexId>, bool)> = exec::for_machines(machines, |c| {
             let (lo, hi) = chunk_range(c, machines, n);
             let mut next = label.clone();
@@ -439,6 +441,7 @@ fn mr_traversal(
         )?;
         // Distance relaxations over one contiguous source chunk per worker,
         // min-folded in chunk order.
+        cluster.set_label("reduce");
         let partials: Vec<(Vec<u32>, bool)> = exec::for_machines(machines, |c| {
             let (lo, hi) = chunk_range(c, machines, n);
             let mut next = dist.clone();

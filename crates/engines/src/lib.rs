@@ -38,7 +38,9 @@ pub mod vertica;
 
 use graphbench_algos::{Workload, WorkloadResult};
 use graphbench_graph::{format::GraphFormat, CsrGraph, EdgeList};
-use graphbench_sim::{ClusterSpec, Journal, MetricsRegistry, RunMetrics, Trace};
+use graphbench_sim::{
+    ClusterSpec, HostSpan, Journal, MetricsRegistry, RunMetrics, Timeline, Trace,
+};
 
 /// Mapping from this run's scaled-down dataset to the paper-scale original,
 /// used only by *mechanistic threshold* failures whose trigger is an
@@ -91,6 +93,15 @@ pub struct RunOutput {
     pub journal: Journal,
     /// Named counters and histograms accumulated during the run.
     pub registry: MetricsRegistry,
+    /// Per-machine span timeline: one span per timed charge, carrying the
+    /// per-machine base busy vector. Replaying it reproduces `runtime`
+    /// bit-for-bit.
+    pub timeline: Timeline,
+    /// The cluster clock when the run ended — the simulated runtime.
+    pub runtime: f64,
+    /// Host-wallclock executor spans (empty unless tracing is enabled).
+    /// Nondeterministic by nature; never compared or serialized.
+    pub host_spans: Vec<HostSpan>,
 }
 
 /// A system under evaluation.

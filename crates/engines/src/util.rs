@@ -31,6 +31,8 @@ pub(crate) fn output_from(
     let trace = cluster.trace().clone();
     let journal = cluster.journal().clone();
     let registry = cluster.registry().clone();
+    let timeline = cluster.timeline().clone();
+    let runtime = cluster.elapsed();
     RunOutput {
         metrics,
         result,
@@ -39,5 +41,10 @@ pub(crate) fn output_from(
         updates_per_iteration: Vec::new(),
         journal,
         registry,
+        timeline,
+        runtime,
+        // Runs execute sequentially within a process, so the global
+        // collector holds exactly this run's spans.
+        host_spans: graphbench_sim::hosttrace::drain(),
     }
 }

@@ -1,10 +1,12 @@
 //! The cluster simulator engines drive.
 
 use crate::cost::CostProfile;
+use crate::hosttrace;
 use crate::journal::{EventKind, Journal, JournalEvent};
 use crate::metrics::{CpuBreakdown, PhaseTimes};
 use crate::registry::{MetricsRegistry, SECONDS_BUCKETS};
 use crate::spec::{ClusterSpec, FaultEvent};
+use crate::timeline::{Span, Timeline};
 use crate::trace::Trace;
 use crate::{MachineId, SimError};
 
@@ -61,6 +63,9 @@ struct Charge {
     messages: u64,
     disk_bytes: u64,
     mem_delta: Vec<i64>,
+    /// Base (fault-free) busy seconds per machine, recorded into the
+    /// timeline. Empty for cluster-wide charges no single machine gates.
+    per_machine: Vec<f64>,
 }
 
 /// Per-machine running state.
@@ -115,6 +120,7 @@ pub struct Cluster {
     label: &'static str,
     journal: Journal,
     registry: MetricsRegistry,
+    timeline: Timeline,
 }
 
 impl Cluster {
@@ -129,6 +135,7 @@ impl Cluster {
         if let Err(why) = spec.faults.validate(spec.machines, spec.deadline) {
             panic!("invalid fault plan: {why}");
         }
+        let machines_count = spec.machines;
         let machines = vec![Machine::default(); spec.machines];
         let fault_consumed = vec![false; spec.faults.events.len()];
         let has_stragglers =
@@ -152,6 +159,7 @@ impl Cluster {
             label: Phase::Overhead.name(),
             journal: Journal::new(),
             registry: MetricsRegistry::new(),
+            timeline: Timeline::new(machines_count),
         }
     }
 
@@ -193,13 +201,16 @@ impl Cluster {
     pub fn begin_phase(&mut self, phase: Phase) {
         self.phase = phase;
         self.label = phase.name();
+        hosttrace::set_label(self.label);
     }
 
     /// Name the activity subsequent charges are attributed to in the
     /// journal ("superstep", "shuffle", "hdfs_write", ...). Reset to the
-    /// phase name by [`Cluster::begin_phase`].
+    /// phase name by [`Cluster::begin_phase`]. When host tracing is
+    /// enabled, the executor tags its wallclock spans with this label too.
     pub fn set_label(&mut self, label: &'static str) {
         self.label = label;
+        hosttrace::set_label(label);
     }
 
     /// The label currently attributed to charges.
@@ -215,6 +226,11 @@ impl Cluster {
     /// Named counters and histograms accumulated by the charges.
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// Per-machine span timeline of every timed charge so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
     }
 
     pub fn phase(&self) -> Phase {
@@ -280,13 +296,27 @@ impl Cluster {
         });
     }
 
-    /// The single commit point for timed charges: journal + registry +
-    /// clock. Every time-advancing method funnels through here, so summing
-    /// journal durations per phase reproduces [`Cluster::phase_times`]
-    /// bit-for-bit. The event is recorded even when its duration trips the
-    /// 24-hour deadline — the timeout is then visible *in* the journal.
-    fn commit(&mut self, kind: EventKind, c: Charge) -> Result<(), SimError> {
+    /// The single commit point for timed charges: timeline + journal +
+    /// registry + clock. Every time-advancing method funnels through here,
+    /// so summing journal durations per phase reproduces
+    /// [`Cluster::phase_times`] bit-for-bit — and replaying timeline span
+    /// durations reproduces the clock bit-for-bit (zero-duration memory
+    /// events bypass this and never advance it). The event is recorded even
+    /// when its duration trips the 24-hour deadline — the timeout is then
+    /// visible *in* the journal and the trace.
+    fn commit(&mut self, kind: EventKind, mut c: Charge) -> Result<(), SimError> {
         let dt = c.dt;
+        self.timeline.push(Span {
+            seq: self.journal.len() as u64,
+            superstep: self.supersteps,
+            phase: self.phase.name().to_string(),
+            label: self.label.to_string(),
+            kind,
+            start: self.clock,
+            dt,
+            barrier_wait: c.barrier_wait,
+            per_machine: std::mem::take(&mut c.per_machine),
+        });
         self.record(kind, c);
         self.advance(dt)
     }
@@ -372,6 +402,7 @@ impl Cluster {
         let mut max_t = 0.0f64;
         let mut min_t = f64::INFINITY;
         let mut max_slowed = 0.0f64;
+        let mut per_machine = vec![0.0f64; ops.len()];
         for (i, &o) in ops.iter().enumerate() {
             let t = o * per_core / cores as f64;
             let ts = match &slow {
@@ -379,6 +410,7 @@ impl Cluster {
                 None => t,
             };
             self.machines[i].busy_user += ts;
+            per_machine[i] = t;
             max_t = max_t.max(t);
             min_t = min_t.min(t);
             max_slowed = max_slowed.max(ts);
@@ -386,7 +418,7 @@ impl Cluster {
         let wait = (max_t - min_t).max(0.0);
         self.commit(
             EventKind::Compute,
-            Charge { dt: max_t, barrier_wait: wait, ..Charge::default() },
+            Charge { dt: max_t, barrier_wait: wait, per_machine, ..Charge::default() },
         )?;
         if slow.is_some() {
             self.commit_labeled_stall("straggler", (max_slowed - max_t).max(0.0))?;
@@ -405,7 +437,12 @@ impl Cluster {
         self.machines[machine].busy_user += ts;
         // Every other machine idles for the full charge.
         let wait = if self.spec.machines > 1 { t } else { 0.0 };
-        self.commit(EventKind::Compute, Charge { dt: t, barrier_wait: wait, ..Charge::default() })?;
+        let mut per_machine = vec![0.0f64; self.spec.machines];
+        per_machine[machine] = t;
+        self.commit(
+            EventKind::Compute,
+            Charge { dt: t, barrier_wait: wait, per_machine, ..Charge::default() },
+        )?;
         if slow.is_some() {
             self.commit_labeled_stall("straggler", (ts - t).max(0.0))?;
         }
@@ -429,6 +466,7 @@ impl Cluster {
         let mut max_degraded = 0.0f64;
         let mut bytes = 0u64;
         let mut messages = 0u64;
+        let mut per_machine = vec![0.0f64; self.machines.len()];
         for i in 0..self.machines.len() {
             let wire_sent = sent[i] + ovh * msgs[i];
             let t = (wire_sent.max(recv[i])) as f64 / bw;
@@ -437,6 +475,7 @@ impl Cluster {
                 None => t,
             };
             self.machines[i].busy_net += td;
+            per_machine[i] = t;
             max_t = max_t.max(t);
             min_t = min_t.min(t);
             max_degraded = max_degraded.max(td);
@@ -454,6 +493,7 @@ impl Cluster {
                 barrier_wait: wait,
                 net_bytes: bytes,
                 messages,
+                per_machine,
                 ..Charge::default()
             },
         )?;
@@ -560,7 +600,12 @@ impl Cluster {
         let wait = (max_t - min_t).max(0.0);
         self.commit(
             EventKind::NetworkWait,
-            Charge { dt: max_t, barrier_wait: wait, ..Charge::default() },
+            Charge {
+                dt: max_t,
+                barrier_wait: wait,
+                per_machine: secs.to_vec(),
+                ..Charge::default()
+            },
         )
     }
 
@@ -587,6 +632,7 @@ impl Cluster {
         let mut min_t = f64::INFINITY;
         let mut max_slowed = 0.0f64;
         let mut total = 0u64;
+        let mut per_machine = vec![0.0f64; bytes.len()];
         for (i, &b) in bytes.iter().enumerate() {
             let t = b as f64 * self.spec.work_scale / bps;
             let ts = match &slow {
@@ -594,6 +640,7 @@ impl Cluster {
                 None => t,
             };
             self.machines[i].busy_io += ts;
+            per_machine[i] = t;
             max_t = max_t.max(t);
             min_t = min_t.min(t);
             max_slowed = max_slowed.max(ts);
@@ -603,7 +650,13 @@ impl Cluster {
         let wait = (max_t - min_t).max(0.0);
         self.commit(
             kind,
-            Charge { dt: max_t, barrier_wait: wait, disk_bytes: total, ..Charge::default() },
+            Charge {
+                dt: max_t,
+                barrier_wait: wait,
+                disk_bytes: total,
+                per_machine,
+                ..Charge::default()
+            },
         )?;
         if slow.is_some() {
             self.commit_labeled_stall("straggler", (max_slowed - max_t).max(0.0))?;

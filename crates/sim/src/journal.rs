@@ -462,4 +462,18 @@ mod tests {
             }
         }
     }
+
+    /// `EventKind::name()` and the serde `snake_case` encoding are
+    /// maintained by hand in two places; pin them to each other for every
+    /// variant so they cannot drift (a drifted name would silently split
+    /// registry counters from journal JSON).
+    #[test]
+    fn kind_names_match_their_serde_encoding() {
+        for kind in EventKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.name()), "{kind:?}");
+            let back: EventKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind, "{kind:?} does not round-trip");
+        }
+    }
 }

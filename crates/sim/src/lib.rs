@@ -21,20 +21,24 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod hosttrace;
 pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod spec;
+pub mod timeline;
 pub mod trace;
 
 pub use cluster::{Cluster, Phase, TransientFault};
 pub use cost::CostProfile;
+pub use hosttrace::HostSpan;
 pub use journal::{EventKind, Journal, JournalEvent, LabelCost};
 pub use metrics::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus};
 pub use registry::{Histogram, MetricsRegistry, SECONDS_BUCKETS};
 pub use spec::{
     ClusterSpec, DiskSpec, FaultEvent, FaultPlan, FaultSpec, NetworkSpec, RETRY_MAX_ATTEMPTS,
 };
+pub use timeline::{Block, CriticalPath, CriticalPathRow, Span, Timeline};
 pub use trace::{Trace, TraceSample};
 
 /// Machine index within a cluster.

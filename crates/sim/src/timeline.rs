@@ -1,0 +1,599 @@
+//! Per-machine span timeline, critical-path attribution, and Chrome
+//! trace-event export.
+//!
+//! The journal (one [`crate::JournalEvent`] per charge) records the
+//! cluster-aggregate duration of every charge — the slowest machine under
+//! BSP semantics. That is enough to reproduce phase times bit-for-bit, but
+//! not to answer the paper's *why* questions (§6): which machine gated each
+//! barrier, how much of a label's cost is skew, where simulated time
+//! actually went per machine. The [`Timeline`] keeps what the journal
+//! drops: for every **timed** charge, one [`Span`] carrying the simulated
+//! start time and the per-machine **base** (fault-free) busy vector the
+//! cluster already computed to derive `dt` and `barrier_wait`.
+//!
+//! Invariants, locked by `tests/trace_invariants.rs`:
+//!
+//! * spans are contiguous: `span[i].start + span[i].dt` equals
+//!   `span[i+1].start` bit-for-bit (both are the same f64 addition the
+//!   cluster clock performed);
+//! * replaying span durations in order ([`Timeline::total_time`],
+//!   [`CriticalPath::total`]) reproduces the run's simulated runtime
+//!   bit-for-bit;
+//! * `per_machine[i] <= dt` for every span (the charge *is* its slowest
+//!   machine), so each machine's busy sum is bounded by the makespan;
+//! * all of it is invariant across host thread counts.
+//!
+//! Fault surpluses (straggler windows, degradation) are charged as
+//! separate labeled stalls by the cluster, so `per_machine` stores the
+//! *base* times and `max(per_machine) == dt` holds bitwise even on faulted
+//! runs.
+//!
+//! [`Timeline::chrome_trace`] exports the Chrome trace-event JSON that
+//! <https://ui.perfetto.dev> (or `chrome://tracing`) loads directly: a
+//! `cluster` track nesting run → phase → superstep → charge, one track per
+//! simulated machine with its busy portion of each charge, and — when host
+//! tracing is enabled — one track per host thread with real wallclock
+//! executor spans, so simulated and host cost can be compared per label.
+
+use crate::hosttrace::HostSpan;
+use crate::journal::EventKind;
+use crate::MachineId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+fn zero_f64(v: &f64) -> bool {
+    *v == 0.0
+}
+
+/// One timed cluster charge with its per-machine decomposition. Spans form
+/// the charge level of the run → phase → superstep → charge → machine
+/// hierarchy; the coarser levels are derived from contiguity (see
+/// [`Timeline::phase_blocks`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Sequence number of the journal event this span mirrors.
+    pub seq: u64,
+    /// Superstep the charge belongs to (barriers close their own).
+    pub superstep: u64,
+    /// Accounting phase: `load`, `execute`, `save`, or `overhead`.
+    pub phase: String,
+    /// Engine-chosen activity label ("superstep", "shuffle", ...).
+    pub label: String,
+    pub kind: EventKind,
+    /// Simulated start: the cluster clock when the charge committed.
+    pub start: f64,
+    /// Simulated duration (slowest machine under BSP semantics).
+    pub dt: f64,
+    /// Skew inside this charge: how long the fastest machine waited for
+    /// the slowest one.
+    #[serde(default, skip_serializing_if = "zero_f64")]
+    pub barrier_wait: f64,
+    /// Base (fault-free) busy seconds per machine. Empty for cluster-wide
+    /// charges — start-up, barriers, stalls — that no single machine gates.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub per_machine: Vec<f64>,
+}
+
+impl Span {
+    /// Simulated end time. Bit-identical to the next span's `start`.
+    pub fn end(&self) -> f64 {
+        self.start + self.dt
+    }
+
+    /// The machine that gated this charge — the first machine whose base
+    /// busy time equals the span duration. `None` for cluster-wide charges.
+    pub fn gating_machine(&self) -> Option<MachineId> {
+        let mut best: Option<(MachineId, f64)> = None;
+        for (i, &t) in self.per_machine.iter().enumerate() {
+            match best {
+                Some((_, bt)) if t <= bt => {}
+                _ => best = Some((i, t)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// One (gating machine, label) bucket of the critical path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPathRow {
+    /// `None` attributes to the cluster as a whole (barriers, start-up,
+    /// recovery stalls — charges no single machine gates).
+    pub machine: Option<MachineId>,
+    pub label: String,
+    /// Simulated seconds of the spans this bucket gates, accumulated in
+    /// span order.
+    pub seconds: f64,
+    /// Skew seconds: how long the rest of the cluster waited for the
+    /// gating machine inside those spans.
+    pub skew: f64,
+    /// Number of spans in the bucket.
+    pub spans: u64,
+}
+
+/// The run's critical path: every span attributed to exactly one
+/// (gating machine, label) bucket. The buckets partition the spans, so
+/// [`CriticalPath::total`] — the in-order replay of all span durations —
+/// decomposes the simulated runtime bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Replay of every span duration in commit order; bit-identical to the
+    /// run's simulated runtime.
+    pub total: f64,
+    /// Buckets sorted by `seconds` descending (ties: first appearance).
+    pub rows: Vec<CriticalPathRow>,
+}
+
+/// A contiguous block of spans sharing one grouping key (phase or
+/// superstep) — the derived middle levels of the span hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub name: String,
+    pub start: f64,
+    pub end: f64,
+    /// Span index range `[first, last)` into [`Timeline::spans`].
+    pub first: usize,
+    pub last: usize,
+}
+
+/// Every timed charge of one run, in commit order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    machines: usize,
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    pub fn new(machines: usize) -> Self {
+        Timeline { machines, spans: Vec::new() }
+    }
+
+    /// Simulated machines in the cluster (one export track each).
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Replay of span durations in commit order — bit-identical to the
+    /// cluster clock (zero-duration memory events never advance it).
+    pub fn total_time(&self) -> f64 {
+        let mut t = 0.0;
+        for s in &self.spans {
+            t += s.dt;
+        }
+        t
+    }
+
+    /// Machine `m`'s base busy seconds, accumulated in span order. Bounded
+    /// by [`Timeline::total_time`]: every addend is `<=` the corresponding
+    /// span's `dt` and f64 addition is monotone.
+    pub fn machine_busy(&self, m: MachineId) -> f64 {
+        let mut t = 0.0;
+        for s in &self.spans {
+            if let Some(&b) = s.per_machine.get(m) {
+                t += b;
+            }
+        }
+        t
+    }
+
+    /// Critical-path extraction: attribute each span's full duration to
+    /// its gating (machine, label) bucket, replaying in span order so the
+    /// bucket sums decompose the simulated runtime bit-for-bit.
+    pub fn critical_path(&self) -> CriticalPath {
+        let mut total = 0.0;
+        let mut rows: Vec<CriticalPathRow> = Vec::new();
+        for s in &self.spans {
+            total += s.dt;
+            let machine = s.gating_machine();
+            let idx = match rows.iter().position(|r| r.machine == machine && r.label == s.label) {
+                Some(i) => i,
+                None => {
+                    rows.push(CriticalPathRow {
+                        machine,
+                        label: s.label.clone(),
+                        seconds: 0.0,
+                        skew: 0.0,
+                        spans: 0,
+                    });
+                    rows.len() - 1
+                }
+            };
+            let row = &mut rows[idx];
+            row.seconds += s.dt;
+            row.skew += s.barrier_wait;
+            row.spans += 1;
+        }
+        rows.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+        CriticalPath { total, rows }
+    }
+
+    /// Contiguous phase blocks, in time order.
+    pub fn phase_blocks(&self) -> Vec<Block> {
+        self.blocks(|s| s.phase.clone())
+    }
+
+    /// Contiguous superstep blocks within the execute phase.
+    pub fn superstep_blocks(&self) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let mut i = 0;
+        while i < self.spans.len() {
+            if self.spans[i].phase != "execute" {
+                i += 1;
+                continue;
+            }
+            let key = self.spans[i].superstep;
+            let first = i;
+            while i < self.spans.len()
+                && self.spans[i].phase == "execute"
+                && self.spans[i].superstep == key
+            {
+                i += 1;
+            }
+            blocks.push(Block {
+                name: format!("superstep {key}"),
+                start: self.spans[first].start,
+                end: self.spans[i - 1].end(),
+                first,
+                last: i,
+            });
+        }
+        blocks
+    }
+
+    fn blocks(&self, key: impl Fn(&Span) -> String) -> Vec<Block> {
+        let mut blocks: Vec<Block> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let k = key(s);
+            match blocks.last_mut() {
+                Some(b) if b.name == k && b.last == i => {
+                    b.end = s.end();
+                    b.last = i + 1;
+                }
+                _ => blocks.push(Block {
+                    name: k,
+                    start: s.start,
+                    end: s.end(),
+                    first: i,
+                    last: i + 1,
+                }),
+            }
+        }
+        blocks
+    }
+
+    /// Chrome trace-event JSON for the simulated run only (no host track).
+    pub fn chrome_trace(&self) -> String {
+        self.chrome_trace_with_host(&[])
+    }
+
+    /// Chrome trace-event JSON with an additional host process whose
+    /// tracks carry real wallclock executor spans (see
+    /// [`crate::hosttrace`]). Loads directly in Perfetto.
+    pub fn chrome_trace_with_host(&self, host: &[HostSpan]) -> String {
+        // Trace-event timestamps are microseconds.
+        let us = |secs: f64| secs * 1e6;
+        let mut ev = ChromeEvents::new();
+        ev.meta(SIM_PID, 0, "process_name", "simulated cluster");
+        ev.meta(SIM_PID, 0, "thread_name", "cluster (critical path)");
+        for m in 0..self.machines {
+            ev.meta(SIM_PID, 1 + m as u64, "thread_name", &format!("machine {m}"));
+        }
+        if let (Some(first), Some(last)) = (self.spans.first(), self.spans.last()) {
+            ev.complete(
+                SIM_PID,
+                0,
+                "run",
+                "run",
+                us(first.start),
+                us(last.end() - first.start),
+                None,
+            );
+        }
+        for b in self.phase_blocks() {
+            ev.complete(SIM_PID, 0, &b.name, "phase", us(b.start), us(b.end - b.start), None);
+        }
+        for b in self.superstep_blocks() {
+            ev.complete(SIM_PID, 0, &b.name, "superstep", us(b.start), us(b.end - b.start), None);
+        }
+        for s in &self.spans {
+            let args = format!(
+                "{{\"seq\":{},\"superstep\":{},\"barrier_wait\":{},\"gating_machine\":{}}}",
+                s.seq,
+                s.superstep,
+                json_f64(s.barrier_wait),
+                match s.gating_machine() {
+                    Some(m) => m.to_string(),
+                    None => "null".to_string(),
+                },
+            );
+            ev.complete(SIM_PID, 0, &s.label, s.kind.name(), us(s.start), us(s.dt), Some(&args));
+            for (m, &busy) in s.per_machine.iter().enumerate() {
+                if busy > 0.0 {
+                    ev.complete(
+                        SIM_PID,
+                        1 + m as u64,
+                        &s.label,
+                        s.kind.name(),
+                        us(s.start),
+                        us(busy),
+                        None,
+                    );
+                }
+            }
+        }
+        if !host.is_empty() {
+            ev.meta(HOST_PID, 0, "process_name", "host threads (wallclock)");
+            let mut threads: Vec<usize> = host.iter().map(|h| h.thread).collect();
+            threads.sort_unstable();
+            threads.dedup();
+            for &t in &threads {
+                ev.meta(HOST_PID, t as u64, "thread_name", &format!("host thread {t}"));
+            }
+            for h in host {
+                ev.complete(
+                    HOST_PID,
+                    h.thread as u64,
+                    &h.label,
+                    "host",
+                    h.start_us as f64,
+                    h.dur_us as f64,
+                    None,
+                );
+            }
+        }
+        ev.finish()
+    }
+}
+
+/// pid of the simulated-cluster process in the exported trace.
+const SIM_PID: u64 = 1;
+/// pid of the host-thread process in the exported trace.
+const HOST_PID: u64 = 2;
+
+/// Minimal Chrome trace-event writer. The format is JSON (an object with a
+/// `traceEvents` array of `"M"` metadata and `"X"` complete events); the
+/// writer emits it directly so the export needs no intermediate value tree.
+struct ChromeEvents {
+    out: String,
+    any: bool,
+}
+
+impl ChromeEvents {
+    fn new() -> Self {
+        ChromeEvents { out: String::from("{\"traceEvents\":[\n"), any: false }
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.out.push_str(",\n");
+        }
+        self.any = true;
+    }
+
+    /// An `"M"` metadata event naming a process or thread.
+    fn meta(&mut self, pid: u64, tid: u64, what: &str, name: &str) {
+        self.sep();
+        let _ = write!(
+            self.out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name),
+        );
+    }
+
+    /// An `"X"` complete event: one span with a start and a duration.
+    fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: Option<&str>,
+    ) {
+        self.sep();
+        let _ = write!(
+            self.out,
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\
+             \"ts\":{},\"dur\":{}",
+            escape(name),
+            escape(cat),
+            json_f64(ts_us),
+            json_f64(dur_us),
+        );
+        if let Some(a) = args {
+            let _ = write!(self.out, ",\"args\":{a}");
+        }
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        self.out
+    }
+}
+
+/// JSON number for an f64 (finite by construction; `1e21`-style exponents
+/// from `{}` formatting are valid JSON numbers).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite trace value {v}");
+    // `{}` prints integral floats without a dot; that is still a JSON
+    // number, so no fixup is needed.
+    format!("{v}")
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        seq: u64,
+        superstep: u64,
+        phase: &str,
+        label: &str,
+        kind: EventKind,
+        start: f64,
+        dt: f64,
+        per_machine: Vec<f64>,
+    ) -> Span {
+        Span {
+            seq,
+            superstep,
+            phase: phase.into(),
+            label: label.into(),
+            kind,
+            start,
+            dt,
+            barrier_wait: 0.0,
+            per_machine,
+        }
+    }
+
+    fn demo() -> Timeline {
+        let mut t = Timeline::new(2);
+        t.push(span(0, 0, "load", "load", EventKind::HdfsRead, 0.0, 2.0, vec![2.0, 1.0]));
+        t.push(span(1, 0, "execute", "superstep", EventKind::Compute, 2.0, 3.0, vec![1.0, 3.0]));
+        t.push(span(2, 0, "execute", "shuffle", EventKind::Network, 5.0, 1.0, vec![1.0, 0.5]));
+        t.push(span(3, 0, "execute", "barrier", EventKind::Barrier, 6.0, 0.5, vec![]));
+        t.push(span(4, 1, "execute", "superstep", EventKind::Compute, 6.5, 2.0, vec![2.0, 1.0]));
+        t.push(span(5, 1, "save", "save", EventKind::HdfsWrite, 8.5, 1.0, vec![1.0, 1.0]));
+        t
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_total_replays_the_clock() {
+        let t = demo();
+        for w in t.spans().windows(2) {
+            assert_eq!(w[0].end().to_bits(), w[1].start.to_bits());
+        }
+        assert_eq!(t.total_time(), 9.5);
+    }
+
+    #[test]
+    fn gating_machine_is_the_slowest_and_first_wins_ties() {
+        let t = demo();
+        assert_eq!(t.spans()[0].gating_machine(), Some(0));
+        assert_eq!(t.spans()[1].gating_machine(), Some(1));
+        assert_eq!(t.spans()[3].gating_machine(), None); // barrier
+        assert_eq!(t.spans()[5].gating_machine(), Some(0)); // tie -> first
+    }
+
+    #[test]
+    fn machine_busy_is_bounded_by_the_makespan() {
+        let t = demo();
+        assert_eq!(t.machine_busy(0), 7.0);
+        assert_eq!(t.machine_busy(1), 6.5);
+        assert!(t.machine_busy(0) <= t.total_time());
+        assert!(t.machine_busy(1) <= t.total_time());
+    }
+
+    #[test]
+    fn critical_path_partitions_spans_and_reproduces_the_total() {
+        let t = demo();
+        let cp = t.critical_path();
+        assert_eq!(cp.total.to_bits(), t.total_time().to_bits());
+        assert_eq!(cp.rows.iter().map(|r| r.spans).sum::<u64>(), t.len() as u64);
+        // Machine 0 gates load (2s) + superstep 1 (2s) + shuffle (1s) +
+        // save (1s); machine 1 gates superstep 0 (3s); nobody gates the
+        // barrier (0.5s).
+        let top = &cp.rows[0];
+        assert_eq!((top.machine, top.label.as_str()), (Some(1), "superstep"));
+        assert_eq!(top.seconds, 3.0);
+        let barrier = cp.rows.iter().find(|r| r.label == "barrier").unwrap();
+        assert_eq!(barrier.machine, None);
+        assert_eq!(barrier.seconds, 0.5);
+        // Same-label spans gated by different machines land in distinct
+        // rows: "superstep" appears for machine 0 and machine 1.
+        let superstep_rows: Vec<_> = cp.rows.iter().filter(|r| r.label == "superstep").collect();
+        assert_eq!(superstep_rows.len(), 2);
+    }
+
+    #[test]
+    fn blocks_derive_the_phase_and_superstep_hierarchy() {
+        let t = demo();
+        let phases: Vec<&str> = t.phase_blocks().iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(phases, vec!["load", "execute", "save"]);
+        let steps = t.superstep_blocks();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].name, "superstep 0");
+        assert_eq!((steps[0].first, steps[0].last), (1, 4));
+        assert_eq!(steps[1].name, "superstep 1");
+        assert_eq!(steps[0].end, steps[1].start);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_track_per_machine() {
+        let t = demo();
+        let host = vec![HostSpan { thread: 0, label: "superstep".into(), start_us: 10, dur_us: 5 }];
+        let trace = t.chrome_trace_with_host(&host);
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        // Metadata names one track per simulated machine.
+        let machine_tracks: Vec<&serde_json::Value> = events
+            .iter()
+            .filter(|e| {
+                e["ph"] == "M"
+                    && e["name"] == "thread_name"
+                    && e["args"]["name"].as_str().is_some_and(|n| n.starts_with("machine "))
+            })
+            .collect();
+        assert_eq!(machine_tracks.len(), 2);
+        // Every complete event is well-formed.
+        let xs: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert!(!xs.is_empty());
+        for x in &xs {
+            assert!(x["ts"].as_f64().is_some(), "{x}");
+            assert!(x["dur"].as_f64().is_some_and(|d| d >= 0.0), "{x}");
+            assert!(x["name"].as_str().is_some(), "{x}");
+        }
+        // The host process contributed its track.
+        assert!(xs.iter().any(|x| x["pid"].as_u64() == Some(2)));
+        // The run envelope covers the whole clock.
+        let run = xs.iter().find(|x| x["name"] == "run").unwrap();
+        assert_eq!(run["dur"].as_f64().unwrap(), 9.5e6);
+    }
+
+    #[test]
+    fn empty_timeline_exports_an_empty_but_valid_trace() {
+        let t = Timeline::new(3);
+        let v: serde_json::Value = serde_json::from_str(&t.chrome_trace()).unwrap();
+        assert!(v["traceEvents"].as_array().unwrap().iter().all(|e| e["ph"] == "M"));
+    }
+
+    #[test]
+    fn labels_are_json_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -63,6 +63,12 @@ fn journals_and_registries_are_thread_count_invariant() {
     assert_eq!(p.execute, serial.metrics.phases.execute);
     assert_eq!(p.save, serial.metrics.phases.save);
     assert_eq!(p.overhead, serial.metrics.phases.overhead);
+    // The span timeline is part of the same contract: identical spans,
+    // identical runtime bits, and a critical path that decomposes the
+    // runtime bit-for-bit at either thread count.
+    assert_eq!(serial.timeline, parallel.timeline);
+    assert_eq!(serial.runtime.to_bits(), parallel.runtime.to_bits());
+    assert_eq!(serial.timeline.critical_path().total.to_bits(), serial.runtime.to_bits());
 }
 
 mod parallel_bsp_equals_serial {
