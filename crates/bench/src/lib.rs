@@ -118,7 +118,7 @@ pub fn trace_path() -> Option<String> {
 /// An export the user explicitly asked for could not be written. Silent
 /// loss (or a panic with a backtrace) would be worse than stopping: say
 /// exactly what failed and exit nonzero so scripts notice.
-fn fail_export(what: &str, path: &str, err: &std::io::Error) -> ! {
+pub fn fail_export(what: &str, path: &str, err: &std::io::Error) -> ! {
     eprintln!("graphbench: cannot write {what} to {path}: {err}");
     std::process::exit(1);
 }

@@ -32,6 +32,79 @@ fn scratch(name: &str) -> PathBuf {
     dir
 }
 
+/// `bench_scaleup` at a test-friendly edge count (the default 10⁷ would
+/// dominate the suite's runtime).
+fn bench_scaleup(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bench_scaleup"));
+    cmd.args(args).env("GRAPHBENCH_SCALEUP_EDGES", "20000").env_remove("GRAPHBENCH_DATA_DIR");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn bench_scaleup")
+}
+
+/// A path whose parent is a plain file: `create_dir_all` and `write` both
+/// fail with `NotADirectory`, even when the suite runs as root (read-only
+/// permission bits would not stop root).
+fn blocked_path(dir: &PathBuf, leaf: &str) -> PathBuf {
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"a file where a directory is needed").unwrap();
+    blocker.join(leaf)
+}
+
+#[test]
+fn unwritable_dataset_cache_fails_loudly() {
+    let dir = scratch("scaleup_cache_fail");
+    let data_dir = blocked_path(&dir, "cache");
+    let out = bench_scaleup(&[], &[("GRAPHBENCH_DATA_DIR", data_dir.to_str().unwrap())]);
+    assert!(!out.status.success(), "expected nonzero exit for unwritable dataset cache");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write dataset cache"),
+        "stderr should say what failed, got: {stderr}"
+    );
+}
+
+#[test]
+fn unwritable_scaleup_report_fails_loudly() {
+    let dir = scratch("scaleup_out_fail");
+    let bad_out = blocked_path(&dir, "report.json");
+    let out = bench_scaleup(&["--out", bad_out.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "expected nonzero exit for unwritable report path");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write scaleup report"),
+        "stderr should say what failed, got: {stderr}"
+    );
+}
+
+#[test]
+fn scaleup_report_round_trips() {
+    let dir = scratch("scaleup_ok");
+    let report = dir.join("BENCH_scaleup.json");
+    let data_dir = dir.join("data");
+    let out = bench_scaleup(
+        &["--out", report.to_str().unwrap()],
+        &[("GRAPHBENCH_DATA_DIR", data_dir.to_str().unwrap())],
+    );
+    assert!(
+        out.status.success(),
+        "bench_scaleup failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).expect("report written"))
+            .expect("report is valid JSON");
+    assert_eq!(v["cached_equals_fresh"], serde_json::json!(true));
+    assert_eq!(v["num_edges"].as_u64(), Some(20_000));
+    assert!(v["gen_secs"].as_f64().is_some_and(|s| s >= 0.0));
+    // The dataset file landed in (and can be reused from) the cache dir.
+    assert!(data_dir
+        .read_dir()
+        .unwrap()
+        .any(|e| { e.unwrap().file_name().to_string_lossy().ends_with(".gbcsr") }));
+}
+
 #[test]
 fn unwritable_journal_path_fails_loudly() {
     let dir = scratch("journal_fail");

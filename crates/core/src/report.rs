@@ -136,7 +136,10 @@ pub fn figure_grid(records: &[RunRecord]) -> Vec<Table> {
 pub fn phase_table(title: &str, records: &[RunRecord]) -> Table {
     let mut t = Table::new(
         title,
-        &["system", "machines", "load", "execute", "save", "overhead", "total", "status"],
+        &[
+            "system", "machines", "load", "execute", "save", "overhead", "total", "graph MB",
+            "status",
+        ],
     );
     for r in records {
         let p = r.metrics.phases;
@@ -148,6 +151,7 @@ pub fn phase_table(title: &str, records: &[RunRecord]) -> Table {
             fmt_secs(p.save),
             fmt_secs(p.overhead),
             fmt_secs(p.total()),
+            format!("{:.1}", r.metrics.dataset_mem_bytes as f64 / (1024.0 * 1024.0)),
             r.metrics.status.code().to_string(),
         ]);
     }
@@ -263,6 +267,7 @@ mod tests {
                 messages: 2,
                 mem_peaks: vec![1, 2],
                 cpu: CpuBreakdown::default(),
+                dataset_mem_bytes: 3 << 20,
             },
             notes: vec![],
             updates_per_iteration: vec![],
@@ -377,5 +382,7 @@ mod tests {
         let t = phase_table("x", &[record("HD", 16, 80.0, true)]);
         let s = t.render();
         assert!(s.contains("20.0s") && s.contains("40.0s") && s.contains("80.0s"));
+        // The dataset memory column (3 MiB in the fixture).
+        assert!(s.contains("graph MB") && s.contains("3.0"));
     }
 }

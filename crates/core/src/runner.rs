@@ -171,7 +171,10 @@ impl Runner {
             seed: self.env.seed,
             scale: ds.scale_info,
         };
-        let out = engine.run(&input);
+        let mut out = engine.run(&input);
+        // The dataset's resident share of memory: the runner owns the CSR,
+        // so it (not the engine) knows the actual layout bytes.
+        out.metrics.dataset_mem_bytes = ds.graph.raw_bytes();
         RunRecord {
             system: spec.system.label(),
             workload: spec.workload.name(),

@@ -15,13 +15,15 @@
 //!   costs and message floods can OOM a machine.
 //!
 //! Execution is deterministic *and* parallel: each simulated machine is a
-//! [`Shard`] that one host thread advances through the superstep (see
-//! [`crate::exec`]). Every shard produces an independent result — ops,
+//! [`Shard`], and every shard's vertex range is further split into
+//! fixed-size sub-chunks that host threads claim dynamically (see
+//! [`crate::exec`]), so even a run dominated by one fragment scales past
+//! one host thread. Every sub-chunk produces an independent result — ops,
 //! outboxes, allocations, message counts — and the coordinator merges them
-//! in machine-index order, so the host thread count cannot change any
-//! simulated metric. Parallelism in the *cost model* (per-machine op
-//! vectors) is what the study measures; host-thread parallelism only
-//! changes how fast the study runs.
+//! in (machine, chunk) order, so neither the host thread count nor the
+//! chunk size can change any simulated metric. Parallelism in the *cost
+//! model* (per-machine op vectors) is what the study measures; host-thread
+//! parallelism only changes how fast the study runs.
 //!
 //! The message path is the zero-sort radix shuffle of [`crate::shuffle`],
 //! addressed by fragment-local dense vertex ids
@@ -183,11 +185,51 @@ struct Shard<V, M> {
     active: Vec<bool>,
     /// Arrival-order outboxes, one per destination machine.
     out: Vec<Vec<(VertexId, M)>>,
-    /// Per-vertex send scratch.
-    sends: Vec<(VertexId, M)>,
+    /// Per-sub-chunk outbox/send scratch (see [`compute_superstep`]),
+    /// grown on first use and pooled between supersteps.
+    chunk_scratch: Vec<ChunkScratch<M>>,
     /// Sender-side combining scratch (radix mode), shared by all of this
     /// shard's outbox buckets via epoch tags.
     comb: Combiner<M>,
+}
+
+/// Scratch one sub-chunk writes during the compute stage: its own
+/// per-destination outboxes and send buffer. Pooled in the owning shard so
+/// steady-state supersteps allocate nothing.
+struct ChunkScratch<M> {
+    out: Vec<Vec<(VertexId, M)>>,
+    sends: Vec<(VertexId, M)>,
+}
+
+// Manual impl: `M` itself need not be `Default` for empty scratch.
+impl<M> Default for ChunkScratch<M> {
+    fn default() -> Self {
+        ChunkScratch { out: Vec::new(), sends: Vec::new() }
+    }
+}
+
+/// One sub-chunk of a shard's vertex range: disjoint `&mut` views of the
+/// shard's state arrays plus its pooled scratch, taken for the duration of
+/// the compute stage.
+struct ChunkTask<'a, V, M> {
+    machine: usize,
+    /// Fragment-local id of `verts[0]`.
+    base: u32,
+    verts: &'a [VertexId],
+    states: &'a mut [V],
+    active: &'a mut [bool],
+    scratch: ChunkScratch<M>,
+}
+
+/// What one sub-chunk reports. Counters stay integral until the per-machine
+/// merge, so chunk boundaries cannot perturb any f64 a golden record sees.
+#[derive(Clone, Copy)]
+struct ChunkStep {
+    ops: u64,
+    raw_messages: u64,
+    extra_alloc: u64,
+    any_ran: bool,
+    agg_max: f64,
 }
 
 /// What one shard reports back from a superstep; merged by the coordinator
@@ -235,9 +277,22 @@ impl<V: Clone, M: Copy> BspCheckpoint<V, M> {
     }
 }
 
-/// One superstep's compute: every shard advances independently on the host
-/// thread pool; its inbox is read-only, its outboxes are its own. Shared by
-/// the live loop and recovery replay (which discards the reports).
+/// One superstep's compute, in two stages. Shared by the live loop and
+/// recovery replay (which discards the reports).
+///
+/// **Stage 1** splits every shard's vertex range into fixed-size sub-chunks
+/// ([`exec::chunk_size`]) and runs them as one flat, dynamically-claimed
+/// task list ([`exec::run_chunks`]): a fragment that dominates the
+/// superstep — a power-law hub's machine — no longer serializes it on one
+/// host thread. Each task owns disjoint `&mut` slices of its shard's state
+/// arrays and pooled scratch outboxes, reads the shard's inbox (read-only),
+/// and reports *integer* counters.
+///
+/// **Stage 2** merges, per machine: chunk outboxes are appended into the
+/// shard outbox in ascending chunk order — exactly the vertex order the
+/// unsplit loop pushed in — then sender-side combining runs as before.
+/// Counter merges are u64 sums and `max` folds in chunk order, so every
+/// simulated metric is bit-identical at any chunk size and thread count.
 #[allow(clippy::too_many_arguments)]
 fn compute_superstep<P: VertexProgram>(
     shards: &mut [Shard<P::Value, P::Msg>],
@@ -249,44 +304,127 @@ fn compute_superstep<P: VertexProgram>(
     combinable_now: bool,
     mode: ShuffleMode,
 ) -> Vec<ShardStep> {
-    exec::run_machines(shards, |m, shard| {
-        let Shard { verts, states, active, out, sends, comb } = shard;
-        for buf in out.iter_mut() {
+    let machines = shards.len();
+    let chunk = exec::chunk_size();
+
+    // Carve every shard into sub-chunk tasks holding disjoint state slices.
+    let mut tasks: Vec<ChunkTask<'_, P::Value, P::Msg>> = Vec::new();
+    for (m, shard) in shards.iter_mut().enumerate() {
+        let num_chunks = shard.verts.len().div_ceil(chunk);
+        while shard.chunk_scratch.len() < num_chunks {
+            shard.chunk_scratch.push(ChunkScratch {
+                out: (0..machines).map(|_| Vec::new()).collect(),
+                sends: Vec::new(),
+            });
+        }
+        let Shard { verts, states, active, chunk_scratch, .. } = shard;
+        let mut states: &mut [P::Value] = states;
+        let mut active: &mut [bool] = active;
+        for (ci, chunk_verts) in verts.chunks(chunk).enumerate() {
+            let (s, s_rest) = states.split_at_mut(chunk_verts.len());
+            states = s_rest;
+            let (a, a_rest) = active.split_at_mut(chunk_verts.len());
+            active = a_rest;
+            tasks.push(ChunkTask {
+                machine: m,
+                base: (ci * chunk) as u32,
+                verts: chunk_verts,
+                states: s,
+                active: a,
+                scratch: std::mem::take(&mut chunk_scratch[ci]),
+            });
+        }
+    }
+
+    // Stage 1: compute each sub-chunk independently.
+    let steps: Vec<ChunkStep> = exec::run_chunks(&mut tasks, |_, task| {
+        let inbox = &inboxes[task.machine];
+        let scratch = &mut task.scratch;
+        for buf in scratch.out.iter_mut() {
             buf.clear();
         }
-        let inbox = &inboxes[m];
-        let mut machine_ops = 0u64;
+        let mut ops = 0u64;
         let mut raw = 0u64;
         let mut extra_total = 0u64;
         let mut any_ran = false;
         let mut agg_max = 0.0f64;
-        for (i, &v) in verts.iter().enumerate() {
+        for (k, &v) in task.verts.iter().enumerate() {
             // This vertex's message slice: an O(1) offset-table read in
-            // radix mode, a binary search in sort mode.
-            let msgs = inbox.msgs_of(i as u32, v);
+            // radix mode, a binary search in sort mode. `base + k` is the
+            // vertex's fragment-local id.
+            let msgs = inbox.msgs_of(task.base + k as u32, v);
             let has_msgs = !msgs.is_empty();
-            if !active[i] && !has_msgs {
+            if !task.active[k] && !has_msgs {
                 continue;
             }
             any_ran = true;
-            sends.clear();
+            scratch.sends.clear();
             let mut extra = 0u64;
             let still_active = {
                 let mut ctx = Ctx {
                     superstep,
-                    sends: &mut *sends,
+                    sends: &mut scratch.sends,
                     extra_bytes: &mut extra,
                     agg_max: &mut agg_max,
                 };
                 // Borrow the message slice straight out of the inbox.
-                p.compute(&mut ctx, g, v, &mut states[i], msgs)
+                p.compute(&mut ctx, g, v, &mut task.states[k], msgs)
             };
-            active[i] = still_active;
+            task.active[k] = still_active;
             extra_total += extra;
-            machine_ops += 1 + msgs.len() as u64 + sends.len() as u64;
-            raw += sends.len() as u64;
-            for &(to, msg) in sends.iter() {
-                out[li.machine_of(to) as usize].push((to, msg));
+            ops += 1 + msgs.len() as u64 + scratch.sends.len() as u64;
+            raw += scratch.sends.len() as u64;
+            for &(to, msg) in scratch.sends.iter() {
+                scratch.out[li.machine_of(to) as usize].push((to, msg));
+            }
+        }
+        ChunkStep { ops, raw_messages: raw, extra_alloc: extra_total, any_ran, agg_max }
+    });
+
+    // Merge chunk reports per machine, in chunk order. Integer sums are
+    // associative, so where the chunk boundaries fell is unobservable; the
+    // aggregator folds with the same `if >` max as [`Ctx::aggregate_max`].
+    let mut ops_total = vec![0u64; machines];
+    let mut merged =
+        vec![
+            ShardStep { ops: 0.0, raw_messages: 0, extra_alloc: 0, any_ran: false, agg_max: 0.0 };
+            machines
+        ];
+    for (task, step) in tasks.iter().zip(&steps) {
+        let m = task.machine;
+        ops_total[m] += step.ops;
+        merged[m].raw_messages += step.raw_messages;
+        merged[m].extra_alloc += step.extra_alloc;
+        merged[m].any_ran |= step.any_ran;
+        if step.agg_max > merged[m].agg_max {
+            merged[m].agg_max = step.agg_max;
+        }
+    }
+    for (s, o) in merged.iter_mut().zip(&ops_total) {
+        s.ops = *o as f64;
+    }
+
+    // Hand each task's scratch back to its shard's pool, ending the state
+    // borrows. Tasks were pushed machine-major in ascending chunk order, so
+    // a per-machine cursor recovers each scratch's pool slot.
+    let returned: Vec<(usize, ChunkScratch<P::Msg>)> =
+        tasks.into_iter().map(|t| (t.machine, t.scratch)).collect();
+    let mut cursor = vec![0usize; machines];
+    for (m, scratch) in returned {
+        shards[m].chunk_scratch[cursor[m]] = scratch;
+        cursor[m] += 1;
+    }
+
+    // Stage 2: per-machine outbox assembly and sender-side combining.
+    exec::run_machines(shards, |_, shard| {
+        let Shard { out, chunk_scratch, comb, .. } = shard;
+        for buf in out.iter_mut() {
+            buf.clear();
+        }
+        for cs in chunk_scratch.iter_mut() {
+            for (dst, buf) in cs.out.iter_mut().enumerate() {
+                out[dst].extend_from_slice(buf);
+                buf.clear();
             }
         }
         // Sender-side combining per destination machine. Both modes
@@ -311,14 +449,8 @@ fn compute_superstep<P: VertexProgram>(
                 }
             }
         }
-        ShardStep {
-            ops: machine_ops as f64,
-            raw_messages: raw,
-            extra_alloc: extra_total,
-            any_ran,
-            agg_max,
-        }
-    })
+    });
+    merged
 }
 
 /// One superstep's delivery: each destination takes its senders' outboxes
@@ -390,7 +522,7 @@ pub fn run_bsp<P: VertexProgram>(
                 states,
                 active,
                 out: (0..machines).map(|_| Vec::new()).collect(),
-                sends: Vec::new(),
+                chunk_scratch: Vec::new(),
                 comb: Combiner::with_capacity(comb_slots),
             }
         })
@@ -661,6 +793,36 @@ mod tests {
         assert_eq!(cluster_1.mem_peaks(), cluster_4.mem_peaks());
         assert_eq!(cluster_1.total_net_bytes(), cluster_4.total_net_bytes());
         assert_eq!(cluster_1.total_messages(), cluster_4.total_messages());
+    }
+
+    #[test]
+    fn result_and_metrics_identical_across_chunk_sizes() {
+        // The sub-chunk counterpart of the thread-count guarantee: where
+        // the intra-machine chunk boundaries fall must be invisible to
+        // every simulated metric, because counters stay integral until the
+        // per-machine merge and the merge runs in chunk order. Chunk size 1
+        // puts every vertex in its own task — the most hostile split.
+        let _guard = crate::exec::TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::exec::set_threads(4);
+        let mut baseline = None;
+        for chunk in [1usize, 2, 3, 4096] {
+            crate::exec::set_chunk_size(chunk);
+            let (states, steps, cluster) = run_maxprop(4);
+            let key = (
+                states,
+                steps,
+                cluster.elapsed().to_bits(),
+                cluster.mem_peaks().to_vec(),
+                cluster.total_net_bytes(),
+                cluster.total_messages(),
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(&key, b, "diverged at chunk size {chunk}"),
+            }
+        }
+        crate::exec::set_chunk_size(4096);
+        crate::exec::set_threads(1);
     }
 
     #[test]

@@ -37,6 +37,18 @@ use std::time::Instant;
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 static WARN_BAD_THREADS: Once = Once::new();
 
+/// 0 = uninitialized; first use resolves `GRAPHBENCH_CHUNK`.
+static CHUNK: AtomicUsize = AtomicUsize::new(0);
+static WARN_BAD_CHUNK: Once = Once::new();
+
+/// Default vertices per intra-machine sub-chunk. Small enough that a 16-
+/// machine run still exposes parallelism when one fragment dominates, large
+/// enough that per-chunk scratch and scheduling overhead stay negligible.
+/// Tunable (unlike the generator's `CHUNK_EDGES`) because every simulated
+/// metric is provably chunk-size-invariant: per-chunk integer counters are
+/// summed in chunk order and `agg_max` folds are order-insensitive maxima.
+const DEFAULT_CHUNK: usize = 4096;
+
 fn detected_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -80,6 +92,124 @@ pub fn threads() -> usize {
 /// legacy serial path. Values are clamped to at least 1.
 pub fn set_threads(n: usize) {
     THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Vertices per intra-machine sub-chunk (see [`run_chunks`]), from
+/// `GRAPHBENCH_CHUNK` or the default.
+pub fn chunk_size() -> usize {
+    match CHUNK.load(Ordering::Relaxed) {
+        0 => {
+            let c = resolve_chunk();
+            CHUNK.store(c, Ordering::Relaxed);
+            c
+        }
+        c => c,
+    }
+}
+
+fn resolve_chunk() -> usize {
+    match std::env::var("GRAPHBENCH_CHUNK") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                WARN_BAD_CHUNK.call_once(|| {
+                    eprintln!(
+                        "graphbench: GRAPHBENCH_CHUNK={raw:?} is not a positive integer; \
+                         using the default of {DEFAULT_CHUNK}"
+                    );
+                });
+                DEFAULT_CHUNK
+            }
+        },
+        Err(_) => DEFAULT_CHUNK,
+    }
+}
+
+/// Override the sub-chunk size. Values are clamped to at least 1.
+pub fn set_chunk_size(n: usize) {
+    CHUNK.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Run `f(task_index, &mut tasks[task_index])` for every task and collect
+/// the results **in task-index order**.
+///
+/// The intra-machine counterpart of [`run_machines`]: one simulated
+/// machine's vertex range is split into many sub-chunk tasks, so a
+/// fragment that dominates the superstep no longer serializes it. Unlike
+/// `run_machines`' round-robin deal, tasks are claimed *dynamically* from a
+/// shared atomic counter — chunk workloads are skewed (power-law fragments)
+/// and static assignment would recreate the imbalance this exists to fix.
+/// Dynamic claiming is safe for determinism because each task's result is
+/// written into its index slot and the caller merges slots in index order;
+/// which thread ran a task is unobservable.
+pub fn run_chunks<T, R, F>(tasks: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = tasks.len();
+    let t = threads().min(n);
+    let tracing = hosttrace::enabled();
+    if t <= 1 {
+        return tasks
+            .iter_mut()
+            .enumerate()
+            .map(|(i, task)| {
+                if tracing {
+                    let t0 = Instant::now();
+                    let r = f(i, task);
+                    hosttrace::record(0, t0);
+                    r
+                } else {
+                    f(i, task)
+                }
+            })
+            .collect();
+    }
+    // Each cell is locked exactly once (indices are claimed uniquely), so
+    // the mutexes are uncontended — they exist to hand a `&mut T` to
+    // whichever worker claimed the index.
+    let cells: Vec<std::sync::Mutex<&mut T>> =
+        tasks.iter_mut().map(std::sync::Mutex::new).collect();
+    let claim = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..t)
+            .map(|worker| {
+                let f = &f;
+                let cells = &cells;
+                let claim = &claim;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = claim.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut cell = cells[i].lock().expect("chunk cell poisoned");
+                        let task: &mut T = &mut cell;
+                        let r = if tracing {
+                            let t0 = Instant::now();
+                            let r = f(i, task);
+                            hosttrace::record(worker, t0);
+                            r
+                        } else {
+                            f(i, task)
+                        };
+                        done.push((i, r));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("chunk worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("worker skipped a chunk")).collect()
 }
 
 /// Run `f(machine_index, &mut scratch[machine_index])` for every machine and
@@ -217,5 +347,39 @@ mod tests {
         set_threads(0);
         assert_eq!(threads(), 1);
         set_threads(1);
+    }
+
+    #[test]
+    fn chunk_results_arrive_in_task_order() {
+        let _guard = TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for t in [1, 3, 8] {
+            set_threads(t);
+            let mut tasks: Vec<u64> = (0..53).collect();
+            let out = run_chunks(&mut tasks, |i, task| {
+                *task += 1;
+                i as u64 * 3
+            });
+            assert_eq!(out, (0..53).map(|i| i * 3).collect::<Vec<_>>(), "t = {t}");
+            assert_eq!(tasks, (1..=53).collect::<Vec<_>>(), "t = {t}");
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn dynamic_claiming_runs_every_task_exactly_once() {
+        let _guard = TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(5);
+        let mut hits = vec![0u32; 200];
+        run_chunks(&mut hits, |_, h| *h += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+        set_threads(1);
+    }
+
+    #[test]
+    fn set_chunk_size_clamps_to_one() {
+        let _guard = TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_chunk_size(0);
+        assert_eq!(chunk_size(), 1);
+        set_chunk_size(DEFAULT_CHUNK);
     }
 }

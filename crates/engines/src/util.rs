@@ -27,6 +27,8 @@ pub(crate) fn output_from(
         messages: cluster.total_messages(),
         mem_peaks: cluster.mem_peaks(),
         cpu: cluster.cpu_breakdown(),
+        // Filled by the runner, which holds the dataset's CSR.
+        dataset_mem_bytes: 0,
     };
     let trace = cluster.trace().clone();
     let journal = cluster.journal().clone();

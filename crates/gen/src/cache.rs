@@ -1,0 +1,91 @@
+//! On-disk dataset cache.
+//!
+//! Repeated bench runs spend most of their wallclock regenerating the same
+//! graphs ("SoK: The Faults in our Graph Benchmarks" calls hidden
+//! preprocessing cost a top benchmark trap). When `GRAPHBENCH_DATA_DIR` is
+//! set, generated CSRs persist in the binary [`graphbench_graph::disk`]
+//! format and later runs mmap them back in O(pages touched).
+//!
+//! Cache keying: the file name is `{key}-v{FORMAT_VERSION}.gbcsr`, where
+//! `key` encodes `(kind, scale, seed)` and `FORMAT_VERSION` comes from the
+//! disk format. A format bump changes every file name, so stale-layout files
+//! are never matched — invalidation needs no metadata. A file that exists
+//! but fails to load (corruption, truncation) is treated as a miss: the
+//! graph is regenerated and the file rewritten, with a warning on stderr.
+
+use crate::dataset::{Dataset, DatasetKind, Scale};
+use graphbench_graph::disk::{self, FORMAT_VERSION};
+use graphbench_graph::CsrGraph;
+use std::io;
+use std::path::PathBuf;
+
+/// The dataset directory, from `GRAPHBENCH_DATA_DIR`. `None` (unset or
+/// empty) disables caching entirely.
+pub fn data_dir() -> Option<PathBuf> {
+    match std::env::var("GRAPHBENCH_DATA_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Cache key for a generated dataset: kind, scale base, and seed uniquely
+/// determine the graph (generation is deterministic).
+pub fn dataset_key(kind: DatasetKind, scale: Scale, seed: u64) -> String {
+    format!("{}-b{}-s{}", kind.name().to_ascii_lowercase(), scale.base, seed)
+}
+
+/// Where `key`'s dataset lives on disk, or `None` when caching is disabled.
+/// The format version is baked into the file name (see module docs).
+pub fn cache_path(key: &str) -> Option<PathBuf> {
+    data_dir().map(|d| d.join(format!("{key}-v{FORMAT_VERSION}.gbcsr")))
+}
+
+/// How [`load_or_build`] obtained its graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// `GRAPHBENCH_DATA_DIR` unset: generated in memory, nothing persisted.
+    Disabled,
+    /// Loaded (mmapped) from an existing cache file.
+    Hit(PathBuf),
+    /// Generated fresh and persisted to the cache file.
+    Miss(PathBuf),
+}
+
+/// Fetch `key`'s graph from the cache, or build it with `build` and persist
+/// it. Only I/O errors from *writing* the cache propagate; a corrupt or
+/// unreadable existing file logs a warning and falls back to regeneration.
+pub fn load_or_build(
+    key: &str,
+    build: impl FnOnce() -> CsrGraph,
+) -> io::Result<(CsrGraph, CacheOutcome)> {
+    let Some(path) = cache_path(key) else {
+        return Ok((build(), CacheOutcome::Disabled));
+    };
+    if path.exists() {
+        match disk::load_csr(&path) {
+            Ok(g) => return Ok((g, CacheOutcome::Hit(path))),
+            Err(e) => {
+                eprintln!(
+                    "graphbench: cached dataset {} failed to load ({e}); regenerating",
+                    path.display()
+                );
+            }
+        }
+    }
+    let g = build();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    disk::save_csr(&g, &path)?;
+    Ok((g, CacheOutcome::Miss(path)))
+}
+
+/// [`load_or_build`] specialized to the four paper datasets, generating via
+/// the streaming CSR path on a miss.
+pub fn load_or_generate(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+) -> io::Result<(CsrGraph, CacheOutcome)> {
+    load_or_build(&dataset_key(kind, scale, seed), || Dataset::generate_csr(kind, scale, seed))
+}

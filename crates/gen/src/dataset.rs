@@ -1,8 +1,8 @@
 //! The four paper datasets as generator configurations at a chosen scale.
 
-use crate::powerlaw::{chung_lu, PowerLawConfig};
-use crate::road::{road_network, RoadConfig};
-use crate::web::{web_graph, WebConfig};
+use crate::powerlaw::{chung_lu, chung_lu_csr, PowerLawConfig};
+use crate::road::{road_network, road_network_csr, RoadConfig};
+use crate::web::{web_graph, web_graph_csr, WebConfig};
 use graphbench_graph::{CsrGraph, EdgeList};
 
 /// The paper's datasets (Table 3).
@@ -84,59 +84,90 @@ pub struct Dataset {
     pub seed: u64,
 }
 
+/// The generator configuration each dataset kind maps to at a given scale.
+/// Shared by the edge-list and streaming-CSR paths so both generate the
+/// exact same graph.
+enum KindConfig {
+    PowerLaw(PowerLawConfig),
+    Road(RoadConfig),
+    Web(WebConfig),
+}
+
+fn kind_config(kind: DatasetKind, scale: Scale, seed: u64) -> KindConfig {
+    let b = scale.base;
+    match kind {
+        DatasetKind::Twitter => KindConfig::PowerLaw(PowerLawConfig {
+            num_vertices: b,
+            num_edges: 30 * b,
+            alpha: 0.85,
+            offset: 3.0,
+            connect: true,
+            seed,
+        }),
+        DatasetKind::Wrn => {
+            // Many more vertices than Twitter (the paper's WRN has 16x;
+            // we use 10x to keep runtimes tractable while preserving the
+            // vertex-heavy, low-degree, huge-diameter character).
+            let side = ((10 * b) as f64).sqrt().round() as u32;
+            KindConfig::Road(RoadConfig { width: side, height: side, keep_prob: 0.75, seed })
+        }
+        DatasetKind::Uk0705 => {
+            let n = (5 * b) / 2;
+            KindConfig::Web(WebConfig {
+                num_vertices: n,
+                num_edges: 35 * n,
+                num_hosts: (n / 100).max(8) as u32,
+                intra_host_prob: 0.8,
+                alpha: 0.75,
+                self_edge_fraction: 1e-4,
+                seed,
+            })
+        }
+        DatasetKind::ClueWeb => {
+            // 29x Twitter's edges, avg degree ~43.5 (paper Table 3) —
+            // the dataset that only the largest cluster can hold.
+            let n = 20 * b;
+            KindConfig::Web(WebConfig {
+                num_vertices: n,
+                num_edges: (87 * b) * 10,
+                num_hosts: (n / 150).max(8) as u32,
+                intra_host_prob: 0.8,
+                alpha: 0.78,
+                self_edge_fraction: 1e-4,
+                seed,
+            })
+        }
+    }
+}
+
 impl Dataset {
     /// Generate a dataset of the given kind at the given scale.
     pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
-        let b = scale.base;
-        match kind {
-            DatasetKind::Twitter => {
-                let edges = chung_lu(&PowerLawConfig {
-                    num_vertices: b,
-                    num_edges: 30 * b,
-                    alpha: 0.85,
-                    offset: 3.0,
-                    connect: true,
-                    seed,
-                });
+        match kind_config(kind, scale, seed) {
+            KindConfig::PowerLaw(cfg) => {
+                let edges = chung_lu(&cfg);
                 Dataset { kind, edges, coords: None, hosts: None, seed }
             }
-            DatasetKind::Wrn => {
-                // Many more vertices than Twitter (the paper's WRN has 16x;
-                // we use 10x to keep runtimes tractable while preserving the
-                // vertex-heavy, low-degree, huge-diameter character).
-                let side = ((10 * b) as f64).sqrt().round() as u32;
-                let rn =
-                    road_network(&RoadConfig { width: side, height: side, keep_prob: 0.75, seed });
+            KindConfig::Road(cfg) => {
+                let rn = road_network(&cfg);
                 Dataset { kind, edges: rn.edges, coords: Some(rn.coords), hosts: None, seed }
             }
-            DatasetKind::Uk0705 => {
-                let n = (5 * b) / 2;
-                let w = web_graph(&WebConfig {
-                    num_vertices: n,
-                    num_edges: 35 * n,
-                    num_hosts: (n / 100).max(8) as u32,
-                    intra_host_prob: 0.8,
-                    alpha: 0.75,
-                    self_edge_fraction: 1e-4,
-                    seed,
-                });
+            KindConfig::Web(cfg) => {
+                let w = web_graph(&cfg);
                 Dataset { kind, edges: w.edges, coords: None, hosts: Some(w.hosts), seed }
             }
-            DatasetKind::ClueWeb => {
-                // 29x Twitter's edges, avg degree ~43.5 (paper Table 3) —
-                // the dataset that only the largest cluster can hold.
-                let n = 20 * b;
-                let w = web_graph(&WebConfig {
-                    num_vertices: n,
-                    num_edges: (87 * b) * 10,
-                    num_hosts: (n / 150).max(8) as u32,
-                    intra_host_prob: 0.8,
-                    alpha: 0.78,
-                    self_edge_fraction: 1e-4,
-                    seed,
-                });
-                Dataset { kind, edges: w.edges, coords: None, hosts: Some(w.hosts), seed }
-            }
+        }
+    }
+
+    /// Generate the same graph as [`Dataset::generate`] straight into a CSR
+    /// without materializing the edge list (see [`crate::stream`]). Side
+    /// artifacts (road coordinates, web hosts) are not returned; callers
+    /// that need them use [`Dataset::generate`].
+    pub fn generate_csr(kind: DatasetKind, scale: Scale, seed: u64) -> CsrGraph {
+        match kind_config(kind, scale, seed) {
+            KindConfig::PowerLaw(cfg) => chung_lu_csr(&cfg),
+            KindConfig::Road(cfg) => road_network_csr(&cfg),
+            KindConfig::Web(cfg) => web_graph_csr(&cfg).0,
         }
     }
 
@@ -205,5 +236,15 @@ mod tests {
         let a = Dataset::generate(DatasetKind::Uk0705, s, 5);
         let b = Dataset::generate(DatasetKind::Uk0705, s, 5);
         assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn generate_csr_matches_edge_list_path() {
+        let s = Scale::tiny();
+        for kind in DatasetKind::ALL {
+            let via_list = Dataset::generate(kind, s, 3).to_csr();
+            let streamed = Dataset::generate_csr(kind, s, 3);
+            assert_eq!(streamed, via_list, "kind {}", kind.name());
+        }
     }
 }

@@ -17,10 +17,12 @@
 //! paper datasets to generator configurations at a chosen [`dataset::Scale`].
 
 pub mod alias;
+pub mod cache;
 pub mod dataset;
 pub mod powerlaw;
 pub mod rmat;
 pub mod road;
+pub mod stream;
 pub mod web;
 
 pub use dataset::{Dataset, DatasetKind, Scale};

@@ -7,11 +7,21 @@
 //! Skew grows with `alpha`: the paper's Twitter dataset has max degree
 //! 2.9 M against an average of 35 (ratio ~83 000); at laptop scale we keep
 //! the *qualitative* property max ≫ avg.
+//!
+//! Edges are drawn in [`crate::stream::CHUNK_EDGES`]-sized chunks, each
+//! from its own seed-derived RNG stream, so generation parallelizes across
+//! threads with bit-identical output (see [`crate::stream`]). The id
+//! permutation and the component-stitching draws use the reserved
+//! whole-graph streams.
 
 use crate::alias::AliasTable;
-use graphbench_graph::{EdgeList, VertexId};
+use crate::stream::{
+    chunk_len, collect_chunks, edge_chunks, seeded_permutation, stream_rng, streamed_csr,
+    UnionFind, STREAM_TAIL,
+};
+use graphbench_graph::{CsrGraph, Edge, EdgeList, VertexId};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Configuration for [`chung_lu`].
 #[derive(Debug, Clone)]
@@ -47,6 +57,38 @@ impl Default for PowerLawConfig {
     }
 }
 
+/// Precomputed sampling state shared by every chunk: the alias table over
+/// the weight distribution and the id permutation. Construction is RNG-free
+/// except for the permutation, which draws from the dedicated perm stream.
+struct ChungLuSampler {
+    table: AliasTable,
+    perm: Vec<VertexId>,
+}
+
+impl ChungLuSampler {
+    fn new(cfg: &PowerLawConfig) -> Self {
+        let n = cfg.num_vertices as usize;
+        let weights: Vec<f64> =
+            (0..n).map(|i| ((i + 1) as f64 + cfg.offset).powf(-cfg.alpha)).collect();
+        let table = AliasTable::new(&weights);
+        // Random permutation so vertex id does not encode degree rank (the
+        // paper's systems hash-partition by id; correlated ids would bias
+        // that).
+        let perm = seeded_permutation(n, cfg.seed);
+        ChungLuSampler { table, perm }
+    }
+
+    /// Append chunk `ci`'s edges: every draw comes from the chunk's stream.
+    fn chunk(&self, cfg: &PowerLawConfig, ci: u64, buf: &mut Vec<Edge>) {
+        let mut rng = stream_rng(cfg.seed, ci);
+        for _ in 0..chunk_len(ci, cfg.num_edges) {
+            let s = self.perm[self.table.sample(&mut rng) as usize];
+            let d = self.perm[self.table.sample(&mut rng) as usize];
+            buf.push(Edge::new(s, d));
+        }
+    }
+}
+
 /// Generate a directed power-law graph.
 ///
 /// ```
@@ -58,87 +100,86 @@ impl Default for PowerLawConfig {
 /// ```
 pub fn chung_lu(cfg: &PowerLawConfig) -> EdgeList {
     assert!(cfg.num_vertices > 0, "need at least one vertex");
-    let n = cfg.num_vertices as usize;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let weights: Vec<f64> =
-        (0..n).map(|i| ((i + 1) as f64 + cfg.offset).powf(-cfg.alpha)).collect();
-    let table = AliasTable::new(&weights);
-    // Random permutation so vertex id does not encode degree rank (the
-    // paper's systems hash-partition by id; correlated ids would bias that).
-    let perm = random_permutation(n, &mut rng);
-    let mut el = EdgeList::with_capacity(cfg.num_vertices, cfg.num_edges as usize);
-    for _ in 0..cfg.num_edges {
-        let s = perm[table.sample(&mut rng) as usize];
-        let d = perm[table.sample(&mut rng) as usize];
-        el.push(s, d);
-    }
+    let sampler = ChungLuSampler::new(cfg);
+    let mut el = collect_chunks(
+        cfg.num_vertices,
+        edge_chunks(cfg.num_edges),
+        cfg.num_edges as usize,
+        |ci, buf| sampler.chunk(cfg, ci, buf),
+    );
     if cfg.connect {
-        stitch_components(&mut el, &mut rng);
+        let mut uf = UnionFind::new(cfg.num_vertices as usize);
+        for e in &el.edges {
+            uf.union(e.src, e.dst);
+        }
+        let mut rng = stream_rng(cfg.seed, STREAM_TAIL);
+        for e in stitch_edges(&mut uf, &mut rng) {
+            el.push(e.src, e.dst);
+        }
     }
     el
 }
 
-fn random_permutation(n: usize, rng: &mut SmallRng) -> Vec<VertexId> {
-    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
-    // Fisher–Yates.
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        perm.swap(i, j);
-    }
-    perm
+/// Streaming variant of [`chung_lu`]: identical graph (same seed, same
+/// chunks, same stitches) built straight into a CSR — the edge list is
+/// never materialized. See [`crate::stream::streamed_csr`].
+pub fn chung_lu_csr(cfg: &PowerLawConfig) -> CsrGraph {
+    assert!(cfg.num_vertices > 0, "need at least one vertex");
+    let sampler = ChungLuSampler::new(cfg);
+    streamed_csr(
+        cfg.num_vertices,
+        edge_chunks(cfg.num_edges),
+        |ci, buf| sampler.chunk(cfg, ci, buf),
+        cfg.connect,
+        |uf| {
+            if cfg.connect {
+                let mut rng = stream_rng(cfg.seed, STREAM_TAIL);
+                stitch_edges(uf, &mut rng)
+            } else {
+                Vec::new()
+            }
+        },
+    )
 }
 
-/// Union-find over vertices; adds one edge from a random member of the
-/// largest component to each other component's representative.
-pub(crate) fn stitch_components(el: &mut EdgeList, rng: &mut SmallRng) {
-    let n = el.num_vertices as usize;
+/// Compute the edges that stitch every weakly connected component onto the
+/// giant one: one edge from a random giant-component member to each other
+/// component's representative. `uf` must already contain the union of every
+/// generated edge *in generation order* — both the edge-list and the
+/// streamed path feed it the identical union sequence, so the parent
+/// structure (and therefore each anchor draw) is identical.
+pub(crate) fn stitch_edges(uf: &mut UnionFind, rng: &mut SmallRng) -> Vec<Edge> {
+    let n = uf.len();
     if n == 0 {
-        return;
-    }
-    let mut parent: Vec<u32> = (0..n as u32).collect();
-    fn find(parent: &mut [u32], mut x: u32) -> u32 {
-        while parent[x as usize] != x {
-            parent[x as usize] = parent[parent[x as usize] as usize];
-            x = parent[x as usize];
-        }
-        x
-    }
-    for e in &el.edges {
-        let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
-        if a != b {
-            parent[a as usize] = b;
-        }
+        return Vec::new();
     }
     let mut size = vec![0u64; n];
     for v in 0..n as u32 {
-        size[find(&mut parent, v) as usize] += 1;
+        size[uf.find(v) as usize] += 1;
     }
     let giant = (0..n as u32).max_by_key(|&v| size[v as usize]).unwrap();
-    let giant_root = find(&mut parent, giant);
+    let giant_root = uf.find(giant);
     // Anchors must already belong to the giant component — a random vertex
     // could sit in another small component, and two such components can
     // anchor into each other without ever reaching the giant.
-    let giant_members: Vec<u32> =
-        (0..n as u32).filter(|&v| find(&mut parent, v) == giant_root).collect();
-    let mut extra: Vec<(VertexId, VertexId)> = Vec::new();
+    let giant_members: Vec<u32> = (0..n as u32).filter(|&v| uf.find(v) == giant_root).collect();
+    let mut extra: Vec<Edge> = Vec::new();
     for v in 0..n as u32 {
-        let r = find(&mut parent, v);
+        let r = uf.find(v);
         if r != giant_root && size[r as usize] > 0 {
             let anchor = giant_members[rng.gen_range(0..giant_members.len())];
-            extra.push((anchor, v));
+            extra.push(Edge::new(anchor, v));
             size[r as usize] = 0;
-            parent[r as usize] = giant_root;
+            uf.union(r, giant_root);
         }
     }
-    for (s, d) in extra {
-        el.push(s, d);
-    }
+    extra
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphbench_graph::{stats, CsrGraph};
+    use graphbench_graph::stats;
 
     fn gen(alpha: f64, connect: bool) -> EdgeList {
         chung_lu(&PowerLawConfig {
@@ -203,5 +244,20 @@ mod tests {
         let c = chung_lu(&PowerLawConfig { seed: 8, ..PowerLawConfig::default() });
         let d = chung_lu(&PowerLawConfig { seed: 9, ..PowerLawConfig::default() });
         assert_ne!(c, d);
+    }
+
+    #[test]
+    fn csr_variant_matches_edge_list_path() {
+        for connect in [false, true] {
+            let cfg = PowerLawConfig {
+                num_vertices: 2_000,
+                num_edges: 30_000,
+                connect,
+                seed: 19,
+                ..PowerLawConfig::default()
+            };
+            let via_list = CsrGraph::from_edge_list(&chung_lu(&cfg));
+            assert_eq!(chung_lu_csr(&cfg), via_list, "connect = {connect}");
+        }
     }
 }

@@ -3,10 +3,17 @@
 //! of the studies the paper compares against (e.g. LDBC's DataGen lineage)
 //! use R-MAT-style recursion. Each edge picks its endpoints by descending a
 //! 2x2 probability matrix `[[a, b], [c, d]]` over the adjacency matrix.
+//!
+//! Edges are generated in seed-derived per-chunk RNG streams (see
+//! [`crate::stream`]): output is bit-identical at any thread count, and
+//! [`rmat_csr`] streams straight into a CSR without an edge list — the path
+//! `bench_scaleup` uses for its 10⁸-edge runs.
 
-use graphbench_graph::{EdgeList, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::stream::{
+    chunk_len, collect_chunks, edge_chunks, seeded_permutation, stream_rng, streamed_csr,
+};
+use graphbench_graph::{CsrGraph, Edge, EdgeList, VertexId};
+use rand::Rng;
 
 /// Configuration for [`rmat`].
 #[derive(Debug, Clone)]
@@ -44,54 +51,83 @@ impl RmatConfig {
     pub fn d(&self) -> f64 {
         1.0 - self.a - self.b - self.c
     }
+
+    fn validate(&self) -> u64 {
+        assert!(self.scale >= 1 && self.scale <= 30, "scale out of range");
+        let d = self.d();
+        assert!(
+            self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && d > 0.0,
+            "quadrant probabilities must be positive and sum to < 1"
+        );
+        1 << self.scale
+    }
+}
+
+/// The per-chunk sampler: identity or a seeded permutation of ids.
+struct RmatSampler {
+    perm: Option<Vec<VertexId>>,
+}
+
+impl RmatSampler {
+    fn new(cfg: &RmatConfig, n: u64) -> Self {
+        let perm = cfg.shuffle_ids.then(|| seeded_permutation(n as usize, cfg.seed));
+        RmatSampler { perm }
+    }
+
+    fn chunk(&self, cfg: &RmatConfig, ci: u64, buf: &mut Vec<Edge>) {
+        let mut rng = stream_rng(cfg.seed, ci);
+        for _ in 0..chunk_len(ci, cfg.num_edges) {
+            let (mut src, mut dst) = (0u64, 0u64);
+            for _ in 0..cfg.scale {
+                let r: f64 = rng.gen();
+                let (si, di) = if r < cfg.a {
+                    (0, 0)
+                } else if r < cfg.a + cfg.b {
+                    (0, 1)
+                } else if r < cfg.a + cfg.b + cfg.c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                src = (src << 1) | si;
+                dst = (dst << 1) | di;
+            }
+            let (s, d) = match &self.perm {
+                Some(p) => (p[src as usize], p[dst as usize]),
+                None => (src as VertexId, dst as VertexId),
+            };
+            buf.push(Edge::new(s, d));
+        }
+    }
 }
 
 /// Generate an R-MAT graph.
 pub fn rmat(cfg: &RmatConfig) -> EdgeList {
-    assert!(cfg.scale >= 1 && cfg.scale <= 30, "scale out of range");
-    let d = cfg.d();
-    assert!(
-        cfg.a > 0.0 && cfg.b > 0.0 && cfg.c > 0.0 && d > 0.0,
-        "quadrant probabilities must be positive and sum to < 1"
-    );
-    let n: u64 = 1 << cfg.scale;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let perm: Vec<VertexId> = if cfg.shuffle_ids {
-        let mut p: Vec<VertexId> = (0..n as VertexId).collect();
-        for i in (1..n as usize).rev() {
-            let j = rng.gen_range(0..=i);
-            p.swap(i, j);
-        }
-        p
-    } else {
-        (0..n as VertexId).collect()
-    };
-    let mut el = EdgeList::with_capacity(n, cfg.num_edges as usize);
-    for _ in 0..cfg.num_edges {
-        let (mut src, mut dst) = (0u64, 0u64);
-        for _ in 0..cfg.scale {
-            let r: f64 = rng.gen();
-            let (si, di) = if r < cfg.a {
-                (0, 0)
-            } else if r < cfg.a + cfg.b {
-                (0, 1)
-            } else if r < cfg.a + cfg.b + cfg.c {
-                (1, 0)
-            } else {
-                (1, 1)
-            };
-            src = (src << 1) | si;
-            dst = (dst << 1) | di;
-        }
-        el.push(perm[src as usize], perm[dst as usize]);
-    }
-    el
+    let n = cfg.validate();
+    let sampler = RmatSampler::new(cfg, n);
+    collect_chunks(n, edge_chunks(cfg.num_edges), cfg.num_edges as usize, |ci, buf| {
+        sampler.chunk(cfg, ci, buf)
+    })
+}
+
+/// Streaming variant of [`rmat`]: the identical graph built straight into a
+/// CSR without materializing the edge list.
+pub fn rmat_csr(cfg: &RmatConfig) -> CsrGraph {
+    let n = cfg.validate();
+    let sampler = RmatSampler::new(cfg, n);
+    streamed_csr(
+        n,
+        edge_chunks(cfg.num_edges),
+        |ci, buf| sampler.chunk(cfg, ci, buf),
+        false,
+        |_| Vec::new(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphbench_graph::{stats, CsrGraph};
+    use graphbench_graph::stats;
 
     fn gen(scale: u32, edges: u64) -> EdgeList {
         rmat(&RmatConfig { scale, num_edges: edges, seed: 9, ..RmatConfig::default() })
@@ -163,6 +199,13 @@ mod tests {
         let a = rmat(&RmatConfig { seed: 1, ..RmatConfig::default() });
         let b = rmat(&RmatConfig { seed: 2, ..RmatConfig::default() });
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn csr_variant_matches_edge_list_path() {
+        let cfg = RmatConfig { scale: 10, num_edges: 20_000, seed: 5, ..RmatConfig::default() };
+        let via_list = CsrGraph::from_edge_list(&rmat(&cfg));
+        assert_eq!(rmat_csr(&cfg), via_list);
     }
 
     #[test]

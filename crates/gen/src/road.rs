@@ -8,10 +8,14 @@
 //! undirected street with probability `keep_prob`, producing the same
 //! qualitative gap at laptop scale plus the disconnected "islands" real road
 //! data has.
+//!
+//! The natural chunk here is one grid row: row `y` draws its keep/drop coin
+//! flips from stream `y` (see [`crate::stream`]), so rows generate in
+//! parallel with bit-identical output.
 
-use graphbench_graph::{EdgeList, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::stream::{collect_chunks, stream_rng, streamed_csr};
+use graphbench_graph::{CsrGraph, Edge, EdgeList, VertexId};
+use rand::Rng;
 
 /// Configuration for [`road_network`].
 #[derive(Debug, Clone)]
@@ -41,37 +45,54 @@ pub struct RoadNetwork {
     pub coords: Vec<(u32, u32)>,
 }
 
-/// Generate a road network.
-pub fn road_network(cfg: &RoadConfig) -> RoadNetwork {
+fn validate(cfg: &RoadConfig) {
     assert!(cfg.width > 0 && cfg.height > 0, "grid must be non-empty");
     assert!((0.0..=1.0).contains(&cfg.keep_prob), "keep_prob must be a probability");
-    let n = cfg.width as u64 * cfg.height as u64;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut el = EdgeList::with_capacity(n, (n as usize) * 4);
+}
+
+/// Append row `y`'s streets (both directions per kept street).
+fn row_chunk(cfg: &RoadConfig, y: u64, buf: &mut Vec<Edge>) {
+    let y = y as u32;
+    let mut rng = stream_rng(cfg.seed, y as u64);
     let id = |x: u32, y: u32| -> VertexId { (y as u64 * cfg.width as u64 + x as u64) as VertexId };
-    for y in 0..cfg.height {
-        for x in 0..cfg.width {
-            let v = id(x, y);
-            if x + 1 < cfg.width && rng.gen::<f64>() < cfg.keep_prob {
-                let u = id(x + 1, y);
-                el.push(v, u);
-                el.push(u, v);
-            }
-            if y + 1 < cfg.height && rng.gen::<f64>() < cfg.keep_prob {
-                let u = id(x, y + 1);
-                el.push(v, u);
-                el.push(u, v);
-            }
+    for x in 0..cfg.width {
+        let v = id(x, y);
+        if x + 1 < cfg.width && rng.gen::<f64>() < cfg.keep_prob {
+            let u = id(x + 1, y);
+            buf.push(Edge::new(v, u));
+            buf.push(Edge::new(u, v));
+        }
+        if y + 1 < cfg.height && rng.gen::<f64>() < cfg.keep_prob {
+            let u = id(x, y + 1);
+            buf.push(Edge::new(v, u));
+            buf.push(Edge::new(u, v));
         }
     }
+}
+
+/// Generate a road network.
+pub fn road_network(cfg: &RoadConfig) -> RoadNetwork {
+    validate(cfg);
+    let n = cfg.width as u64 * cfg.height as u64;
+    let el =
+        collect_chunks(n, cfg.height as u64, (n as usize) * 4, |y, buf| row_chunk(cfg, y, buf));
     let coords = (0..cfg.height).flat_map(|y| (0..cfg.width).map(move |x| (x, y))).collect();
     RoadNetwork { edges: el, coords }
+}
+
+/// Streaming variant of [`road_network`]: the identical graph built straight
+/// into a CSR. Coordinates are implicit (`v = y * width + x`), so none are
+/// returned — Blogel's 2-D partitioner derives them from the config.
+pub fn road_network_csr(cfg: &RoadConfig) -> CsrGraph {
+    validate(cfg);
+    let n = cfg.width as u64 * cfg.height as u64;
+    streamed_csr(n, cfg.height as u64, |y, buf| row_chunk(cfg, y, buf), false, |_| Vec::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphbench_graph::{stats, CsrGraph};
+    use graphbench_graph::stats;
 
     #[test]
     fn full_grid_properties() {
@@ -130,5 +151,12 @@ mod tests {
         let a = road_network(&RoadConfig::default());
         let b = road_network(&RoadConfig::default());
         assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn csr_variant_matches_edge_list_path() {
+        let cfg = RoadConfig { width: 48, height: 21, keep_prob: 0.8, seed: 13 };
+        let via_list = CsrGraph::from_edge_list(&road_network(&cfg).edges);
+        assert_eq!(road_network_csr(&cfg), via_list);
     }
 }

@@ -12,11 +12,19 @@
 //!    (paper §3.1.1). A configurable fraction of self-loops is injected.
 //! 3. **Several components** — unlike Twitter, the UK graph is not a single
 //!    weakly connected component (§4.4.1); the generator does not stitch.
+//!
+//! Normal edges are drawn in per-chunk RNG streams (see [`crate::stream`]);
+//! the injected self-loop tail uses the reserved tail stream. Output is
+//! bit-identical at any thread count.
 
 use crate::alias::AliasTable;
-use graphbench_graph::{EdgeList, VertexId};
+use crate::stream::{
+    chunk_len, collect_chunks, edge_chunks, seeded_permutation, stream_rng, streamed_csr,
+    STREAM_TAIL,
+};
+use graphbench_graph::{CsrGraph, Edge, EdgeList, VertexId};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Configuration for [`web_graph`].
 #[derive(Debug, Clone)]
@@ -57,87 +65,145 @@ pub struct WebGraph {
     pub hosts: Vec<u32>,
 }
 
-/// Generate a web graph.
-pub fn web_graph(cfg: &WebConfig) -> WebGraph {
-    assert!(cfg.num_vertices > 0 && cfg.num_hosts > 0);
-    assert!((0.0..=1.0).contains(&cfg.intra_host_prob));
-    let n = cfg.num_vertices as usize;
-    let h = cfg.num_hosts as usize;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+/// Everything the per-chunk edge draws depend on: the (deterministic) host
+/// layout and the (perm-stream-seeded) global endpoint distribution.
+struct WebSampler {
+    hosts: Vec<u32>,
+    host_start: Vec<usize>,
+    global: AliasTable,
+}
 
-    // Host sizes ~ power law; vertices are laid out host-contiguously, the
-    // way a URL-sorted crawl file is.
-    let host_weights: Vec<f64> = (0..h).map(|i| ((i + 1) as f64).powf(-0.9)).collect();
-    let host_total: f64 = host_weights.iter().sum();
-    let mut hosts = vec![0u32; n];
-    let mut host_start = vec![0usize; h + 1];
-    {
-        let mut cursor = 0usize;
-        for (i, w) in host_weights.iter().enumerate() {
-            host_start[i] = cursor;
-            let mut share = ((w / host_total) * n as f64).round() as usize;
-            if i == h - 1 {
-                share = n - cursor; // absorb rounding in the final host
+impl WebSampler {
+    fn new(cfg: &WebConfig) -> Self {
+        assert!(cfg.num_vertices > 0 && cfg.num_hosts > 0);
+        assert!((0.0..=1.0).contains(&cfg.intra_host_prob));
+        let n = cfg.num_vertices as usize;
+        let h = cfg.num_hosts as usize;
+
+        // Host sizes ~ power law; vertices are laid out host-contiguously,
+        // the way a URL-sorted crawl file is. No RNG involved.
+        let host_weights: Vec<f64> = (0..h).map(|i| ((i + 1) as f64).powf(-0.9)).collect();
+        let host_total: f64 = host_weights.iter().sum();
+        let mut hosts = vec![0u32; n];
+        let mut host_start = vec![0usize; h + 1];
+        {
+            let mut cursor = 0usize;
+            for (i, w) in host_weights.iter().enumerate() {
+                host_start[i] = cursor;
+                let mut share = ((w / host_total) * n as f64).round() as usize;
+                if i == h - 1 {
+                    share = n - cursor; // absorb rounding in the final host
+                }
+                let share = share.min(n - cursor);
+                hosts[cursor..cursor + share].fill(i as u32);
+                cursor += share;
             }
-            let share = share.min(n - cursor);
-            hosts[cursor..cursor + share].fill(i as u32);
-            cursor += share;
-        }
-        host_start[h] = n;
-        // Rounding may exhaust vertices before the final host; any leftover
-        // slots already default to the last assigned host's id via the loop.
-        for i in (0..h).rev() {
-            if host_start[i] > host_start[i + 1] {
-                host_start[i] = host_start[i + 1];
+            host_start[h] = n;
+            // Rounding may exhaust vertices before the final host; any
+            // leftover slots already default to the last assigned host's id
+            // via the loop.
+            for i in (0..h).rev() {
+                if host_start[i] > host_start[i + 1] {
+                    host_start[i] = host_start[i + 1];
+                }
             }
         }
+
+        // Global endpoint distribution (cross-host edges). Weight ranks are
+        // permuted so popularity is independent of host membership —
+        // otherwise the first host would hold all the globally heaviest
+        // pages and its front page would compound both skews into an
+        // outsized hub.
+        let rank = seeded_permutation(n, cfg.seed);
+        let weights: Vec<f64> =
+            (0..n).map(|i| ((rank[i] as usize + 1) as f64).powf(-cfg.alpha)).collect();
+        let global = AliasTable::new(&weights);
+
+        WebSampler { hosts, host_start, global }
     }
 
-    // Global endpoint distribution (cross-host edges). Weight ranks are
-    // permuted so popularity is independent of host membership — otherwise
-    // the first host would hold all the globally heaviest pages and its
-    // front page would compound both skews into an outsized hub.
-    let mut rank: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        rank.swap(i, j);
-    }
-    let weights: Vec<f64> = (0..n).map(|i| ((rank[i] + 1) as f64).powf(-cfg.alpha)).collect();
-    let global = AliasTable::new(&weights);
-
-    let self_edges = (cfg.num_edges as f64 * cfg.self_edge_fraction).round() as u64;
-    let normal_edges = cfg.num_edges.saturating_sub(self_edges);
-    let mut el = EdgeList::with_capacity(cfg.num_vertices, cfg.num_edges as usize);
-    for _ in 0..normal_edges {
-        let s = global.sample(&mut rng) as usize;
+    fn draw_edge(&self, cfg: &WebConfig, rng: &mut SmallRng) -> Edge {
+        let s = self.global.sample(rng) as usize;
         let d = if rng.gen::<f64>() < cfg.intra_host_prob {
             // Within the source's host, popularity is itself power-law
             // (front pages dominate): u^3 biases toward the host's first
             // members, giving the in-degree skew real web graphs have.
-            let host = hosts[s] as usize;
-            let (lo, hi) = (host_start[host], host_start[host + 1]);
+            let host = self.hosts[s] as usize;
+            let (lo, hi) = (self.host_start[host], self.host_start[host + 1]);
             if hi > lo {
                 let u: f64 = rng.gen();
                 lo + ((u * u * u) * (hi - lo) as f64) as usize
             } else {
-                global.sample(&mut rng) as usize
+                self.global.sample(rng) as usize
             }
         } else {
-            global.sample(&mut rng) as usize
+            self.global.sample(rng) as usize
         };
-        el.push(s as VertexId, d as VertexId);
+        Edge::new(s as VertexId, d as VertexId)
     }
-    for _ in 0..self_edges {
-        let v = global.sample(&mut rng);
-        el.push(v, v);
+
+    fn chunk(&self, cfg: &WebConfig, normal_edges: u64, ci: u64, buf: &mut Vec<Edge>) {
+        let mut rng = stream_rng(cfg.seed, ci);
+        for _ in 0..chunk_len(ci, normal_edges) {
+            buf.push(self.draw_edge(cfg, &mut rng));
+        }
     }
+
+    /// The injected self-loops, appended after every normal edge.
+    fn self_edge_tail(&self, cfg: &WebConfig, self_edges: u64) -> Vec<Edge> {
+        let mut rng = stream_rng(cfg.seed, STREAM_TAIL);
+        (0..self_edges)
+            .map(|_| {
+                let v = self.global.sample(&mut rng);
+                Edge::new(v, v)
+            })
+            .collect()
+    }
+}
+
+fn edge_split(cfg: &WebConfig) -> (u64, u64) {
+    let self_edges = (cfg.num_edges as f64 * cfg.self_edge_fraction).round() as u64;
+    (cfg.num_edges.saturating_sub(self_edges), self_edges)
+}
+
+/// Generate a web graph.
+pub fn web_graph(cfg: &WebConfig) -> WebGraph {
+    let sampler = WebSampler::new(cfg);
+    let (normal_edges, self_edges) = edge_split(cfg);
+    let mut el = collect_chunks(
+        cfg.num_vertices,
+        edge_chunks(normal_edges),
+        cfg.num_edges as usize,
+        |ci, buf| sampler.chunk(cfg, normal_edges, ci, buf),
+    );
+    for e in sampler.self_edge_tail(cfg, self_edges) {
+        el.push(e.src, e.dst);
+    }
+    let WebSampler { hosts, .. } = sampler;
     WebGraph { edges: el, hosts }
+}
+
+/// Streaming variant of [`web_graph`]: the identical edge set built straight
+/// into a CSR; the host vector (needed by locality-aware partitioners) is
+/// returned alongside.
+pub fn web_graph_csr(cfg: &WebConfig) -> (CsrGraph, Vec<u32>) {
+    let sampler = WebSampler::new(cfg);
+    let (normal_edges, self_edges) = edge_split(cfg);
+    let g = streamed_csr(
+        cfg.num_vertices,
+        edge_chunks(normal_edges),
+        |ci, buf| sampler.chunk(cfg, normal_edges, ci, buf),
+        false,
+        |_| sampler.self_edge_tail(cfg, self_edges),
+    );
+    let WebSampler { hosts, .. } = sampler;
+    (g, hosts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphbench_graph::{stats, CsrGraph};
+    use graphbench_graph::stats;
 
     fn gen() -> WebGraph {
         web_graph(&WebConfig {
@@ -197,5 +263,22 @@ mod tests {
         let b = gen();
         assert_eq!(a.edges, b.edges);
         assert_eq!(a.hosts, b.hosts);
+    }
+
+    #[test]
+    fn csr_variant_matches_edge_list_path() {
+        let cfg = WebConfig {
+            num_vertices: 2_000,
+            num_edges: 40_000,
+            num_hosts: 30,
+            self_edge_fraction: 1e-3,
+            seed: 23,
+            ..WebConfig::default()
+        };
+        let w = web_graph(&cfg);
+        let via_list = CsrGraph::from_edge_list(&w.edges);
+        let (streamed, hosts) = web_graph_csr(&cfg);
+        assert_eq!(streamed, via_list);
+        assert_eq!(hosts, w.hosts);
     }
 }

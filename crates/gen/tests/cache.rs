@@ -1,0 +1,120 @@
+//! Dataset-cache round-trip and invalidation tests.
+
+use graphbench_gen::cache::{cache_path, dataset_key, load_or_generate, CacheOutcome};
+use graphbench_gen::{Dataset, DatasetKind, Scale};
+use graphbench_graph::disk::FORMAT_VERSION;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// These tests mutate `GRAPHBENCH_DATA_DIR`, a process-wide env var;
+/// serialize them (tests run on parallel threads within this binary).
+static ENV: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphbench-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn miss_then_hit_round_trips_byte_equal() {
+    let _guard = ENV.lock().unwrap();
+    let dir = scratch_dir("roundtrip");
+    std::env::set_var("GRAPHBENCH_DATA_DIR", &dir);
+
+    let (fresh, outcome) = load_or_generate(DatasetKind::Twitter, Scale::tiny(), 7).unwrap();
+    let path = match outcome {
+        CacheOutcome::Miss(p) => p,
+        other => panic!("expected Miss, got {other:?}"),
+    };
+    assert!(path.exists());
+
+    let (cached, outcome) = load_or_generate(DatasetKind::Twitter, Scale::tiny(), 7).unwrap();
+    assert_eq!(outcome, CacheOutcome::Hit(path));
+    // Logical equality across the mmap boundary...
+    assert_eq!(cached, fresh);
+    // ...and both equal the direct generation path.
+    assert_eq!(cached, Dataset::generate_csr(DatasetKind::Twitter, Scale::tiny(), 7));
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    assert!(cached.is_mapped());
+
+    std::env::remove_var("GRAPHBENCH_DATA_DIR");
+}
+
+#[test]
+fn disabled_without_data_dir() {
+    let _guard = ENV.lock().unwrap();
+    std::env::remove_var("GRAPHBENCH_DATA_DIR");
+    let (_, outcome) = load_or_generate(DatasetKind::Wrn, Scale::tiny(), 1).unwrap();
+    assert_eq!(outcome, CacheOutcome::Disabled);
+    assert_eq!(cache_path("anything"), None);
+}
+
+#[test]
+fn corrupt_cache_file_regenerates() {
+    let _guard = ENV.lock().unwrap();
+    let dir = scratch_dir("corrupt");
+    std::env::set_var("GRAPHBENCH_DATA_DIR", &dir);
+
+    let (fresh, outcome) = load_or_generate(DatasetKind::Wrn, Scale::tiny(), 3).unwrap();
+    let path = match outcome {
+        CacheOutcome::Miss(p) => p,
+        other => panic!("expected Miss, got {other:?}"),
+    };
+    // Clobber the header: load must fail, fall back to regeneration, and
+    // rewrite a healthy file.
+    std::fs::write(&path, b"garbage").unwrap();
+    let (rebuilt, outcome) = load_or_generate(DatasetKind::Wrn, Scale::tiny(), 3).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss(path.clone()));
+    assert_eq!(rebuilt, fresh);
+    // The rewritten file is loadable again.
+    let (reloaded, outcome) = load_or_generate(DatasetKind::Wrn, Scale::tiny(), 3).unwrap();
+    assert_eq!(outcome, CacheOutcome::Hit(path));
+    assert_eq!(reloaded, fresh);
+
+    std::env::remove_var("GRAPHBENCH_DATA_DIR");
+}
+
+#[test]
+fn format_version_is_baked_into_the_file_name() {
+    let _guard = ENV.lock().unwrap();
+    let dir = scratch_dir("version");
+    std::env::set_var("GRAPHBENCH_DATA_DIR", &dir);
+
+    let key = dataset_key(DatasetKind::Uk0705, Scale::tiny(), 9);
+    let path = cache_path(&key).unwrap();
+    assert!(
+        path.to_string_lossy().ends_with(&format!("-v{FORMAT_VERSION}.gbcsr")),
+        "path {} does not embed the format version",
+        path.display()
+    );
+
+    // A stale file from a hypothetical older format version is simply never
+    // matched: the lookup misses and writes the current-version file beside
+    // it.
+    std::fs::create_dir_all(&dir).unwrap();
+    let stale = dir.join(format!("{key}-v{}.gbcsr", FORMAT_VERSION.wrapping_sub(1)));
+    std::fs::write(&stale, b"old layout").unwrap();
+    let (_, outcome) = load_or_generate(DatasetKind::Uk0705, Scale::tiny(), 9).unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss(path.clone()));
+    assert!(stale.exists(), "stale-version file must be left untouched");
+    assert!(path.exists());
+
+    std::env::remove_var("GRAPHBENCH_DATA_DIR");
+}
+
+#[test]
+fn distinct_keys_for_distinct_datasets() {
+    let keys: Vec<String> = [
+        dataset_key(DatasetKind::Twitter, Scale::tiny(), 1),
+        dataset_key(DatasetKind::Twitter, Scale::small(), 1),
+        dataset_key(DatasetKind::Twitter, Scale::tiny(), 2),
+        dataset_key(DatasetKind::Wrn, Scale::tiny(), 1),
+    ]
+    .into();
+    for (i, a) in keys.iter().enumerate() {
+        for b in &keys[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Differential suite: streaming-parallel generation must be bit-identical
+//! to serial generation for every generator and seed, and the streaming CSR
+//! path must equal the edge-list path. This is the contract that lets
+//! `GRAPHBENCH_THREADS` accelerate generation without changing any golden.
+
+use graphbench_gen::powerlaw::{chung_lu, chung_lu_csr, PowerLawConfig};
+use graphbench_gen::rmat::{rmat, rmat_csr, RmatConfig};
+use graphbench_gen::road::{road_network, road_network_csr, RoadConfig};
+use graphbench_gen::stream::{set_threads, CHUNK_EDGES};
+use graphbench_gen::web::{web_graph, web_graph_csr, WebConfig};
+use graphbench_gen::{Dataset, DatasetKind, Scale};
+use graphbench_graph::CsrGraph;
+use std::sync::Mutex;
+
+/// `set_threads` mutates a process-wide global; every test in this binary
+/// that touches it must hold this lock (tests run on parallel threads).
+static THREADS: Mutex<()> = Mutex::new(());
+
+/// Run `f` at each thread count and assert all results are identical.
+fn thread_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
+    set_threads(1);
+    let serial = f();
+    for t in [2, 4, 7] {
+        set_threads(t);
+        assert_eq!(f(), serial, "output changed at {t} threads");
+    }
+    set_threads(1);
+    serial
+}
+
+#[test]
+fn chung_lu_is_thread_count_invariant() {
+    let _guard = THREADS.lock().unwrap();
+    // Edge counts straddling chunk boundaries: below, exactly at, and above.
+    for (m, connect) in
+        [(500, false), (CHUNK_EDGES, true), (CHUNK_EDGES + 1, false), (3 * CHUNK_EDGES / 2, true)]
+    {
+        let cfg = PowerLawConfig {
+            num_vertices: 3_000,
+            num_edges: m,
+            seed: 11,
+            connect,
+            ..Default::default()
+        };
+        let el = thread_invariant(|| chung_lu(&cfg));
+        set_threads(4);
+        assert_eq!(chung_lu_csr(&cfg), CsrGraph::from_edge_list(&el), "m = {m}");
+        set_threads(1);
+    }
+}
+
+#[test]
+fn rmat_is_thread_count_invariant() {
+    let _guard = THREADS.lock().unwrap();
+    for shuffle in [false, true] {
+        let cfg = RmatConfig {
+            scale: 12,
+            num_edges: CHUNK_EDGES + 123,
+            shuffle_ids: shuffle,
+            seed: 21,
+            ..Default::default()
+        };
+        let el = thread_invariant(|| rmat(&cfg));
+        set_threads(4);
+        assert_eq!(rmat_csr(&cfg), CsrGraph::from_edge_list(&el));
+        set_threads(1);
+    }
+}
+
+#[test]
+fn road_is_thread_count_invariant() {
+    let _guard = THREADS.lock().unwrap();
+    let cfg = RoadConfig { width: 120, height: 77, keep_prob: 0.75, seed: 31 };
+    let rn = thread_invariant(|| {
+        let rn = road_network(&cfg);
+        (rn.edges, rn.coords)
+    });
+    set_threads(4);
+    assert_eq!(road_network_csr(&cfg), CsrGraph::from_edge_list(&rn.0));
+    set_threads(1);
+}
+
+#[test]
+fn web_is_thread_count_invariant() {
+    let _guard = THREADS.lock().unwrap();
+    let cfg = WebConfig {
+        num_vertices: 4_000,
+        num_edges: CHUNK_EDGES + 777,
+        num_hosts: 40,
+        self_edge_fraction: 1e-3,
+        seed: 41,
+        ..Default::default()
+    };
+    let w = thread_invariant(|| {
+        let w = web_graph(&cfg);
+        (w.edges, w.hosts)
+    });
+    set_threads(4);
+    let (g, hosts) = web_graph_csr(&cfg);
+    assert_eq!(g, CsrGraph::from_edge_list(&w.0));
+    assert_eq!(hosts, w.1);
+    set_threads(1);
+}
+
+#[test]
+fn dataset_generation_is_thread_count_invariant() {
+    let _guard = THREADS.lock().unwrap();
+    for kind in DatasetKind::ALL {
+        let el = thread_invariant(|| Dataset::generate(kind, Scale::tiny(), 2).edges);
+        set_threads(4);
+        assert_eq!(
+            Dataset::generate_csr(kind, Scale::tiny(), 2),
+            CsrGraph::from_edge_list(&el),
+            "kind {}",
+            kind.name()
+        );
+        set_threads(1);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let _guard = THREADS.lock().unwrap();
+    set_threads(1);
+    let a = rmat(&RmatConfig { seed: 1, ..Default::default() });
+    let b = rmat(&RmatConfig { seed: 2, ..Default::default() });
+    assert_ne!(a, b);
+}

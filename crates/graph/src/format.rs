@@ -13,6 +13,9 @@
 
 use crate::{EdgeList, GraphError, VertexId};
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 
 /// The dataset encodings from the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,33 +88,37 @@ fn write_adj(el: &EdgeList, long: bool) -> String {
     out
 }
 
-/// Parse a dataset in the given format.
-///
-/// `num_vertices` must be supplied for formats that may omit vertices
-/// (`adj`, `edge`); pass `None` to infer it as `max id + 1`.
-pub fn parse_graph(
-    text: &str,
+/// Incremental parser state shared by the whole-text and streaming entry
+/// points: lines go in one at a time, the edge list comes out at the end.
+struct LineParser {
     format: GraphFormat,
-    num_vertices: Option<u64>,
-) -> Result<EdgeList, GraphError> {
-    let mut edges: Vec<(u64, u64)> = Vec::new();
-    let mut max_id: u64 = 0;
-    let mut seen_vertex = false;
-    for (idx, line) in text.lines().enumerate() {
-        let line_no = idx + 1;
+    edges: Vec<(u64, u64)>,
+    max_id: u64,
+    seen_vertex: bool,
+    line_no: usize,
+}
+
+impl LineParser {
+    fn new(format: GraphFormat) -> Self {
+        LineParser { format, edges: Vec::new(), max_id: 0, seen_vertex: false, line_no: 0 }
+    }
+
+    fn line(&mut self, line: &str) -> Result<(), GraphError> {
+        self.line_no += 1;
+        let line_no = self.line_no;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(());
         }
         let mut it = line.split_ascii_whitespace();
         let first: u64 = parse_field(it.next(), line_no)?;
-        max_id = max_id.max(first);
-        seen_vertex = true;
-        match format {
+        self.max_id = self.max_id.max(first);
+        self.seen_vertex = true;
+        match self.format {
             GraphFormat::EdgeListFormat => {
                 let dst: u64 = parse_field(it.next(), line_no)?;
-                max_id = max_id.max(dst);
-                edges.push((first, dst));
+                self.max_id = self.max_id.max(dst);
+                self.edges.push((first, dst));
                 if it.next().is_some() {
                     return Err(GraphError::Parse {
                         line: line_no,
@@ -122,8 +129,8 @@ pub fn parse_graph(
             GraphFormat::Adj => {
                 for field in it {
                     let dst: u64 = parse_num(field, line_no)?;
-                    max_id = max_id.max(dst);
-                    edges.push((first, dst));
+                    self.max_id = self.max_id.max(dst);
+                    self.edges.push((first, dst));
                 }
             }
             GraphFormat::AdjLong => {
@@ -131,8 +138,8 @@ pub fn parse_graph(
                 let mut actual = 0usize;
                 for field in it {
                     let dst: u64 = parse_num(field, line_no)?;
-                    max_id = max_id.max(dst);
-                    edges.push((first, dst));
+                    self.max_id = self.max_id.max(dst);
+                    self.edges.push((first, dst));
                     actual += 1;
                 }
                 if actual != declared {
@@ -140,19 +147,110 @@ pub fn parse_graph(
                 }
             }
         }
+        Ok(())
     }
-    let n = num_vertices.unwrap_or(if seen_vertex { max_id + 1 } else { 0 });
-    let mut el = EdgeList::with_capacity(n, edges.len());
-    for (s, d) in edges {
-        if s >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: s, num_vertices: n });
+
+    fn finish(self, num_vertices: Option<u64>) -> Result<EdgeList, GraphError> {
+        let n = num_vertices.unwrap_or(if self.seen_vertex { self.max_id + 1 } else { 0 });
+        let mut el = EdgeList::with_capacity(n, self.edges.len());
+        for (s, d) in self.edges {
+            if s >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: s, num_vertices: n });
+            }
+            if d >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: d, num_vertices: n });
+            }
+            el.push(s as VertexId, d as VertexId);
         }
-        if d >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: d, num_vertices: n });
-        }
-        el.push(s as VertexId, d as VertexId);
+        Ok(el)
     }
-    Ok(el)
+}
+
+/// Parse a dataset in the given format.
+///
+/// `num_vertices` must be supplied for formats that may omit vertices
+/// (`adj`, `edge`); pass `None` to infer it as `max id + 1`.
+pub fn parse_graph(
+    text: &str,
+    format: GraphFormat,
+    num_vertices: Option<u64>,
+) -> Result<EdgeList, GraphError> {
+    let mut p = LineParser::new(format);
+    for line in text.lines() {
+        p.line(line)?;
+    }
+    p.finish(num_vertices)
+}
+
+fn invalid(e: GraphError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Write a dataset to `path`, streaming line-at-a-time through a
+/// [`BufWriter`] — never materializing the whole encoding in memory, unlike
+/// [`write_graph`]. Returns the encoded byte size (the number the simulator
+/// turns into HDFS block counts).
+pub fn write_graph_file(el: &EdgeList, format: GraphFormat, path: &Path) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut line = String::new();
+    let mut bytes = 0u64;
+    match format {
+        GraphFormat::EdgeListFormat => {
+            for e in &el.edges {
+                line.clear();
+                let _ = writeln!(line, "{} {}", e.src, e.dst);
+                w.write_all(line.as_bytes())?;
+                bytes += line.len() as u64;
+            }
+        }
+        GraphFormat::Adj | GraphFormat::AdjLong => {
+            let long = format == GraphFormat::AdjLong;
+            let n = el.num_vertices as usize;
+            let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+            for e in &el.edges {
+                adj[e.src as usize].push(e.dst);
+            }
+            for (v, neigh) in adj.iter().enumerate() {
+                if neigh.is_empty() && !long {
+                    continue;
+                }
+                line.clear();
+                let _ = write!(line, "{v}");
+                if long {
+                    let _ = write!(line, " {}", neigh.len());
+                }
+                for t in neigh {
+                    let _ = write!(line, " {t}");
+                }
+                line.push('\n');
+                w.write_all(line.as_bytes())?;
+                bytes += line.len() as u64;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(bytes)
+}
+
+/// Read a dataset from `path`, streaming line-at-a-time through a
+/// [`BufReader`] with a reused line buffer — the whole file is never held in
+/// memory at once. Parse errors surface as [`io::ErrorKind::InvalidData`].
+pub fn read_graph_file(
+    path: &Path,
+    format: GraphFormat,
+    num_vertices: Option<u64>,
+) -> io::Result<EdgeList> {
+    let mut rdr = BufReader::new(File::open(path)?);
+    let mut p = LineParser::new(format);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if rdr.read_line(&mut line)? == 0 {
+            break;
+        }
+        p.line(&line).map_err(invalid)?;
+    }
+    p.finish(num_vertices).map_err(invalid)
 }
 
 fn parse_field(field: Option<&str>, line: usize) -> Result<u64, GraphError> {
@@ -248,6 +346,41 @@ mod tests {
         assert!(parse_graph("a b\n", GraphFormat::EdgeListFormat, None).is_err());
         assert!(parse_graph("0\n", GraphFormat::EdgeListFormat, None).is_err());
         assert!(parse_graph("0 1 2\n", GraphFormat::EdgeListFormat, None).is_err());
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("graphbench-format-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn file_round_trip_matches_in_memory_encoding() {
+        let el = sample();
+        for fmt in [GraphFormat::Adj, GraphFormat::AdjLong, GraphFormat::EdgeListFormat] {
+            let path = scratch(&format!("sample.{}", fmt.name()));
+            let bytes = write_graph_file(&el, fmt, &path).unwrap();
+            // Streaming writer produces byte-identical output to the
+            // in-memory writer, and reports the same encoded size.
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), write_graph(&el, fmt));
+            assert_eq!(bytes, encoded_size(&el, fmt));
+            let back = read_graph_file(&path, fmt, Some(4)).unwrap();
+            assert_eq!(back, parse_graph(&write_graph(&el, fmt), fmt, Some(4)).unwrap());
+        }
+    }
+
+    #[test]
+    fn file_write_to_missing_dir_errors() {
+        let path = scratch("no-such-dir").join("g.edge");
+        assert!(write_graph_file(&sample(), GraphFormat::EdgeListFormat, &path).is_err());
+    }
+
+    #[test]
+    fn file_parse_errors_surface_as_invalid_data() {
+        let path = scratch("garbage.edge");
+        std::fs::write(&path, "not numbers\n").unwrap();
+        let err = read_graph_file(&path, GraphFormat::EdgeListFormat, None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!   index, used by every engine,
 //! * [`mod@format`] — the three on-disk text formats used by the paper's systems
 //!   (`adj`, `adj-long`, `edge`),
+//! * [`disk`] — a compact binary CSR format with mmap-backed zero-copy
+//!   loading, backing the dataset cache,
+//! * [`compact`] — a delta-varint adjacency codec for compressed-layout
+//!   size reporting,
 //! * [`stats`] — degree distributions, effective-diameter estimation, and
 //!   component counting used to validate generated datasets against the
 //!   paper's Table 3.
@@ -19,13 +23,15 @@
 //! original systems' 32-bit id configurations would.
 
 pub mod builder;
+pub mod compact;
 pub mod csr;
+pub mod disk;
 pub mod edge;
 pub mod format;
 pub mod stats;
 
 pub use builder::{GraphBuilder, SelfEdgePolicy};
-pub use csr::CsrGraph;
+pub use csr::{CsrBuilder, CsrGraph};
 pub use edge::{Edge, EdgeList};
 pub use stats::GraphStats;
 

@@ -75,6 +75,11 @@ pub struct RunMetrics {
     /// Peak memory per machine, bytes.
     pub mem_peaks: Vec<u64>,
     pub cpu: CpuBreakdown,
+    /// Resident bytes of the input CSR (the dataset's share of memory — the
+    /// resource-efficiency methodology reports it separately from transient
+    /// buffers). `#[serde(default)]` keeps pre-existing records readable.
+    #[serde(default)]
+    pub dataset_mem_bytes: u64,
 }
 
 impl RunMetrics {
@@ -108,6 +113,7 @@ mod tests {
             messages: 5,
             mem_peaks: vec![10, 30, 20],
             cpu: CpuBreakdown::default(),
+            dataset_mem_bytes: 0,
         };
         assert!((m.total_time() - 3.75).abs() < 1e-12);
         assert_eq!(m.total_peak_memory(), 60);
