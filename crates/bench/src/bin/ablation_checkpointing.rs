@@ -65,6 +65,7 @@ fn main() {
             timeline: out.timeline,
             runtime: out.runtime,
             host_spans: out.host_spans,
+            result_items: 0,
         });
     }
     println!();

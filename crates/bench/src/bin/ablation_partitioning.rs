@@ -62,6 +62,7 @@ fn main() {
             timeline: out.timeline,
             runtime: out.runtime,
             host_spans: out.host_spans,
+            result_items: 0,
         });
     }
     println!("{}", phase_table("Blogel-B WCC @16 by partitioner", &records).render());

@@ -9,6 +9,11 @@
 //! * **shuffle** — the legacy sort-based shuffle vs the zero-sort radix
 //!   path, at full thread count, written to `BENCH_shuffle.json`.
 //!
+//! A third **seeds** axis times the same cells across the configured
+//! `GRAPHBENCH_SEEDS` sweep and reports the per-seed wall-clock plus the
+//! simulated-total spread, written to `BENCH_seeds.json` (a single seed
+//! still writes the file, with a degenerate one-sample summary).
+//!
 //! Both axes check that the serialized records are bit-for-bit identical
 //! across the compared configurations: neither the thread count nor the
 //! shuffle data path may change any simulated metric — only the real time
@@ -67,6 +72,24 @@ struct ShuffleReport {
     rows: Vec<ShuffleRow>,
     /// Geometric mean of per-row sort/radix speedups.
     speedup_geomean: f64,
+}
+
+#[derive(Serialize)]
+struct SeedRow {
+    system: String,
+    workload: &'static str,
+    /// Host wall-clock seconds per sweep seed, in seed order.
+    wallclock_secs: Vec<f64>,
+    /// Spread of the *simulated* total response time across seeds.
+    simulated_total: graphbench::Summary,
+}
+
+#[derive(Serialize)]
+struct SeedsReport {
+    host_cores: usize,
+    seeds: Vec<u64>,
+    scale_base: u64,
+    rows: Vec<SeedRow>,
 }
 
 /// Wall-clock seconds for `reps` runs of `spec` at `threads` host threads
@@ -185,6 +208,48 @@ fn main() {
     std::fs::write("BENCH_shuffle.json", serde_json::to_string_pretty(&sreport).unwrap())
         .expect("write BENCH_shuffle.json");
     println!("\ngeomean shuffle speedup {shuffle_geomean:.2}x -> BENCH_shuffle.json");
+
+    // Axis 3: the seed sweep — per-seed wall-clock and the simulated
+    // spread the multi-seed methodology reports.
+    let seeds = graphbench_repro::seeds();
+    let mut runner = graphbench_repro::runner();
+    let mut seed_rows = Vec::new();
+    for (system, workload) in cells {
+        let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
+        let mut wallclock_secs = Vec::new();
+        let mut runs = Vec::new();
+        for &seed in &seeds {
+            runner.run_seeded(&spec, seed); // warm this seed's dataset cache
+            let start = Instant::now();
+            runs.push(runner.run_seeded(&spec, seed));
+            wallclock_secs.push(start.elapsed().as_secs_f64());
+        }
+        let multi = graphbench::MultiRunRecord::new(seeds.clone(), runs);
+        let simulated_total = multi.total_time();
+        println!(
+            "{:>4} {:8}  {} seeds  simulated total {}  wallclock {:?}",
+            system.label(),
+            workload.name(),
+            seeds.len(),
+            multi.cell(),
+            wallclock_secs.iter().map(|s| (s * 1e4).round() / 1e4).collect::<Vec<_>>()
+        );
+        seed_rows.push(SeedRow {
+            system: system.label(),
+            workload: workload.name(),
+            wallclock_secs,
+            simulated_total,
+        });
+    }
+    let seeds_report = SeedsReport {
+        host_cores: ncores,
+        seeds: seeds.clone(),
+        scale_base: graphbench_repro::scale().base,
+        rows: seed_rows,
+    };
+    std::fs::write("BENCH_seeds.json", serde_json::to_string_pretty(&seeds_report).unwrap())
+        .expect("write BENCH_seeds.json");
+    println!("\nseed sweep {seeds:?} -> BENCH_seeds.json");
     graphbench_repro::paper_note(
         "simulated seconds are identical at every thread count and shuffle mode; \
          the speedups are host wall-clock",

@@ -10,14 +10,14 @@ fn main() {
     let mut runner = graphbench_repro::runner();
     let mut records = Vec::new();
     for workload in [WorkloadKind::KHop, WorkloadKind::Wcc, WorkloadKind::Sssp] {
-        records.extend(runner.run_matrix(
+        records.extend(runner.run_matrix_multi(
             &SystemId::traversal_lineup(),
             &[workload],
             &[DatasetKind::Twitter],
             &[16, 32, 64, 128],
         ));
     }
-    records.extend(runner.run_matrix(
+    records.extend(runner.run_matrix_multi(
         &SystemId::pagerank_lineup(),
         &[WorkloadKind::PageRank],
         &[DatasetKind::Twitter],
@@ -26,8 +26,9 @@ fn main() {
     for table in figure_grid(&records) {
         println!("{}", table.render());
     }
-    graphbench_repro::export_journals(&records);
-    graphbench_repro::export_traces(&records);
+    let primaries = graphbench_repro::primary_records(&records);
+    graphbench_repro::export_journals(&primaries);
+    graphbench_repro::export_traces(&primaries);
     graphbench_repro::paper_note(
         "shapes: Blogel-B has the shortest execution for reachability workloads, \
          Blogel-V the best end-to-end; Hadoop/HaLoop are 1-2 orders slower; HaLoop \

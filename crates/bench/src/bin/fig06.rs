@@ -9,7 +9,7 @@ use graphbench_gen::DatasetKind;
 fn main() {
     graphbench_repro::banner("fig06", "PageRank grid (3 datasets x 4 cluster sizes x 13 systems)");
     let mut runner = graphbench_repro::runner();
-    let records = runner.run_matrix(
+    let records = runner.run_matrix_multi(
         &SystemId::pagerank_lineup(),
         &[WorkloadKind::PageRank],
         &[DatasetKind::Wrn, DatasetKind::Uk0705, DatasetKind::Twitter],
@@ -18,9 +18,11 @@ fn main() {
     for table in figure_grid(&records) {
         println!("{}", table.render());
     }
-    // One phase breakdown, as the figure's stacked bars show.
+    // One phase breakdown, as the figure's stacked bars show (primary-seed
+    // records; the grid above carries the seed spread).
+    let primaries = graphbench_repro::primary_records(&records);
     let tw16: Vec<_> =
-        records.iter().filter(|r| r.dataset == "Twitter" && r.machines == 16).cloned().collect();
+        primaries.iter().filter(|r| r.dataset == "Twitter" && r.machines == 16).cloned().collect();
     println!("{}", phase_table("Twitter @16 phase breakdown (stacked-bar data)", &tw16).render());
     let stacks: Vec<(String, [f64; 4])> = tw16
         .iter()
@@ -31,8 +33,8 @@ fn main() {
         })
         .collect();
     println!("{}", graphbench::viz::stacked_bars("Twitter @16 (as stacked bars)", &stacks, 60));
-    graphbench_repro::export_journals(&records);
-    graphbench_repro::export_traces(&records);
+    graphbench_repro::export_journals(&primaries);
+    graphbench_repro::export_traces(&primaries);
     graphbench_repro::paper_note(
         "expected failures: GL tolerance variants OOM on UK@16 (random) and WRN@16 \
          (both); HaLoop SHFL at 64/128; the rest complete, with BV leading end-to-end.",

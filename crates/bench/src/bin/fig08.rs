@@ -9,7 +9,7 @@ use graphbench_gen::DatasetKind;
 fn main() {
     graphbench_repro::banner("fig08", "Sssp grid (3 datasets x 4 cluster sizes x 9 systems)");
     let mut runner = graphbench_repro::runner();
-    let records = runner.run_matrix(
+    let records = runner.run_matrix_multi(
         &SystemId::traversal_lineup(),
         &[WorkloadKind::Sssp],
         &[DatasetKind::Wrn, DatasetKind::Uk0705, DatasetKind::Twitter],
@@ -18,8 +18,9 @@ fn main() {
     for table in figure_grid(&records) {
         println!("{}", table.render());
     }
-    graphbench_repro::export_journals(&records);
-    graphbench_repro::export_traces(&records);
+    let primaries = graphbench_repro::primary_records(&records);
+    graphbench_repro::export_journals(&primaries);
+    graphbench_repro::export_traces(&primaries);
     graphbench_repro::paper_note(
         "the WRN row is the story: diameter-bound workloads break most systems (OOM/TO)          while Blogel survives; on the power-law graphs everything finishes and the          ordering is BB/BV, then GL/G, then FG, then S, then HD/HL.",
     );

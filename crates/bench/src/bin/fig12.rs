@@ -17,16 +17,24 @@ fn run_set(runner: &mut Runner, workload: WorkloadKind, title: &str) {
     ];
     let mut items = Vec::new();
     for system in systems {
-        let rec = runner.run(&ExperimentSpec {
+        let multi = runner.run_multi(&ExperimentSpec {
             system,
             workload,
             dataset: DatasetKind::Uk0705,
             machines: 32,
         });
-        if rec.metrics.status.is_ok() {
-            items.push((rec.system, rec.metrics.total_time()));
+        let rec = multi.primary();
+        if multi.all_ok() {
+            let label = if multi.n() > 1 {
+                // Bar length is the mean; the label carries the spread.
+                format!("{} (±{:.0})", rec.system, multi.total_time().stddev)
+            } else {
+                rec.system.clone()
+            };
+            items.push((label, multi.total_time().mean));
         } else {
-            items.push((format!("{} [{}]", rec.system, rec.metrics.status.code()), 0.0));
+            let code = multi.unanimous_code().unwrap_or("MIX").to_string();
+            items.push((format!("{} [{}]", rec.system, code), 0.0));
         }
     }
     println!("{}", viz::bars(title, &items, 50));

@@ -61,6 +61,7 @@ fn main() {
             timeline: r.timeline,
             runtime: r.runtime,
             host_spans: vec![],
+            result_items: 0,
         })
         .collect();
 

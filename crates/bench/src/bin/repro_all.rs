@@ -1,20 +1,107 @@
 //! Run the full reproduction matrix and dump machine-readable results.
 //!
 //! Produces `repro_results.json` (all records) plus every figure/table's
-//! rows on stdout. Expect this to take a while at larger scales.
+//! rows on stdout. Expect this to take a while at larger scales. With
+//! `GRAPHBENCH_SEEDS=42,43,44` every cell is a seed sweep and the grids
+//! report `mean ±stddev [±CI]`.
+//!
+//! `--check` skips the matrix and runs the findings gate instead: the
+//! nine paper-finding predicates (`graphbench::findings`) are evaluated
+//! over the seed sweep, written to `findings_verdicts.json`, and compared
+//! against the committed EXPERIMENTS.md table. A verdict flip writes
+//! `findings_verdict.diff` and exits nonzero — the CI regression gate
+//! that stops a perf PR from silently un-reproducing a paper finding.
 
-use graphbench::report::{figure_grid, to_json};
+use graphbench::findings::{self, FindingsSweep, FINDINGS};
+use graphbench::report::{efficiency_table, figure_grid, to_json, Table};
 use graphbench::system::SystemId;
 use graphbench_algos::WorkloadKind;
 use graphbench_gen::DatasetKind;
+use std::path::{Path, PathBuf};
+
+/// Locate the committed EXPERIMENTS.md: next to the working directory
+/// (repo root, the usual `cargo run` case) or relative to this crate's
+/// manifest (when run from elsewhere).
+fn experiments_md() -> Option<PathBuf> {
+    let candidates = [
+        PathBuf::from("EXPERIMENTS.md"),
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS.md"),
+    ];
+    candidates.into_iter().find(|p| p.exists())
+}
+
+/// The findings gate. Returns the process exit code.
+fn check() -> i32 {
+    graphbench_repro::banner("repro_all --check", "paper-findings regression gate");
+    let seeds = graphbench_repro::seeds();
+    let mut sweep = FindingsSweep::new(graphbench_repro::scale(), seeds.clone());
+    let verdicts = sweep.evaluate_all();
+
+    let mut table = Table::new("machine-checked findings", &["#", "section", "finding", "verdict"]);
+    for v in &verdicts {
+        table.row(vec![
+            v.finding.to_string(),
+            v.section.to_string(),
+            v.name.to_string(),
+            if v.holds { "HOLDS".into() } else { format!("FAILS ({})", v.detail) },
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = serde_json::to_string_pretty(&verdicts).expect("verdicts serialize");
+    if let Err(e) = std::fs::write("findings_verdicts.json", &json) {
+        graphbench_repro::fail_export("findings verdicts", "findings_verdicts.json", &e);
+    }
+    println!("wrote {} verdicts to findings_verdicts.json", verdicts.len());
+
+    let expected = match experiments_md() {
+        Some(path) => {
+            let md = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            findings::parse_expected(&md)
+        }
+        None => {
+            eprintln!("repro_all --check: EXPERIMENTS.md not found; cannot compare verdicts");
+            return 2;
+        }
+    };
+    if expected.len() != FINDINGS.len() {
+        eprintln!(
+            "repro_all --check: EXPERIMENTS.md verdict table has {} of {} findings",
+            expected.len(),
+            FINDINGS.len()
+        );
+    }
+
+    let diff = findings::verdict_diff(&verdicts, &expected);
+    if diff.is_empty() {
+        println!(
+            "{}/{} findings match the committed EXPERIMENTS.md verdicts (seeds {:?})",
+            verdicts.len(),
+            FINDINGS.len(),
+            seeds
+        );
+        0
+    } else {
+        if let Err(e) = std::fs::write("findings_verdict.diff", &diff) {
+            graphbench_repro::fail_export("verdict diff", "findings_verdict.diff", &e);
+        }
+        eprintln!("verdict drift against EXPERIMENTS.md (wrote findings_verdict.diff):");
+        eprint!("{diff}");
+        1
+    }
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(check());
+    }
     graphbench_repro::banner("repro_all", "full experiment matrix");
     let mut runner = graphbench_repro::runner();
     let mut records = Vec::new();
     // Traversal workloads: 9-system line-up.
     for workload in [WorkloadKind::KHop, WorkloadKind::Sssp, WorkloadKind::Wcc] {
-        records.extend(runner.run_matrix(
+        records.extend(runner.run_matrix_multi(
             &SystemId::traversal_lineup(),
             &[workload],
             &[DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn],
@@ -22,7 +109,7 @@ fn main() {
         ));
     }
     // PageRank: 13-variant line-up.
-    records.extend(runner.run_matrix(
+    records.extend(runner.run_matrix_multi(
         &SystemId::pagerank_lineup(),
         &[WorkloadKind::PageRank],
         &[DatasetKind::Twitter, DatasetKind::Uk0705, DatasetKind::Wrn],
@@ -31,7 +118,7 @@ fn main() {
     // ClueWeb: only the 128-machine cluster can hold it (Table 7).
     for workload in WorkloadKind::ALL {
         for system in [SystemId::BlogelV, SystemId::Giraph, SystemId::Gelly, SystemId::Hadoop] {
-            records.push(runner.run(&graphbench::runner::ExperimentSpec {
+            records.push(runner.run_multi(&graphbench::runner::ExperimentSpec {
                 system,
                 workload,
                 dataset: DatasetKind::ClueWeb,
@@ -42,9 +129,21 @@ fn main() {
     for table in figure_grid(&records) {
         println!("{}", table.render());
     }
+    // The resource-efficiency view (memory-seconds, bytes moved per
+    // result) — most interesting under a multi-seed sweep, printed for
+    // the Twitter WCC column either way.
+    let eff: Vec<_> = records
+        .iter()
+        .filter(|r| r.dataset() == "Twitter" && r.workload() == "wcc" && r.machines() == 16)
+        .cloned()
+        .collect();
+    if !eff.is_empty() {
+        println!("{}", efficiency_table("resource efficiency (Twitter WCC @16)", &eff).render());
+    }
     let json = to_json(&records);
     std::fs::write("repro_results.json", &json).expect("write repro_results.json");
     println!("wrote {} records to repro_results.json", records.len());
-    graphbench_repro::export_journals(&records);
-    graphbench_repro::export_traces(&records);
+    let primaries = graphbench_repro::primary_records(&records);
+    graphbench_repro::export_journals(&primaries);
+    graphbench_repro::export_traces(&primaries);
 }

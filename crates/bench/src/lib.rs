@@ -42,10 +42,14 @@
 //! | `ablation_khop_sweep` | why K = 3 (§3.3) |
 //!
 //! Scale is controlled with `GRAPHBENCH_BASE` (Twitter-like vertex count;
-//! default 1500) and `GRAPHBENCH_SEED` (default 42).
+//! default 1500) and `GRAPHBENCH_SEED` (default 42). `GRAPHBENCH_SEEDS`
+//! (comma-separated, e.g. `42,43,44`) sweeps the matrix bins over several
+//! generator seeds and reports `mean ± stddev [CI]` cells; `repro_all
+//! --check` evaluates the nine paper-finding predicates over the sweep.
 
 use graphbench::paper::PaperEnv;
 use graphbench::runner::{RunRecord, Runner};
+use graphbench::stats::MultiRunRecord;
 use graphbench_gen::Scale;
 
 /// Environment-configured scale (`GRAPHBENCH_BASE`, default 1500 — the
@@ -60,9 +64,43 @@ pub fn seed() -> u64 {
     std::env::var("GRAPHBENCH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
 }
 
-/// A runner at the configured scale.
+/// The configured seed sweep: `GRAPHBENCH_SEEDS` as a comma-separated
+/// list (duplicates removed, order kept), defaulting to the single
+/// [`seed`]. Unparseable entries are warned about on stderr and skipped;
+/// an entirely unparseable value falls back to the single-seed default.
+pub fn seeds() -> Vec<u64> {
+    let Ok(raw) = std::env::var("GRAPHBENCH_SEEDS") else { return vec![seed()] };
+    let mut out: Vec<u64> = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.parse::<u64>() {
+            Ok(s) => {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+            Err(_) => eprintln!("GRAPHBENCH_SEEDS: ignoring unparseable seed {part:?}"),
+        }
+    }
+    if out.is_empty() {
+        vec![seed()]
+    } else {
+        out
+    }
+}
+
+/// A runner at the configured scale. Its primary environment uses the
+/// first sweep seed and its `seeds` field carries the whole sweep, so
+/// `run_multi`/`run_matrix_multi` honor `GRAPHBENCH_SEEDS` while plain
+/// `run` keeps the legacy single-seed behaviour.
 pub fn runner() -> Runner {
-    Runner::new(PaperEnv::new(scale(), seed()))
+    let seeds = seeds();
+    let mut r = Runner::new(PaperEnv::new(scale(), seeds[0]));
+    r.seeds = seeds;
+    r
 }
 
 /// Standard banner: what this target reproduces and at what scale. Also
@@ -75,7 +113,22 @@ pub fn banner(target: &str, what: &str) {
         graphbench_sim::hosttrace::enable();
     }
     println!("=== {target}: {what} ===");
-    println!("scale base {} (set GRAPHBENCH_BASE to change), seed {}\n", scale().base, seed());
+    let sweep = seeds();
+    if sweep.len() > 1 {
+        let list = sweep.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        println!(
+            "scale base {} (set GRAPHBENCH_BASE to change), seed sweep {} \
+             (cells show mean ±stddev [±95% CI])\n",
+            scale().base,
+            list
+        );
+    } else {
+        println!(
+            "scale base {} (set GRAPHBENCH_BASE to change), seed {}\n",
+            scale().base,
+            sweep[0]
+        );
+    }
 }
 
 /// Paper-vs-measured footnote.
@@ -174,6 +227,13 @@ pub fn export_traces(records: &[RunRecord]) {
             r.host_spans.len()
         );
     }
+}
+
+/// The primary (first-seed) record of each sweep cell — what the journal
+/// and trace exporters, phase tables, and other single-record consumers
+/// operate on. With one seed these are exactly the legacy records.
+pub fn primary_records(records: &[MultiRunRecord]) -> Vec<RunRecord> {
+    records.iter().map(|m| m.primary().clone()).collect()
 }
 
 fn derive_trace_path(path: &str, index: usize, r: &RunRecord) -> String {

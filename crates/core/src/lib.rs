@@ -13,6 +13,11 @@
 //! * [`runner`] — executes `(system, workload, dataset, cluster-size)`
 //!   experiments and collects [`runner::RunRecord`]s;
 //! * [`report`] — paper-style tables, CSV/JSON export;
+//! * [`stats`] — the multi-seed methodology: Welford accumulators, 95%
+//!   confidence intervals, and the [`stats::MultiRunRecord`] seed-sweep
+//!   aggregate (`GRAPHBENCH_SEEDS`);
+//! * [`findings`] — the paper's nine headline findings as machine-checkable
+//!   predicates over seed sweeps (`repro_all --check`);
 //! * [`viz`] — the paper's log-visualization tool, rendered as ASCII
 //!   (per-machine memory time series, utilization breakdowns, bar groups).
 //!
@@ -36,13 +41,16 @@
 //! assert!(record.metrics.status.is_ok());
 //! ```
 
+pub mod findings;
 pub mod paper;
 pub mod report;
 pub mod runner;
+pub mod stats;
 pub mod system;
 pub mod viz;
 
 pub use graphbench_engines::shuffle::ShuffleMode;
 pub use paper::PaperEnv;
 pub use runner::{ExperimentSpec, RunRecord, Runner};
+pub use stats::{MultiRunRecord, Summary, Welford};
 pub use system::SystemId;

@@ -1,6 +1,7 @@
 //! Paper-style table rendering and machine-readable export.
 
 use crate::runner::RunRecord;
+use crate::stats::{fmt_summary, MultiRunRecord};
 use std::fmt::Write as _;
 
 /// A simple aligned text table.
@@ -85,26 +86,77 @@ pub fn cell(rec: &RunRecord) -> String {
     rec.cell()
 }
 
+/// What a report table needs from a record — implemented by the legacy
+/// single-seed [`RunRecord`] and the seed-sweep [`MultiRunRecord`], so the
+/// same rendering code produces both the paper's point-estimate grids and
+/// the `mean ± stddev [CI]` variant.
+pub trait ReportRecord {
+    fn system(&self) -> &str;
+    fn workload(&self) -> &str;
+    fn dataset(&self) -> &str;
+    fn machines(&self) -> usize;
+    /// The grid cell: seconds, a spread, or a failure code.
+    fn cell(&self) -> String;
+}
+
+impl ReportRecord for RunRecord {
+    fn system(&self) -> &str {
+        &self.system
+    }
+    fn workload(&self) -> &str {
+        self.workload
+    }
+    fn dataset(&self) -> &str {
+        self.dataset
+    }
+    fn machines(&self) -> usize {
+        self.machines
+    }
+    fn cell(&self) -> String {
+        RunRecord::cell(self)
+    }
+}
+
+impl ReportRecord for MultiRunRecord {
+    fn system(&self) -> &str {
+        MultiRunRecord::system(self)
+    }
+    fn workload(&self) -> &str {
+        MultiRunRecord::workload(self)
+    }
+    fn dataset(&self) -> &str {
+        MultiRunRecord::dataset(self)
+    }
+    fn machines(&self) -> usize {
+        MultiRunRecord::machines(self)
+    }
+    fn cell(&self) -> String {
+        MultiRunRecord::cell(self)
+    }
+}
+
 /// A Figures-5-to-9-style grid: rows = system labels, columns = cluster
 /// sizes, one table per (dataset, workload) present in the records.
-pub fn figure_grid(records: &[RunRecord]) -> Vec<Table> {
+/// Single-seed records render the paper's point-estimate cells unchanged;
+/// multi-seed records render `mean ±stddev [±CI]` spreads.
+pub fn figure_grid<R: ReportRecord>(records: &[R]) -> Vec<Table> {
     let mut keys: Vec<(&str, &str)> = Vec::new();
     for r in records {
-        if !keys.contains(&(r.dataset, r.workload)) {
-            keys.push((r.dataset, r.workload));
+        if !keys.contains(&(r.dataset(), r.workload())) {
+            keys.push((r.dataset(), r.workload()));
         }
     }
     let mut tables = Vec::new();
     for (dataset, workload) in keys {
-        let subset: Vec<&RunRecord> =
-            records.iter().filter(|r| r.dataset == dataset && r.workload == workload).collect();
-        let mut sizes: Vec<usize> = subset.iter().map(|r| r.machines).collect();
+        let subset: Vec<&R> =
+            records.iter().filter(|r| r.dataset() == dataset && r.workload() == workload).collect();
+        let mut sizes: Vec<usize> = subset.iter().map(|r| r.machines()).collect();
         sizes.sort_unstable();
         sizes.dedup();
         let mut systems: Vec<&str> = Vec::new();
         for r in &subset {
-            if !systems.contains(&r.system.as_str()) {
-                systems.push(&r.system);
+            if !systems.contains(&r.system()) {
+                systems.push(r.system());
             }
         }
         let mut headers = vec!["system".to_string()];
@@ -119,7 +171,7 @@ pub fn figure_grid(records: &[RunRecord]) -> Vec<Table> {
             for &size in &sizes {
                 let cell = subset
                     .iter()
-                    .find(|r| r.system == sys && r.machines == size)
+                    .find(|r| r.system() == sys && r.machines() == size)
                     .map(|r| r.cell())
                     .unwrap_or_else(|| "-".into());
                 row.push(cell);
@@ -131,13 +183,41 @@ pub fn figure_grid(records: &[RunRecord]) -> Vec<Table> {
     tables
 }
 
+/// Bytes-moved-per-result-item (network + disk over ranks/labels/reached
+/// vertices), in KB; `-` when the run produced no result to normalize by.
+fn kb_per_result(rec: &RunRecord) -> String {
+    if rec.result_items == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}", rec.journal.bytes_moved() as f64 / rec.result_items as f64 / 1024.0)
+    }
+}
+
+/// Integrated memory footprint of a run in GB·s.
+fn mem_gb_seconds(rec: &RunRecord) -> f64 {
+    rec.journal.memory_byte_seconds() / (1u64 << 30) as f64
+}
+
 /// Phase breakdown table for a set of records (load / execute / save /
-/// overhead / total), the stacked-bar data of Figures 6-9.
+/// overhead / total), the stacked-bar data of Figures 6-9, with the
+/// resource-efficiency columns: integrated memory footprint ("mem GB·s")
+/// and bytes moved per result item ("KB/res"). The uniform load column
+/// surfaces every engine's preprocessing cost — the paper calls out
+/// Giraph's input format here, but the comparison needs all rows.
 pub fn phase_table(title: &str, records: &[RunRecord]) -> Table {
     let mut t = Table::new(
         title,
         &[
-            "system", "machines", "load", "execute", "save", "overhead", "total", "graph MB",
+            "system",
+            "machines",
+            "load",
+            "execute",
+            "save",
+            "overhead",
+            "total",
+            "graph MB",
+            "mem GB·s",
+            "KB/res",
             "status",
         ],
     );
@@ -152,7 +232,54 @@ pub fn phase_table(title: &str, records: &[RunRecord]) -> Table {
             fmt_secs(p.overhead),
             fmt_secs(p.total()),
             format!("{:.1}", r.metrics.dataset_mem_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", mem_gb_seconds(r)),
+            kb_per_result(r),
             r.metrics.status.code().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Resource-efficiency view of a seed sweep: per cell, the loading /
+/// end-to-end spread plus memory-seconds and bytes-moved-per-result —
+/// the metrics of the resource-efficiency study, aggregated over seeds.
+pub fn efficiency_table(title: &str, records: &[MultiRunRecord]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "system",
+            "workload",
+            "dataset",
+            "machines",
+            "seeds",
+            "load s",
+            "total s",
+            "mem GB·s",
+            "KB/res",
+            "status",
+        ],
+    );
+    for r in records {
+        let load = r.ok_summary_of(|rec| rec.metrics.phases.load);
+        let mem = r.ok_summary_of(mem_gb_seconds);
+        let kbres = r.ok_summary_of(|rec| {
+            if rec.result_items == 0 {
+                0.0
+            } else {
+                rec.journal.bytes_moved() as f64 / rec.result_items as f64 / 1024.0
+            }
+        });
+        t.row(vec![
+            r.system().to_string(),
+            r.workload().to_string(),
+            r.dataset().to_string(),
+            r.machines().to_string(),
+            r.n().to_string(),
+            if load.n == 0 { "-".into() } else { fmt_summary(&load, 1) },
+            r.cell(),
+            if mem.n == 0 { "-".into() } else { fmt_summary(&mem, 2) },
+            if kbres.n == 0 { "-".into() } else { fmt_summary(&kbres, 1) },
+            r.unanimous_code().unwrap_or("MIX").to_string(),
         ]);
     }
     t
@@ -232,8 +359,12 @@ pub fn critical_path_table(title: &str, rec: &RunRecord, top: usize) -> Table {
     t
 }
 
-/// Export records as a JSON array.
-pub fn to_json(records: &[RunRecord]) -> String {
+/// Export records as a JSON array. Accepts both [`RunRecord`] and
+/// [`MultiRunRecord`] slices; a single-seed multi record serializes
+/// byte-identically to the legacy record, so downstream consumers
+/// (`render`, saved `repro_results.json`) see no format change until a
+/// sweep actually has several seeds.
+pub fn to_json<R: serde::Serialize>(records: &[R]) -> String {
     serde_json::to_string_pretty(records).expect("records serialize")
 }
 
@@ -277,6 +408,7 @@ mod tests {
             timeline: Timeline::default(),
             runtime: total,
             host_spans: vec![],
+            result_items: 0,
         }
     }
 
@@ -384,5 +516,76 @@ mod tests {
         assert!(s.contains("20.0s") && s.contains("40.0s") && s.contains("80.0s"));
         // The dataset memory column (3 MiB in the fixture).
         assert!(s.contains("graph MB") && s.contains("3.0"));
+        // The resource-efficiency columns; no journal and no result in the
+        // fixture, so zero memory-seconds and an undefined KB/res.
+        assert!(s.contains("mem GB·s") && s.contains("KB/res"), "{s}");
+        assert!(s.contains("0.00"));
+    }
+
+    #[test]
+    fn phase_table_normalizes_bytes_moved_by_result_items() {
+        use graphbench_sim::{EventKind, JournalEvent};
+        let mut rec = record("BV", 16, 40.0, true);
+        rec.result_items = 4;
+        rec.journal.push(JournalEvent {
+            seq: 0,
+            superstep: 0,
+            phase: "execute".into(),
+            label: "shuffle".into(),
+            kind: EventKind::Network,
+            dt: 1.0,
+            barrier_wait: 0.0,
+            net_bytes: 8192,
+            messages: 1,
+            disk_bytes: 0,
+            mem_delta: vec![],
+        });
+        let t = phase_table("x", &[rec]);
+        // 8192 B over 4 results = 2.0 KB per result.
+        assert_eq!(t.rows[0][9], "2.0");
+    }
+
+    #[test]
+    fn figure_grid_renders_multi_records_with_spread() {
+        let multi = MultiRunRecord::new(
+            vec![42, 43],
+            vec![record("BV", 16, 100.0, true), record("BV", 16, 104.0, true)],
+        );
+        let tables = figure_grid(std::slice::from_ref(&multi));
+        let s = tables[0].render();
+        assert!(s.contains("±"), "{s}");
+        // And a single-seed multi record keeps the legacy point cell.
+        let single = MultiRunRecord::single(42, record("BV", 16, 100.0, true));
+        let s = figure_grid(std::slice::from_ref(&single))[0].render();
+        assert!(s.contains("100") && !s.contains('±'), "{s}");
+    }
+
+    #[test]
+    fn efficiency_table_covers_statuses_and_spread() {
+        let multi = MultiRunRecord::new(
+            vec![42, 43],
+            vec![record("BV", 16, 100.0, true), record("BV", 16, 104.0, true)],
+        );
+        let failed = MultiRunRecord::new(
+            vec![42, 43],
+            vec![record("G", 16, 0.0, false), record("G", 16, 0.0, false)],
+        );
+        let t = efficiency_table("eff", &[multi, failed]);
+        assert_eq!(t.rows[0][4], "2"); // two seeds
+        assert!(t.rows[0][5].contains('±'), "{:?}", t.rows[0]);
+        assert_eq!(t.rows[0][9], "OK");
+        // All-failed cell: no OK runs to summarize, unanimous OOM status.
+        assert_eq!(t.rows[1][5], "-");
+        assert_eq!(t.rows[1][6], "OOM");
+        assert_eq!(t.rows[1][9], "OOM");
+    }
+
+    #[test]
+    fn single_seed_multi_record_serializes_as_the_legacy_record() {
+        let rec = record("BV", 16, 100.0, true);
+        let legacy = serde_json::to_string_pretty(&rec).unwrap();
+        let multi = MultiRunRecord::single(42, rec);
+        assert_eq!(serde_json::to_string_pretty(&multi).unwrap(), legacy);
+        assert_eq!(to_json(std::slice::from_ref(&multi)), to_json(&[multi.primary().clone()]));
     }
 }

@@ -1,14 +1,16 @@
 //! Experiment execution.
 
 use crate::paper::PaperEnv;
+use crate::stats::MultiRunRecord;
 use crate::system::SystemId;
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
-use graphbench_algos::{Workload, WorkloadKind};
+use graphbench_algos::{Workload, WorkloadKind, WorkloadResult, UNREACHABLE};
 use graphbench_engines::shuffle::ShuffleMode;
 use graphbench_engines::EngineInput;
 use graphbench_gen::DatasetKind;
 use graphbench_sim::{FaultPlan, HostSpan, Journal, MetricsRegistry, RunMetrics, Timeline, Trace};
 use serde::Serialize;
+use std::collections::HashMap;
 
 /// One cell of the paper's experiment matrix (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +53,12 @@ pub struct RunRecord {
     /// golden records and determinism checks never see them.
     #[serde(skip)]
     pub host_spans: Vec<HostSpan>,
+    /// Size of the produced result (ranks/labels emitted, vertices
+    /// reached), the denominator of the bytes-moved-per-result efficiency
+    /// column. Derivable from the result, so excluded from serialization
+    /// to keep golden records byte-identical.
+    #[serde(skip)]
+    pub result_items: u64,
 }
 
 impl RunRecord {
@@ -67,6 +75,16 @@ impl RunRecord {
 /// Executes experiments against a [`PaperEnv`].
 pub struct Runner {
     pub env: PaperEnv,
+    /// The seed sweep for `run_multi`/`run_matrix_multi` (the
+    /// `GRAPHBENCH_SEEDS` plumbing lands here via `graphbench_repro`'s
+    /// `seeds()`). Empty means "just the environment's own seed" — the
+    /// legacy single-seed behaviour. `env.seed` should equal the first
+    /// entry so single-seed sweeps reuse the primary environment's dataset
+    /// cache.
+    pub seeds: Vec<u64>,
+    /// Lazily built environments for the non-primary sweep seeds, each
+    /// keeping its own dataset cache across cells.
+    alt_envs: HashMap<u64, PaperEnv>,
     /// Fixed iteration count for `-I` PageRank variants (the paper's
     /// configuration studies use 30 and 55).
     pub fixed_pr_iterations: u32,
@@ -115,11 +133,23 @@ impl Runner {
     pub fn new(env: PaperEnv) -> Self {
         Runner {
             env,
+            seeds: Vec::new(),
+            alt_envs: HashMap::new(),
             fixed_pr_iterations: 30,
             pr_tolerance: 1e-6,
             threads: None,
             shuffle: None,
             faults: None,
+        }
+    }
+
+    /// The seeds a multi-run sweep executes, in order: `seeds` when set,
+    /// otherwise just the environment's own seed.
+    pub fn effective_seeds(&self) -> Vec<u64> {
+        if self.seeds.is_empty() {
+            vec![self.env.seed]
+        } else {
+            self.seeds.clone()
         }
     }
 
@@ -175,6 +205,15 @@ impl Runner {
         // The dataset's resident share of memory: the runner owns the CSR,
         // so it (not the engine) knows the actual layout bytes.
         out.metrics.dataset_mem_bytes = ds.graph.raw_bytes();
+        let result_items = match &out.result {
+            Some(WorkloadResult::Ranks(r)) => r.len() as u64,
+            Some(WorkloadResult::Labels(l)) => l.len() as u64,
+            // Reachability results only count the vertices actually reached.
+            Some(WorkloadResult::Distances(d)) => {
+                d.iter().filter(|&&d| d != UNREACHABLE).count() as u64
+            }
+            None => 0,
+        };
         RunRecord {
             system: spec.system.label(),
             workload: spec.workload.name(),
@@ -189,7 +228,33 @@ impl Runner {
             timeline: out.timeline,
             runtime: out.runtime,
             host_spans: out.host_spans,
+            result_items,
         }
+    }
+
+    /// Execute one experiment under a specific generator seed, reusing (or
+    /// lazily building) the per-seed environment so dataset caches survive
+    /// across cells of a sweep.
+    pub fn run_seeded(&mut self, spec: &ExperimentSpec, seed: u64) -> RunRecord {
+        if seed == self.env.seed {
+            return self.run(spec);
+        }
+        let scale = self.env.scale;
+        let mut env = self.alt_envs.remove(&seed).unwrap_or_else(|| PaperEnv::new(scale, seed));
+        std::mem::swap(&mut self.env, &mut env);
+        let rec = self.run(spec);
+        std::mem::swap(&mut self.env, &mut env);
+        self.alt_envs.insert(seed, env);
+        rec
+    }
+
+    /// Execute one experiment at every sweep seed and aggregate the spread.
+    /// With a single seed this is `run` wrapped transparently — the record
+    /// serializes byte-identically to the legacy path.
+    pub fn run_multi(&mut self, spec: &ExperimentSpec) -> MultiRunRecord {
+        let seeds = self.effective_seeds();
+        let runs = seeds.iter().map(|&s| self.run_seeded(spec, s)).collect();
+        MultiRunRecord::new(seeds, runs)
     }
 
     /// Execute a full matrix (cartesian product), in order.
@@ -206,6 +271,33 @@ impl Runner {
                 for &machines in cluster_sizes {
                     for &system in systems {
                         records.push(self.run(&ExperimentSpec {
+                            system,
+                            workload,
+                            dataset,
+                            machines,
+                        }));
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// `run_matrix` across the seed sweep: the same cell order, one
+    /// [`MultiRunRecord`] per cell.
+    pub fn run_matrix_multi(
+        &mut self,
+        systems: &[SystemId],
+        workloads: &[WorkloadKind],
+        datasets: &[DatasetKind],
+        cluster_sizes: &[usize],
+    ) -> Vec<MultiRunRecord> {
+        let mut records = Vec::new();
+        for &dataset in datasets {
+            for &workload in workloads {
+                for &machines in cluster_sizes {
+                    for &system in systems {
+                        records.push(self.run_multi(&ExperimentSpec {
                             system,
                             workload,
                             dataset,

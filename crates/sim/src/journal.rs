@@ -306,6 +306,30 @@ impl Journal {
         self.events.iter().map(|e| e.disk_bytes).sum()
     }
 
+    /// All bytes that moved during the run — network plus every disk
+    /// channel. The numerator of the bytes-moved-per-result efficiency
+    /// metric.
+    pub fn bytes_moved(&self) -> u64 {
+        self.net_bytes() + self.disk_bytes()
+    }
+
+    /// Integrated memory footprint in byte-seconds (the resource-efficiency
+    /// literature's "memory-seconds"): replay the per-machine memory deltas
+    /// in event order and integrate the cluster-wide in-use total over each
+    /// charge's duration. Memory events themselves have zero duration, so
+    /// the integral only accumulates across the timed charges between them.
+    pub fn memory_byte_seconds(&self) -> f64 {
+        let mut in_use: i64 = 0;
+        let mut total = 0.0;
+        for ev in &self.events {
+            for &d in &ev.mem_delta {
+                in_use += d;
+            }
+            total += ev.dt * in_use.max(0) as f64;
+        }
+        total
+    }
+
     /// Per-label cost decomposition, ordered by first appearance.
     pub fn breakdown(&self) -> Vec<LabelCost> {
         let mut rows: Vec<LabelCost> = Vec::new();
@@ -450,6 +474,33 @@ mod tests {
         j.push(ev(EventKind::Barrier, "execute", "barrier", 0.25));
         assert_eq!(j.fault_seconds(), 5.0);
         assert_eq!(Journal::new().fault_seconds(), 0.0);
+    }
+
+    #[test]
+    fn memory_byte_seconds_integrates_in_use_over_time() {
+        let mut j = Journal::new();
+        let mut alloc = ev(EventKind::Alloc, "load", "load", 0.0);
+        alloc.mem_delta = vec![100, 100]; // 200 B in use
+        j.push(alloc);
+        j.push(ev(EventKind::Compute, "execute", "superstep", 2.0)); // 400 B·s
+        let mut free = ev(EventKind::Free, "execute", "superstep", 0.0);
+        free.mem_delta = vec![-100, 0]; // 100 B in use
+        j.push(free);
+        j.push(ev(EventKind::Compute, "execute", "superstep", 3.0)); // 300 B·s
+        assert_eq!(j.memory_byte_seconds(), 700.0);
+        assert_eq!(Journal::new().memory_byte_seconds(), 0.0);
+    }
+
+    #[test]
+    fn bytes_moved_sums_network_and_disk() {
+        let mut j = Journal::new();
+        let mut net = ev(EventKind::Network, "execute", "shuffle", 1.0);
+        net.net_bytes = 500;
+        let mut disk = ev(EventKind::HdfsWrite, "save", "save", 1.0);
+        disk.disk_bytes = 250;
+        j.push(net);
+        j.push(disk);
+        assert_eq!(j.bytes_moved(), 750);
     }
 
     #[test]
