@@ -9,22 +9,28 @@
 //! * **shuffle** — the legacy sort-based shuffle vs the zero-sort radix
 //!   path, at full thread count, written to `BENCH_shuffle.json`.
 //!
-//! A third **seeds** axis times the same cells across the configured
+//! A third **chunk** axis sweeps the intra-machine sub-chunk size
+//! (`GRAPHBENCH_CHUNK`) at full thread count — from near-degenerate tiny
+//! chunks through the default 4096 to one-chunk-per-machine — and writes
+//! the wall-clock curve to `BENCH_chunk.json`.
+//!
+//! A fourth **seeds** axis times the same cells across the configured
 //! `GRAPHBENCH_SEEDS` sweep and reports the per-seed wall-clock plus the
 //! simulated-total spread, written to `BENCH_seeds.json` (a single seed
 //! still writes the file, with a degenerate one-sample summary).
 //!
-//! Both axes check that the serialized records are bit-for-bit identical
-//! across the compared configurations: neither the thread count nor the
-//! shuffle data path may change any simulated metric — only the real time
-//! to produce them.
+//! Every axis checks that the serialized records are bit-for-bit identical
+//! across the compared configurations: neither the thread count, the
+//! shuffle data path, nor the chunk size may change any simulated metric —
+//! only the real time to produce them.
 //!
 //! Scale with `GRAPHBENCH_BASE` (default 1500); larger bases give the
 //! executor more per-machine work per superstep and therefore better
 //! speedups. **Run on a multi-core host**: on a single-core machine the
-//! threads axis degenerates to 1-vs-1 and the shuffle axis loses the
+//! threads axis degenerates to 1-vs-1, the shuffle axis loses the
 //! memory-bandwidth contention that makes the sort path's extra passes
-//! expensive, so both JSONs will understate the gap.
+//! expensive, and the chunk sweep collapses to claim-overhead noise (no
+//! threads compete for chunks), so the JSONs will understate the gaps.
 
 use graphbench::runner::ExperimentSpec;
 use graphbench::system::SystemId;
@@ -75,6 +81,27 @@ struct ShuffleReport {
 }
 
 #[derive(Serialize)]
+struct ChunkRow {
+    system: String,
+    workload: &'static str,
+    /// Wall-clock seconds per chunk size, in `chunk_sizes` order.
+    secs: Vec<f64>,
+    /// Slowest chunk size over fastest — how much tuning can matter.
+    worst_over_best: f64,
+    records_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ChunkReport {
+    host_cores: usize,
+    threads: usize,
+    scale_base: u64,
+    /// The swept `GRAPHBENCH_CHUNK` values.
+    chunk_sizes: Vec<usize>,
+    rows: Vec<ChunkRow>,
+}
+
+#[derive(Serialize)]
 struct SeedRow {
     system: String,
     workload: &'static str,
@@ -93,17 +120,20 @@ struct SeedsReport {
 }
 
 /// Wall-clock seconds for `reps` runs of `spec` at `threads` host threads
-/// under `shuffle` (`None` keeps the process-wide mode), plus the serialized
-/// record of the last run (for the identity check).
+/// under `shuffle` and `chunk` (`None` keeps the process-wide mode /
+/// default chunk size), plus the serialized record of the last run (for
+/// the identity check).
 fn time_runs(
     threads: usize,
     shuffle: Option<ShuffleMode>,
+    chunk: Option<usize>,
     spec: &ExperimentSpec,
     reps: u32,
 ) -> (f64, String) {
     let mut runner = graphbench_repro::runner();
     runner.threads = Some(threads);
     runner.shuffle = shuffle;
+    runner.chunk = chunk;
     runner.run(spec); // warm the dataset cache outside the timed region
     let start = Instant::now();
     let mut json = String::new();
@@ -137,8 +167,8 @@ fn main() {
     let mut rows = Vec::new();
     for (system, workload) in cells {
         let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
-        let (serial_secs, serial_json) = time_runs(1, None, &spec, reps);
-        let (parallel_secs, parallel_json) = time_runs(ncores, None, &spec, reps);
+        let (serial_secs, serial_json) = time_runs(1, None, None, &spec, reps);
+        let (parallel_secs, parallel_json) = time_runs(ncores, None, None, &spec, reps);
         let row = Row {
             system: system.label(),
             workload: workload.name(),
@@ -175,8 +205,9 @@ fn main() {
     let mut srows = Vec::new();
     for (system, workload) in cells {
         let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
-        let (sort_secs, sort_json) = time_runs(ncores, Some(ShuffleMode::Sort), &spec, reps);
-        let (radix_secs, radix_json) = time_runs(ncores, Some(ShuffleMode::Radix), &spec, reps);
+        let (sort_secs, sort_json) = time_runs(ncores, Some(ShuffleMode::Sort), None, &spec, reps);
+        let (radix_secs, radix_json) =
+            time_runs(ncores, Some(ShuffleMode::Radix), None, &spec, reps);
         let row = ShuffleRow {
             system: system.label(),
             workload: workload.name(),
@@ -207,9 +238,55 @@ fn main() {
     };
     std::fs::write("BENCH_shuffle.json", serde_json::to_string_pretty(&sreport).unwrap())
         .expect("write BENCH_shuffle.json");
-    println!("\ngeomean shuffle speedup {shuffle_geomean:.2}x -> BENCH_shuffle.json");
+    println!("\ngeomean shuffle speedup {shuffle_geomean:.2}x -> BENCH_shuffle.json\n");
 
-    // Axis 3: the seed sweep — per-seed wall-clock and the simulated
+    // Axis 3: chunk-size sweep at full thread count. Tiny chunks pay the
+    // atomic claim per handful of items; huge chunks degenerate to one
+    // chunk per machine (no intra-machine parallelism). The records must
+    // be identical at every size.
+    let chunk_sizes: Vec<usize> = vec![64, 512, 4096, 32_768, 1_000_000_000];
+    let mut crows = Vec::new();
+    for (system, workload) in cells {
+        let spec = ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 };
+        let mut secs = Vec::new();
+        let mut jsons = Vec::new();
+        for &chunk in &chunk_sizes {
+            let (s, j) = time_runs(ncores, None, Some(chunk), &spec, reps);
+            secs.push(s);
+            jsons.push(j);
+        }
+        let best = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = secs.iter().cloned().fold(0.0, f64::max);
+        let row = ChunkRow {
+            system: system.label(),
+            workload: workload.name(),
+            secs,
+            worst_over_best: worst / best,
+            records_identical: jsons.iter().all(|j| *j == jsons[0]),
+        };
+        println!(
+            "{:>4} {:8}  chunk sweep {:?}  worst/best {:5.2}x  identical {}",
+            row.system,
+            row.workload,
+            row.secs.iter().map(|s| (s * 1e4).round() / 1e4).collect::<Vec<_>>(),
+            row.worst_over_best,
+            row.records_identical
+        );
+        assert!(row.records_identical, "{}/{} record diverged", row.system, row.workload);
+        crows.push(row);
+    }
+    let creport = ChunkReport {
+        host_cores: ncores,
+        threads: ncores,
+        scale_base: graphbench_repro::scale().base,
+        chunk_sizes: chunk_sizes.clone(),
+        rows: crows,
+    };
+    std::fs::write("BENCH_chunk.json", serde_json::to_string_pretty(&creport).unwrap())
+        .expect("write BENCH_chunk.json");
+    println!("\nchunk sweep {chunk_sizes:?} -> BENCH_chunk.json");
+
+    // Axis 4: the seed sweep — per-seed wall-clock and the simulated
     // spread the multi-seed methodology reports.
     let seeds = graphbench_repro::seeds();
     let mut runner = graphbench_repro::runner();

@@ -64,13 +64,18 @@ pub fn seed() -> u64 {
     std::env::var("GRAPHBENCH_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
 }
 
+static WARN_BAD_SEEDS: std::sync::Once = std::sync::Once::new();
+
 /// The configured seed sweep: `GRAPHBENCH_SEEDS` as a comma-separated
 /// list (duplicates removed, order kept), defaulting to the single
-/// [`seed`]. Unparseable entries are warned about on stderr and skipped;
-/// an entirely unparseable value falls back to the single-seed default.
+/// [`seed`]. Malformed entries are warned about once on stderr (matching
+/// the `GRAPHBENCH_THREADS`/`GRAPHBENCH_CHUNK` handling in the engines
+/// crate) and skipped; an entirely unparseable value falls back to the
+/// single-seed default.
 pub fn seeds() -> Vec<u64> {
     let Ok(raw) = std::env::var("GRAPHBENCH_SEEDS") else { return vec![seed()] };
     let mut out: Vec<u64> = Vec::new();
+    let mut bad: Vec<String> = Vec::new();
     for part in raw.split(',') {
         let part = part.trim();
         if part.is_empty() {
@@ -82,8 +87,17 @@ pub fn seeds() -> Vec<u64> {
                     out.push(s);
                 }
             }
-            Err(_) => eprintln!("GRAPHBENCH_SEEDS: ignoring unparseable seed {part:?}"),
+            Err(_) => bad.push(format!("{part:?}")),
         }
+    }
+    if !bad.is_empty() {
+        WARN_BAD_SEEDS.call_once(|| {
+            eprintln!(
+                "graphbench: GRAPHBENCH_SEEDS={raw:?} has non-integer entries ({}); \
+                 ignoring them",
+                bad.join(", ")
+            );
+        });
     }
     if out.is_empty() {
         vec![seed()]

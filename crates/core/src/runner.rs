@@ -98,6 +98,11 @@ pub struct Runner {
     /// defaulting to the available cores); `Some(1)` forces the legacy
     /// serial path. Thread count never changes any simulated metric.
     pub threads: Option<usize>,
+    /// Intra-machine sub-chunk size for the parallel executor. `None` keeps
+    /// the process-wide setting (the `GRAPHBENCH_CHUNK` environment
+    /// variable, defaulting to 4096). Chunk size never changes any
+    /// simulated metric — see the chunk-invariance test suite.
+    pub chunk: Option<usize>,
     /// Message-shuffle data path for the BSP runtime. `None` keeps the
     /// process-wide setting (the `GRAPHBENCH_SHUFFLE` environment variable,
     /// defaulting to the radix path). Shuffle mode never changes any
@@ -138,6 +143,7 @@ impl Runner {
             fixed_pr_iterations: 30,
             pr_tolerance: 1e-6,
             threads: None,
+            chunk: None,
             shuffle: None,
             faults: None,
         }
@@ -179,6 +185,9 @@ impl Runner {
     pub fn run(&mut self, spec: &ExperimentSpec) -> RunRecord {
         if let Some(t) = self.threads {
             graphbench_engines::exec::set_threads(t);
+        }
+        if let Some(c) = self.chunk {
+            graphbench_engines::exec::set_chunk_size(c);
         }
         if let Some(s) = self.shuffle {
             graphbench_engines::shuffle::set_mode(s);

@@ -287,12 +287,19 @@ fn run_block_mode(
     // through the unified recovery layer; the vertex-centric tail of block
     // PageRank delegates to `run_bsp`, which brings its own replay.
     let mut recovery = Recovery::new(cluster, RecoveryModel::QueryRestart);
+    // Flat vertex→machine table, computed once and shared by every workload
+    // below (the two-level block lookup was two dependent loads per
+    // neighbor, and re-deriving the table per workload re-allocated O(n)).
+    let machine_of = blocks.vertex_assignment();
     let result = match input.workload {
-        Workload::Wcc => WorkloadResult::Labels(block_wcc(cluster, input, &blocks, &mut recovery)?),
+        Workload::Wcc => {
+            WorkloadResult::Labels(block_wcc(cluster, input, &blocks, &machine_of, &mut recovery)?)
+        }
         Workload::Sssp { source } => WorkloadResult::Distances(block_traversal(
             cluster,
             input,
             &blocks,
+            &machine_of,
             source,
             u32::MAX,
             &mut recovery,
@@ -301,13 +308,19 @@ fn run_block_mode(
             cluster,
             input,
             &blocks,
+            &machine_of,
             source,
             k,
             &mut recovery,
         )?),
-        Workload::PageRank(pr) => {
-            WorkloadResult::Ranks(block_pagerank(cluster, input, &blocks, pr, &mut recovery)?)
-        }
+        Workload::PageRank(pr) => WorkloadResult::Ranks(block_pagerank(
+            cluster,
+            input,
+            &blocks,
+            &machine_of,
+            pr,
+            &mut recovery,
+        )?),
     };
 
     cluster.begin_phase(Phase::Save);
@@ -325,6 +338,7 @@ fn block_wcc(
     cluster: &mut Cluster,
     input: &EngineInput<'_>,
     blocks: &BlockPartition,
+    machine_of: &[u32],
     recovery: &mut Recovery,
 ) -> Result<Vec<VertexId>, SimError> {
     let machines = cluster.machines();
@@ -339,7 +353,6 @@ fn block_wcc(
         }
         x
     }
-    let machine_of = blocks.vertex_assignment();
     let mut ops0 = vec![0.0f64; machines];
     for e in &input.edges.edges {
         let (bs, bd) = (blocks.block_of[e.src as usize], blocks.block_of[e.dst as usize]);
@@ -410,12 +423,19 @@ fn block_wcc(
         comps: Vec<u32>,
         active: Vec<bool>,
     }
-    struct WccStep {
+    /// Per-chunk output, pooled across supersteps.
+    struct WccOut {
         ops: f64,
         sent: u64,
         msgs: u64,
         recv_by: Vec<u64>,
         updates: Vec<(u32, VertexId)>,
+    }
+    struct WccTask<'a> {
+        machine: usize,
+        comps: &'a [u32],
+        active: &'a mut [bool],
+        out: &'a mut WccOut,
     }
     let mut shards: Vec<WccShard> = comps_by_machine
         .into_iter()
@@ -428,48 +448,105 @@ fn block_wcc(
     let mut sent = vec![0u64; machines];
     let mut recv = vec![0u64; machines];
     let mut msgs = vec![0u64; machines];
+    let mut pool: Vec<WccOut> = Vec::new();
     loop {
         cluster.set_label("superstep");
-        let steps: Vec<WccStep> = exec::run_machines(&mut shards, |mc, shard| {
-            let mut ops = 0.0f64;
-            let mut sent = 0u64;
-            let mut msgs = 0u64;
-            let mut recv_by = vec![0u64; machines];
-            let mut updates: Vec<(u32, VertexId)> = Vec::new();
-            for (i, &c) in shard.comps.iter().enumerate() {
-                if !shard.active[i] {
+        // Each machine's shard splits into degree-aware sub-spans (an inert
+        // component weighs 1, an active one 1 + its adjacency) so one hub
+        // component cannot serialize its machine. Candidates land in pooled
+        // per-chunk buckets concatenated in span order, which is exactly the
+        // serial scan order: emission reads only the frozen labels.
+        let spans_by: Vec<Vec<(usize, usize)>> = shards
+            .iter()
+            .map(|shard| {
+                let weights: Vec<u64> =
+                    shard
+                        .comps
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            if shard.active[i] {
+                                1 + comp_adj[c as usize].len() as u64
+                            } else {
+                                1
+                            }
+                        })
+                        .collect();
+                exec::weighted_spans(&weights, exec::chunk_size())
+            })
+            .collect();
+        let total: usize = spans_by.iter().map(|s| s.len()).sum();
+        while pool.len() < total {
+            pool.push(WccOut {
+                ops: 0.0,
+                sent: 0,
+                msgs: 0,
+                recv_by: vec![0u64; machines],
+                updates: Vec::new(),
+            });
+        }
+        let mut tasks: Vec<WccTask<'_>> = Vec::with_capacity(total);
+        let mut pool_rest: &mut [WccOut] = &mut pool;
+        for ((shard, spans), mc) in shards.iter_mut().zip(&spans_by).zip(0..) {
+            let mut act: &mut [bool] = &mut shard.active;
+            for &(s, e) in spans {
+                let (win, rest) = std::mem::take(&mut act).split_at_mut(e - s);
+                act = rest;
+                let (out, prest) = std::mem::take(&mut pool_rest).split_at_mut(1);
+                pool_rest = prest;
+                tasks.push(WccTask {
+                    machine: mc,
+                    comps: &shard.comps[s..e],
+                    active: win,
+                    out: &mut out[0],
+                });
+            }
+        }
+        exec::run_chunks(&mut tasks, |_, t| {
+            let out = &mut *t.out;
+            out.ops = 0.0;
+            out.sent = 0;
+            out.msgs = 0;
+            out.recv_by.fill(0);
+            out.updates.clear();
+            for (i, &c) in t.comps.iter().enumerate() {
+                if !t.active[i] {
                     continue;
                 }
                 let c = c as usize;
-                ops += (1 + comp_adj[c].len()) as f64;
-                for &t in &comp_adj[c] {
-                    if comp_label[c] < comp_label[t as usize] {
-                        updates.push((t, comp_label[c]));
-                        let mt = comp_machine[t as usize];
-                        if mt != mc {
-                            sent += 8;
-                            recv_by[mt] += 8;
-                            msgs += 1;
+                out.ops += (1 + comp_adj[c].len()) as f64;
+                for &tt in &comp_adj[c] {
+                    if comp_label[c] < comp_label[tt as usize] {
+                        out.updates.push((tt, comp_label[c]));
+                        let mt = comp_machine[tt as usize];
+                        if mt != t.machine {
+                            out.sent += 8;
+                            out.recv_by[mt] += 8;
+                            out.msgs += 1;
                         }
                     }
                 }
-                shard.active[i] = false;
+                t.active[i] = false;
             }
-            WccStep { ops, sent, msgs, recv_by, updates }
         });
+        // Per-machine folds of integer-valued f64 ops and u64 byte counts
+        // are exact at any chunk boundary, so the charged metrics match the
+        // serial path bit for bit.
         let mut any_updates = false;
-        for (mc, step) in steps.iter().enumerate() {
-            ops[mc] = step.ops;
-            sent[mc] = step.sent;
-            msgs[mc] = step.msgs;
-            any_updates |= !step.updates.is_empty();
-        }
+        ops.fill(0.0);
+        sent.fill(0);
+        msgs.fill(0);
         recv.fill(0);
-        for step in &steps {
-            for (j, &b) in step.recv_by.iter().enumerate() {
+        for t in &tasks {
+            ops[t.machine] += t.out.ops;
+            sent[t.machine] += t.out.sent;
+            msgs[t.machine] += t.out.msgs;
+            any_updates |= !t.out.updates.is_empty();
+            for (j, &b) in t.out.recv_by.iter().enumerate() {
                 recv[j] += b;
             }
         }
+        drop(tasks);
         cluster.set_label("superstep");
         cluster.advance_compute(&ops, input.cluster.cores)?;
         cluster.set_label("shuffle");
@@ -480,8 +557,11 @@ fn block_wcc(
         if !any_updates {
             break;
         }
-        for step in steps {
-            for (t, l) in step.updates {
+        // Min-fold in chunk order = serial machine order; a component turns
+        // active iff some candidate beats its label, which is independent of
+        // the order improvements arrive in.
+        for out in pool.iter().take(total) {
+            for &(t, l) in &out.updates {
                 if l < comp_label[t as usize] {
                     comp_label[t as usize] = l;
                     shards[comp_machine[t as usize]].active[comp_slot[t as usize] as usize] = true;
@@ -498,6 +578,7 @@ fn block_traversal(
     cluster: &mut Cluster,
     input: &EngineInput<'_>,
     blocks: &BlockPartition,
+    machine_of: &[u32],
     source: VertexId,
     max_depth: u32,
     recovery: &mut Recovery,
@@ -507,30 +588,36 @@ fn block_traversal(
     let g = input.graph;
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
-    // Flat vertex→machine table: the BFS inner loop below charges a message
-    // per cross-machine edge, and the two-level block lookup was two
-    // dependent loads per neighbor.
-    let machine_of = blocks.vertex_assignment();
 
-    // Blocks grouped by owning machine: each worker runs the serial BFS over
-    // its own machine's pending blocks. The shared `dist` array is frozen for
-    // the duration of a superstep — a worker sees its *own* intra-block
-    // writes through a private overlay and reports them (plus cross-block
-    // candidates) back to the coordinator, which applies everything in
-    // machine-index order. The outcome is therefore identical at any host
-    // thread count.
+    // Blocks grouped by owning machine, then split into degree-aware spans
+    // of whole blocks: the serial BFS inside a block is the atomic unit, so
+    // a chunk runs one or more blocks end to end. The shared `dist` array is
+    // frozen for the duration of a superstep — a chunk sees its own blocks'
+    // writes through a private overlay and records, per block, the distance
+    // writes plus every cross-block candidate that beats the frozen table.
+    // The serial path additionally suppressed candidates already improved by
+    // an *earlier block of the same machine* (the overlay was shared per
+    // worker), so a serial replay below re-applies that filter in block
+    // order before any candidate is counted or sent.
     struct TravShard {
         blocks: Vec<u32>,
         pending: Vec<Vec<VertexId>>,
     }
-    struct TravStep {
-        ops: f64,
-        sent: u64,
-        msgs: u64,
-        recv_by: Vec<u64>,
-        outgoing: Vec<(VertexId, u32)>,
+    /// One block's superstep output.
+    struct BlockOut {
+        attempts: Vec<(VertexId, u32)>,
         writes: Vec<(VertexId, u32)>,
         ran: bool,
+    }
+    /// Per-chunk output, pooled across supersteps.
+    struct TravOut {
+        ops: u64,
+        blocks_out: Vec<BlockOut>,
+    }
+    struct TravTask<'a> {
+        blocks: &'a [u32],
+        pending: &'a mut [Vec<VertexId>],
+        out: &'a mut TravOut,
     }
     let mut shards: Vec<TravShard> =
         (0..machines).map(|_| TravShard { blocks: Vec::new(), pending: Vec::new() }).collect();
@@ -547,68 +634,136 @@ fn block_traversal(
         shards[mb].pending[slot as usize].push(source);
     }
 
+    fn read(overlay: &HashMap<VertexId, u32>, dist: &[u32], v: VertexId) -> u32 {
+        overlay.get(&v).copied().unwrap_or(dist[v as usize])
+    }
+    // Degree-aware chunk weight per block, computed once: a pending block
+    // costs up to its total out-degree to scan, an idle one costs a skip.
+    let block_weight: Vec<u64> = (0..blocks.num_blocks())
+        .map(|b| 1 + blocks.blocks[b].iter().map(|&v| g.out_degree(v)).sum::<u64>())
+        .collect();
+    let mut pool: Vec<TravOut> = Vec::new();
+    let mut chunk_machine: Vec<usize> = Vec::new();
+    let mut overlay: HashMap<VertexId, u32> = HashMap::new();
     loop {
         cluster.set_label("superstep");
-        let steps: Vec<TravStep> = exec::run_machines(&mut shards, |mb, shard| {
-            let mut ops = 0u64;
-            let mut sent = 0u64;
-            let mut msgs = 0u64;
-            let mut recv_by = vec![0u64; machines];
-            let mut outgoing: Vec<(VertexId, u32)> = Vec::new();
-            // This worker's intra-block distance writes this superstep.
-            let mut overlay: HashMap<VertexId, u32> = HashMap::new();
-            fn read(overlay: &HashMap<VertexId, u32>, dist: &[u32], v: VertexId) -> u32 {
-                overlay.get(&v).copied().unwrap_or(dist[v as usize])
+        let spans_by: Vec<Vec<(usize, usize)>> = shards
+            .iter()
+            .map(|shard| {
+                let weights: Vec<u64> = shard
+                    .blocks
+                    .iter()
+                    .zip(&shard.pending)
+                    .map(
+                        |(&b, pending)| {
+                            if pending.is_empty() {
+                                1
+                            } else {
+                                block_weight[b as usize]
+                            }
+                        },
+                    )
+                    .collect();
+                exec::weighted_spans(&weights, exec::chunk_size())
+            })
+            .collect();
+        let total: usize = spans_by.iter().map(|s| s.len()).sum();
+        while pool.len() < total {
+            pool.push(TravOut { ops: 0, blocks_out: Vec::new() });
+        }
+        chunk_machine.clear();
+        let mut tasks: Vec<TravTask<'_>> = Vec::with_capacity(total);
+        let mut pool_rest: &mut [TravOut] = &mut pool;
+        for ((shard, spans), mb) in shards.iter_mut().zip(&spans_by).zip(0..) {
+            let mut pend: &mut [Vec<VertexId>] = &mut shard.pending;
+            for &(s, e) in spans {
+                let (win, rest) = std::mem::take(&mut pend).split_at_mut(e - s);
+                pend = rest;
+                let (out, prest) = std::mem::take(&mut pool_rest).split_at_mut(1);
+                pool_rest = prest;
+                chunk_machine.push(mb);
+                tasks.push(TravTask {
+                    blocks: &shard.blocks[s..e],
+                    pending: win,
+                    out: &mut out[0],
+                });
             }
-            let mut ran = false;
-            for (i, &b) in shard.blocks.iter().enumerate() {
-                if shard.pending[i].is_empty() {
-                    continue;
-                }
-                ran = true;
-                // Serial BFS within the block from all seeds.
-                let mut q: VecDeque<VertexId> = shard.pending[i].drain(..).collect();
-                while let Some(v) = q.pop_front() {
-                    let d = read(&overlay, &dist, v);
-                    if d >= max_depth {
-                        continue;
-                    }
-                    for &t in g.out_neighbors(v) {
-                        ops += 1;
-                        if read(&overlay, &dist, t) <= d + 1 {
+        }
+        let dist_r: &[u32] = &dist;
+        exec::run_chunks(&mut tasks, |_, t| {
+            let out = &mut *t.out;
+            out.ops = 0;
+            out.blocks_out.clear();
+            for (i, &b) in t.blocks.iter().enumerate() {
+                let mut bo = BlockOut { attempts: Vec::new(), writes: Vec::new(), ran: false };
+                if !t.pending[i].is_empty() {
+                    bo.ran = true;
+                    // Serial BFS within the block from all seeds; the
+                    // overlay holds only this block's writes (intra-block
+                    // targets are block-local by construction).
+                    let mut overlay: HashMap<VertexId, u32> = HashMap::new();
+                    let mut q: VecDeque<VertexId> = t.pending[i].drain(..).collect();
+                    while let Some(v) = q.pop_front() {
+                        let d = read(&overlay, dist_r, v);
+                        if d >= max_depth {
                             continue;
                         }
-                        if blocks.block_of[t as usize] == b {
-                            overlay.insert(t, d + 1);
-                            q.push_back(t);
-                        } else {
-                            outgoing.push((t, d + 1));
-                            let mt = machine_of[t as usize] as usize;
-                            if mt != mb {
-                                sent += 8;
-                                recv_by[mt] += 8;
-                                msgs += 1;
+                        for &t2 in g.out_neighbors(v) {
+                            out.ops += 1;
+                            if read(&overlay, dist_r, t2) <= d + 1 {
+                                continue;
+                            }
+                            if blocks.block_of[t2 as usize] == b {
+                                overlay.insert(t2, d + 1);
+                                q.push_back(t2);
+                            } else {
+                                bo.attempts.push((t2, d + 1));
                             }
                         }
                     }
+                    bo.writes = overlay.into_iter().collect();
+                    bo.writes.sort_unstable();
                 }
+                out.blocks_out.push(bo);
             }
-            let mut writes: Vec<(VertexId, u32)> = overlay.into_iter().collect();
-            writes.sort_unstable();
-            TravStep { ops: ops as f64, sent, msgs, recv_by, outgoing, writes, ran }
         });
+        drop(tasks);
+        // Serial replay in (machine, block) order: rebuild each machine's
+        // shared overlay from the per-block writes and keep only the
+        // candidates the serial worker would have emitted. A block's own
+        // writes never target its cross-block candidates, so interleaving
+        // "filter attempts, then absorb writes" per block is exact.
         let mut ops = vec![0.0f64; machines];
         let mut sent = vec![0u64; machines];
         let mut recv = vec![0u64; machines];
         let mut msgs = vec![0u64; machines];
         let mut any = false;
-        for (mb, step) in steps.iter().enumerate() {
-            ops[mb] = step.ops;
-            sent[mb] = step.sent;
-            msgs[mb] = step.msgs;
-            any |= step.ran;
-            for (j, &bytes) in step.recv_by.iter().enumerate() {
-                recv[j] += bytes;
+        let mut outgoing: Vec<(VertexId, u32)> = Vec::new();
+        let mut cur_machine = usize::MAX;
+        for (c, out) in pool.iter().take(total).enumerate() {
+            let mb = chunk_machine[c];
+            if mb != cur_machine {
+                cur_machine = mb;
+                overlay.clear();
+            }
+            ops[mb] += out.ops as f64;
+            for bo in &out.blocks_out {
+                any |= bo.ran;
+                for &(t, d2) in &bo.attempts {
+                    if read(&overlay, &dist, t) <= d2 {
+                        continue;
+                    }
+                    outgoing.push((t, d2));
+                    let mt = machine_of[t as usize] as usize;
+                    if mt != mb {
+                        sent[mb] += 8;
+                        recv[mt] += 8;
+                        msgs[mb] += 1;
+                    }
+                }
+                for &(t, d2) in &bo.writes {
+                    overlay.insert(t, d2);
+                }
             }
         }
         if !any {
@@ -621,21 +776,20 @@ fn block_traversal(
         cluster.set_label("barrier");
         cluster.barrier()?;
         recovery.at_barrier(cluster)?;
-        // Intra-block writes first (disjoint vertex sets per worker), then
+        // Intra-block writes first (disjoint vertex sets per block), then
         // cross-block candidates min-folded in machine order.
-        let mut steps = steps;
-        for step in &mut steps {
-            for (t, d) in step.writes.drain(..) {
-                dist[t as usize] = d;
+        for out in pool.iter().take(total) {
+            for bo in &out.blocks_out {
+                for &(t, d) in &bo.writes {
+                    dist[t as usize] = d;
+                }
             }
         }
-        for step in steps {
-            for (t, d) in step.outgoing {
-                if d < dist[t as usize] {
-                    dist[t as usize] = d;
-                    let (mb, slot) = block_slot[blocks.block_of[t as usize] as usize];
-                    shards[mb].pending[slot as usize].push(t);
-                }
+        for (t, d) in outgoing.drain(..) {
+            if d < dist[t as usize] {
+                dist[t as usize] = d;
+                let (mb, slot) = block_slot[blocks.block_of[t as usize] as usize];
+                shards[mb].pending[slot as usize].push(t);
             }
         }
     }
@@ -651,6 +805,7 @@ fn block_pagerank(
     cluster: &mut Cluster,
     input: &EngineInput<'_>,
     blocks: &BlockPartition,
+    machine_of: &[u32],
     pr: PageRankConfig,
     recovery: &mut Recovery,
 ) -> Result<Vec<f64>, SimError> {
@@ -673,11 +828,16 @@ fn block_pagerank(
             }
         }
         // Blocks only read and write their own vertices here, so whole
-        // blocks fan out across host threads grouped by owning machine;
-        // each worker returns its final ranks and the coordinator scatters
-        // them (disjoint vertex sets) in machine-index order.
-        struct PrStep {
-            ops: f64,
+        // blocks fan out across host threads: grouped by owning machine for
+        // metric attribution, then split into degree-aware spans of whole
+        // blocks so one giant block cannot serialize its machine. Every
+        // block's f64 arithmetic runs entirely inside one chunk, and the
+        // u64 op counts sum order-free, so metrics and ranks are identical
+        // to the serial path at any chunk or thread count.
+        struct PrTask<'a> {
+            machine: usize,
+            blocks_list: &'a [u32],
+            ops: u64,
             ranks: Vec<(VertexId, f64)>,
         }
         let mut block_shards: Vec<Vec<u32>> = vec![Vec::new(); machines];
@@ -685,12 +845,28 @@ fn block_pagerank(
             block_shards[blocks.machine_of_block[b] as usize].push(b as u32);
         }
         cluster.set_label("block_local");
-        let steps: Vec<PrStep> = exec::run_machines(&mut block_shards, |_mb, mine| {
+        let mut tasks: Vec<PrTask<'_>> = Vec::new();
+        for (mb, mine) in block_shards.iter().enumerate() {
+            let weights: Vec<u64> = mine
+                .iter()
+                .map(|&b| {
+                    1 + blocks.blocks[b as usize].iter().map(|&v| g.out_degree(v)).sum::<u64>()
+                })
+                .collect();
+            for &(s, e) in &exec::weighted_spans(&weights, exec::chunk_size()) {
+                tasks.push(PrTask {
+                    machine: mb,
+                    blocks_list: &mine[s..e],
+                    ops: 0,
+                    ranks: Vec::new(),
+                });
+            }
+        }
+        exec::run_chunks(&mut tasks, |_, t| {
             let mut block_ops = 0u64;
-            let mut ranks: Vec<(VertexId, f64)> = Vec::new();
             let mut rank: HashMap<VertexId, f64> = HashMap::new();
             let mut incoming: HashMap<VertexId, f64> = HashMap::new();
-            for &b in mine.iter() {
+            for &b in t.blocks_list.iter() {
                 let verts = &blocks.blocks[b as usize];
                 rank.clear();
                 for _ in 0..max_local_iters {
@@ -701,10 +877,10 @@ fn block_pagerank(
                             continue;
                         }
                         let share = rank.get(&v).copied().unwrap_or(1.0) / deg as f64;
-                        for &t in g.out_neighbors(v) {
+                        for &t2 in g.out_neighbors(v) {
                             block_ops += 1;
-                            if blocks.block_of[t as usize] == b {
-                                *incoming.entry(t).or_insert(0.0) += share;
+                            if blocks.block_of[t2 as usize] == b {
+                                *incoming.entry(t2).or_insert(0.0) += share;
                             }
                         }
                     }
@@ -722,17 +898,17 @@ fn block_pagerank(
                     }
                 }
                 for &v in verts {
-                    ranks.push((v, rank.get(&v).copied().unwrap_or(1.0)));
+                    t.ranks.push((v, rank.get(&v).copied().unwrap_or(1.0)));
                 }
             }
-            PrStep { ops: block_ops as f64, ranks }
+            t.ops = block_ops;
         });
         let mut ops = vec![0.0f64; machines];
-        for (mb, step) in steps.iter().enumerate() {
-            ops[mb] = step.ops;
+        for t in &tasks {
+            ops[t.machine] += t.ops as f64;
         }
-        for step in steps {
-            for (v, r) in step.ranks {
+        for t in tasks {
+            for (v, r) in t.ranks {
                 local_pr[v as usize] = r;
             }
         }
@@ -793,16 +969,16 @@ fn block_pagerank(
     // Phase 2: vertex-centric PageRank seeded with local_pr * block_pr.
     let init: Vec<f64> =
         (0..n).map(|v| local_pr[v] * block_pr[blocks.block_of[v] as usize]).collect();
-    let part = block_placement_as_edge_cut(blocks, machines);
+    let part = block_placement_as_edge_cut(machine_of, machines);
     let mut prog = PageRankProgram::with_init(pr, init);
     let cfg = BspConfig { cores_for_compute: input.cluster.cores, ..BspConfig::default() };
     Ok(run_bsp(cluster, g, &part, &mut prog, &cfg)?.states)
 }
 
 /// Adapt the block→machine placement into the vertex→machine form the BSP
-/// runtime consumes.
-fn block_placement_as_edge_cut(blocks: &BlockPartition, machines: usize) -> EdgeCutPartition {
-    EdgeCutPartition::from_assignment(blocks.vertex_assignment(), machines)
+/// runtime consumes, reusing the flat table computed once per run.
+fn block_placement_as_edge_cut(machine_of: &[u32], machines: usize) -> EdgeCutPartition {
+    EdgeCutPartition::from_assignment(machine_of.to_vec(), machines)
 }
 
 #[cfg(test)]

@@ -130,6 +130,67 @@ pub fn set_chunk_size(n: usize) {
     CHUNK.store(n.max(1), Ordering::Relaxed);
 }
 
+/// Split `weights.len()` items into contiguous spans of roughly
+/// `chunk_items × mean-weight` cumulative weight each, returned as
+/// `(start, end)` half-open index ranges in ascending order.
+///
+/// This is the degree-aware counterpart of `slice::chunks(chunk_items)`:
+/// with uniform weights it produces the same spans, but when one item is a
+/// power-law hub carrying most of a machine's edges, the hub lands in a
+/// small (possibly single-item) span instead of dragging `chunk_items - 1`
+/// neighbours into the same host-thread task and serializing the machine.
+/// Span boundaries depend only on `(weights, chunk_items)` — never on the
+/// thread count — and every simulated metric is span-boundary-invariant by
+/// the same merge discipline that makes `GRAPHBENCH_CHUNK` a free tunable,
+/// so this is purely a host-side load-balancing choice.
+///
+/// Weights are typically `1 + degree(v)` so zero-degree runs still split.
+pub fn weighted_spans(weights: &[u64], chunk_items: usize) -> Vec<(usize, usize)> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk_items = chunk_items.max(1);
+    if chunk_items >= n {
+        return vec![(0, n)];
+    }
+    let total: u64 = weights.iter().sum();
+    // Integer mean, floored to at least 1: the target is heuristic (spans
+    // only steer scheduling), so cheap arithmetic beats exact division.
+    let target = (chunk_items as u64).saturating_mul((total / n as u64).max(1));
+    let mut spans = Vec::with_capacity(n / chunk_items + 1);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc = acc.saturating_add(w);
+        if acc >= target {
+            spans.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        spans.push((start, n));
+    }
+    spans
+}
+
+/// Uniform chunk spans over `len` items: contiguous `(start, end)`
+/// half-open ranges of `chunk_items` items each (last may be short),
+/// ascending. The unweighted sibling of [`weighted_spans`] for loops whose
+/// per-item cost is flat (apply loops, frontier scans, edge-list slices).
+pub fn uniform_spans(len: usize, chunk_items: usize) -> Vec<(usize, usize)> {
+    let chunk_items = chunk_items.max(1);
+    let mut spans = Vec::with_capacity(len / chunk_items + 1);
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + chunk_items).min(len);
+        spans.push((start, end));
+        start = end;
+    }
+    spans
+}
+
 /// Run `f(task_index, &mut tasks[task_index])` for every task and collect
 /// the results **in task-index order**.
 ///
@@ -373,6 +434,52 @@ mod tests {
         run_chunks(&mut hits, |_, h| *h += 1);
         assert!(hits.iter().all(|&h| h == 1));
         set_threads(1);
+    }
+
+    #[test]
+    fn weighted_spans_cover_every_index_exactly_once() {
+        for n in [0usize, 1, 2, 53, 200] {
+            for chunk in [1usize, 3, 97, 4096] {
+                let weights: Vec<u64> = (0..n).map(|i| 1 + (i as u64 * 7) % 13).collect();
+                let spans = weighted_spans(&weights, chunk);
+                let mut next = 0usize;
+                for &(s, e) in &spans {
+                    assert_eq!(s, next, "n={n} chunk={chunk}");
+                    assert!(e > s, "empty span at n={n} chunk={chunk}");
+                    next = e;
+                }
+                assert_eq!(next, n, "n={n} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_spans_match_uniform_chunks_on_uniform_weights() {
+        let weights = vec![1u64; 100];
+        let spans = weighted_spans(&weights, 16);
+        assert_eq!(spans.len(), 7);
+        assert!(spans[..6].iter().all(|&(s, e)| e - s == 16));
+        assert_eq!(spans[6], (96, 100));
+    }
+
+    #[test]
+    fn uniform_spans_tile_the_range() {
+        assert_eq!(uniform_spans(0, 7), Vec::<(usize, usize)>::new());
+        assert_eq!(uniform_spans(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(uniform_spans(3, 1_000_000_000), vec![(0, 3)]);
+        assert_eq!(uniform_spans(3, 0), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn weighted_spans_isolate_a_hub() {
+        // One hub carrying ~all the weight must not drag a full
+        // `chunk_items`-sized span of neighbours along with it.
+        let mut weights = vec![1u64; 1000];
+        weights[500] = 1_000_000;
+        let spans = weighted_spans(&weights, 64);
+        let hub_span = spans.iter().find(|&&(s, e)| s <= 500 && 500 < e).unwrap();
+        assert!(hub_span.1 - hub_span.0 <= 64);
+        assert_eq!(hub_span.1, 501, "span must cut immediately after the hub");
     }
 
     #[test]

@@ -132,11 +132,21 @@ struct SparkCtx<'a> {
     /// Lineage-recompute recovery: the rewind point is the last
     /// materialization (checkpoint) or execution start.
     recovery: Recovery,
-    /// Mirror-sync scratch: epoch stamp per machine plus the reused list of
-    /// a vertex's distinct replica machines (no per-vertex allocation).
-    sync_stamp: Vec<u32>,
-    sync_ms: Vec<usize>,
-    sync_epoch: u32,
+    /// Pooled per-chunk mirror-sync scratch, reused across supersteps.
+    sync_pool: Vec<MirrorScratch>,
+}
+
+/// One mirror-sync chunk task's private scratch: the epoch-stamped dedup of
+/// a vertex's distinct replica machines (as in the old serial path, now per
+/// chunk) plus the task's traffic counters, summed in fixed task order at
+/// merge. Pooled on [`SparkCtx::sync_pool`] so no superstep re-allocates it.
+struct MirrorScratch {
+    stamp: Vec<u32>,
+    ms: Vec<usize>,
+    epoch: u32,
+    sent: Vec<u64>,
+    recv: Vec<u64>,
+    msgs: Vec<u64>,
 }
 
 impl SparkCtx<'_> {
@@ -263,12 +273,19 @@ fn execute(
         &even_share(moved, machines),
         &even_share(input.edges.num_edges(), machines),
     )?;
+    // Chunk-parallel scatter into per-machine edge lists; order within each
+    // machine matches the serial loop, and the resident-byte tally is just
+    // each bucket's length.
     let mut edges_by_machine: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); machines];
+    crate::shuffle::par_scatter(
+        &input.edges.edges,
+        machines,
+        |i, e| (machine_of_slot[part.machine_of_edge(i) as usize], (e.src, e.dst)),
+        &mut edges_by_machine,
+    );
     let mut resident = vec![0u64; machines];
-    for (i, e) in input.edges.edges.iter().enumerate() {
-        let m = machine_of_slot[part.machine_of_edge(i) as usize];
-        edges_by_machine[m].push((e.src, e.dst));
-        resident[m] += profile.bytes_per_edge;
+    for (m, list) in edges_by_machine.iter().enumerate() {
+        resident[m] += list.len() as u64 * profile.bytes_per_edge;
     }
     let mut state_bytes_per_machine = vec![0u64; machines];
     for v in 0..n as VertexId {
@@ -303,9 +320,7 @@ fn execute(
         checkpoint_every: engine.checkpoint_every,
         result_state_bytes: n as u64 * 16,
         recovery: Recovery::new(cluster, RecoveryModel::LineageRecompute),
-        sync_stamp: vec![0; machines],
-        sync_ms: Vec::new(),
-        sync_epoch: 0,
+        sync_pool: Vec::new(),
     };
 
     cluster.begin_phase(Phase::Execute);
@@ -340,59 +355,121 @@ fn charge_compute(cluster: &mut Cluster, ctx: &SparkCtx<'_>, ops: &[f64]) -> Res
     cluster.advance_compute(&adjusted, 1)
 }
 
-/// Mirror synchronization across machines for changed vertices.
+/// Mirror synchronization across machines for changed vertices. Chunks of
+/// the changed list run in parallel, each with its own pooled epoch-stamp
+/// scratch and traffic counters; the per-vertex arithmetic is untouched and
+/// the u64 counter sums are order-free, so the exchanged bytes/messages are
+/// bit-identical to the serial path at any chunk x thread combination.
 fn mirror_sync(
     cluster: &mut Cluster,
     ctx: &mut SparkCtx<'_>,
     changed: &[VertexId],
 ) -> Result<(), SimError> {
-    let mut sent = vec![0u64; ctx.machines];
-    let mut recv = vec![0u64; ctx.machines];
-    let mut msgs = vec![0u64; ctx.machines];
+    let machines = ctx.machines;
     let part = ctx.part;
     let machine_of_slot = ctx.machine_of_slot;
-    for &v in changed {
-        // Epoch-stamped dedup of the replica machines into reused scratch
-        // (the old per-vertex collect + sort + dedup allocated on every
-        // changed vertex). The small distinct list is then sorted so the
-        // hash-based master pick sees the same ascending order as before.
-        if ctx.sync_epoch == u32::MAX {
-            ctx.sync_stamp.fill(0);
-            ctx.sync_epoch = 0;
-        }
-        ctx.sync_epoch += 1;
-        ctx.sync_ms.clear();
-        for &s in part.replicas_of(v) {
-            let m = machine_of_slot[s as usize];
-            if ctx.sync_stamp[m] != ctx.sync_epoch {
-                ctx.sync_stamp[m] = ctx.sync_epoch;
-                ctx.sync_ms.push(m);
+    let spans = exec::uniform_spans(changed.len(), exec::chunk_size());
+    let mut pool = std::mem::take(&mut ctx.sync_pool);
+    while pool.len() < spans.len() {
+        pool.push(MirrorScratch {
+            stamp: vec![0; machines],
+            ms: Vec::new(),
+            epoch: 0,
+            sent: vec![0; machines],
+            recv: vec![0; machines],
+            msgs: vec![0; machines],
+        });
+    }
+    // Label before the host work so its wallclock spans attribute to the
+    // shuffle (the exchange below is charged under the same label).
+    cluster.set_label("shuffle");
+    let mut tasks: Vec<(&[VertexId], &mut MirrorScratch)> =
+        spans.iter().zip(pool.iter_mut()).map(|(&(s, e), sc)| (&changed[s..e], sc)).collect();
+    exec::run_chunks(&mut tasks, |_, t| {
+        let (span, sc) = t;
+        sc.sent.fill(0);
+        sc.recv.fill(0);
+        sc.msgs.fill(0);
+        for &v in *span {
+            // Epoch-stamped dedup of the replica machines into reused
+            // scratch (no per-vertex allocation). The small distinct list
+            // is then sorted so the hash-based master pick sees the same
+            // ascending order as before.
+            if sc.epoch == u32::MAX {
+                sc.stamp.fill(0);
+                sc.epoch = 0;
             }
-        }
-        if ctx.sync_ms.len() > 1 {
-            ctx.sync_ms.sort_unstable();
-            // Hash-select the coordinating copy (always taking the lowest
-            // machine id would pile coordination onto machine 0).
-            let master =
-                ctx.sync_ms[(splitmix(v as u64 ^ 0xc0de) % ctx.sync_ms.len() as u64) as usize];
-            for &m in &ctx.sync_ms {
-                if m != master {
-                    sent[master] += 16;
-                    recv[m] += 16;
-                    msgs[master] += 1;
+            sc.epoch += 1;
+            sc.ms.clear();
+            for &s in part.replicas_of(v) {
+                let m = machine_of_slot[s as usize];
+                if sc.stamp[m] != sc.epoch {
+                    sc.stamp[m] = sc.epoch;
+                    sc.ms.push(m);
+                }
+            }
+            if sc.ms.len() > 1 {
+                sc.ms.sort_unstable();
+                // Hash-select the coordinating copy (always taking the
+                // lowest machine id would pile coordination onto machine 0).
+                let master = sc.ms[(splitmix(v as u64 ^ 0xc0de) % sc.ms.len() as u64) as usize];
+                for &m in &sc.ms {
+                    if m != master {
+                        sc.sent[master] += 16;
+                        sc.recv[m] += 16;
+                        sc.msgs[master] += 1;
+                    }
                 }
             }
         }
+    });
+    let mut sent = vec![0u64; machines];
+    let mut recv = vec![0u64; machines];
+    let mut msgs = vec![0u64; machines];
+    for (_, sc) in &tasks {
+        for m in 0..machines {
+            sent[m] += sc.sent[m];
+            recv[m] += sc.recv[m];
+            msgs[m] += sc.msgs[m];
+        }
     }
-    cluster.set_label("shuffle");
+    drop(tasks);
+    ctx.sync_pool = pool;
     cluster.exchange(&sent, &recv, &msgs)
 }
 
-/// One PageRank dataflow iteration over the edge partitions. One host
-/// worker per simulated machine accumulates a partial sum over its
-/// machine's edge partition; partials fold in machine-index order so the
-/// ranks are identical at any host thread count. Shared by the live loop
-/// and lineage-recompute replay (which discards `ops`). Returns the
+/// Gather-side state for the PageRank dataflow join, built once per run
+/// (the edge partitions are static): per-machine destination-keyed edge
+/// indexes — per-destination contributions keep edge-arrival order, so the
+/// f64 folds match the serial partition scan bit for bit — the degree-aware
+/// chunk plans over them, and the pooled dense partial-sum arrays that a
+/// fresh `vec![0.0; n]` per machine per iteration used to allocate.
+struct PrGather {
+    idx: Vec<crate::gas::EdgeIndex>,
+    plans: Vec<Vec<(usize, usize, usize)>>,
+    parts: Vec<Vec<f64>>,
+}
+
+impl PrGather {
+    fn build(ctx: &SparkCtx<'_>) -> PrGather {
+        let idx: Vec<crate::gas::EdgeIndex> = ctx
+            .edges_by_machine
+            .iter()
+            .map(|edges| crate::gas::EdgeIndex::build(ctx.n, edges, |&(_, dst)| dst))
+            .collect();
+        let plans = idx.iter().map(|i| crate::gas::gather_plan(i, ctx.n)).collect();
+        let parts = vec![vec![0.0f64; ctx.n]; ctx.machines];
+        PrGather { idx, plans, parts }
+    }
+}
+
+/// One PageRank dataflow iteration over the edge partitions. Chunk tasks
+/// each own a destination window of their machine's pooled dense partial
+/// array, so every destination's f64 sum folds entirely within one task in
+/// edge-arrival order; the per-machine partials then fold into `incoming`
+/// in machine-index order exactly as the serial path did. The ranks are
+/// bit-identical at any chunk x thread combination. Shared by the live
+/// loop and lineage-recompute replay (which discards `ops`). Returns the
 /// largest per-vertex rank change.
 fn pagerank_step(
     ctx: &SparkCtx<'_>,
@@ -401,31 +478,71 @@ fn pagerank_step(
     ranks: &mut [f64],
     incoming: &mut [f64],
     ops: &mut [f64],
+    pg: &mut PrGather,
 ) -> f64 {
     let n = ranks.len();
     let edges_by_machine = &ctx.edges_by_machine;
     let ranks_r: &[f64] = ranks;
-    let partials: Vec<Vec<f64>> = exec::for_machines(ctx.machines, |m| {
-        let mut part = vec![0.0f64; n];
-        for &(u, v) in &edges_by_machine[m] {
-            part[v as usize] += ranks_r[u as usize] / g.out_degree(u) as f64;
+    struct GatherTask<'t> {
+        machine: usize,
+        verts: &'t [VertexId],
+        base: usize,
+        window: &'t mut [f64],
+    }
+    let mut tasks: Vec<GatherTask<'_>> = Vec::new();
+    for (m, part) in pg.parts.iter_mut().enumerate() {
+        let mut rest: &mut [f64] = part;
+        let mut base = 0usize;
+        for &(gs, ge, wend) in &pg.plans[m] {
+            let (window, tail) = rest.split_at_mut(wend - base);
+            tasks.push(GatherTask { machine: m, verts: &pg.idx[m].verts()[gs..ge], base, window });
+            rest = tail;
+            base = wend;
         }
-        part
+    }
+    let idx = &pg.idx;
+    exec::run_chunks(&mut tasks, |_, t| {
+        t.window.fill(0.0);
+        let ix = &idx[t.machine];
+        let edges = &edges_by_machine[t.machine];
+        for &v in t.verts {
+            let mut sum = 0.0f64;
+            for &e in ix.of(v) {
+                let (u, _) = edges[e as usize];
+                sum += ranks_r[u as usize] / g.out_degree(u) as f64;
+            }
+            t.window[v as usize - t.base] = sum;
+        }
     });
+    drop(tasks);
     incoming.fill(0.0);
-    for (m, part) in partials.iter().enumerate() {
+    for (m, part) in pg.parts.iter().enumerate() {
         ops[m] = edges_by_machine[m].len() as f64;
         for (acc, p) in incoming.iter_mut().zip(part) {
             *acc += p;
         }
     }
-    let mut max_delta = 0.0f64;
-    for v in 0..n {
-        let new = cfg.damping + (1.0 - cfg.damping) * incoming[v];
-        max_delta = max_delta.max((new - ranks[v]).abs());
-        ranks[v] = new;
+    // Chunked apply over disjoint rank windows; the per-chunk max deltas
+    // fold in chunk order (f64 max over non-negative values is exact).
+    let mut atasks: Vec<(usize, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = ranks;
+    for &(s, e) in &exec::uniform_spans(n, exec::chunk_size()) {
+        let (window, tail) = rest.split_at_mut(e - s);
+        atasks.push((s, window));
+        rest = tail;
     }
-    max_delta
+    let incoming_r: &[f64] = incoming;
+    let deltas = exec::run_chunks(&mut atasks, |_, t| {
+        let base = t.0;
+        let mut md = 0.0f64;
+        for (i, r) in t.1.iter_mut().enumerate() {
+            let new = cfg.damping + (1.0 - cfg.damping) * incoming_r[base + i];
+            md = md.max((new - *r).abs());
+            *r = new;
+        }
+        md
+    });
+    deltas.into_iter().fold(0.0f64, f64::max)
 }
 
 fn spark_pagerank(
@@ -448,6 +565,7 @@ fn spark_pagerank(
     let mut snapshot: Option<(u32, Vec<f64>)> =
         cluster.plan_has_crashes().then(|| (0, ranks.clone()));
     let mut ops = vec![0.0f64; ctx.machines];
+    let mut pg = PrGather::build(ctx);
     let mut iter = 0u32;
     loop {
         if iter >= max_iters {
@@ -460,14 +578,14 @@ fn spark_pagerank(
             if let Some((snap_iter, snap_ranks)) = &snapshot {
                 ranks.clone_from(snap_ranks);
                 for _ in *snap_iter..iter {
-                    pagerank_step(ctx, g, &cfg, &mut ranks, &mut incoming, &mut ops);
+                    pagerank_step(ctx, g, &cfg, &mut ranks, &mut incoming, &mut ops, &mut pg);
                 }
             }
         }
         // Label before the host work so its wallclock spans carry it
         // (charge_compute sets the same label before the charge itself).
         cluster.set_label("superstep");
-        let max_delta = pagerank_step(ctx, g, &cfg, &mut ranks, &mut incoming, &mut ops);
+        let max_delta = pagerank_step(ctx, g, &cfg, &mut ranks, &mut incoming, &mut ops, &mut pg);
         charge_compute(cluster, ctx, &ops)?;
         let changed: Vec<VertexId> = (0..n as VertexId).collect();
         mirror_sync(cluster, ctx, &changed)?;
@@ -485,41 +603,79 @@ fn spark_pagerank(
     Ok(ranks)
 }
 
-/// One WCC label-propagation iteration. Each worker min-folds its machine's
-/// edge partition into a private copy of the labels; partial label vectors
-/// then min-merge in machine-index order (min is order-independent, so any
-/// host thread count yields the same labels). Fills `changed` with the
-/// vertices whose label shrank. Shared by the live loop and replay.
+/// Pooled chunk scratch for the WCC join, built once per run: uniform edge
+/// spans per machine (the partitions are static), per-task candidate
+/// buckets, and the reused `next` label vector that a `label.clone()` per
+/// iteration used to allocate.
+struct WccScratch {
+    spans: Vec<Vec<(usize, usize)>>,
+    buckets: Vec<Vec<(VertexId, VertexId)>>,
+    next: Vec<VertexId>,
+}
+
+impl WccScratch {
+    fn build(ctx: &SparkCtx<'_>) -> WccScratch {
+        let spans: Vec<Vec<(usize, usize)>> = ctx
+            .edges_by_machine
+            .iter()
+            .map(|e| exec::uniform_spans(e.len(), exec::chunk_size()))
+            .collect();
+        let tasks = spans.iter().map(|s| s.len()).sum();
+        WccScratch { spans, buckets: vec![Vec::new(); tasks], next: Vec::new() }
+    }
+}
+
+/// One WCC label-propagation iteration. Chunk tasks scan disjoint edge
+/// spans and emit `(vertex, smaller label)` candidates into pooled buckets;
+/// integer min is order-free, so folding the buckets in fixed task order
+/// reproduces the serial min-merge exactly — without the per-machine full
+/// label copies the previous version cloned each iteration. Fills `changed`
+/// with the vertices whose label shrank. Shared by the live loop and replay.
 fn wcc_step(
     ctx: &SparkCtx<'_>,
     label: &mut Vec<VertexId>,
     ops: &mut [f64],
     changed: &mut Vec<VertexId>,
+    ws: &mut WccScratch,
 ) {
     let n = label.len();
     let edges_by_machine = &ctx.edges_by_machine;
     let label_r: &[VertexId] = label;
-    let partials: Vec<Vec<VertexId>> = exec::for_machines(ctx.machines, |m| {
-        let mut part = label_r.to_vec();
-        for &(u, v) in &edges_by_machine[m] {
-            if label_r[u as usize] < part[v as usize] {
-                part[v as usize] = label_r[u as usize];
-            }
-            if label_r[v as usize] < part[u as usize] {
-                part[u as usize] = label_r[v as usize];
-            }
-        }
-        part
-    });
-    let mut next = label.clone();
-    for (m, part) in partials.iter().enumerate() {
-        ops[m] = edges_by_machine[m].len() as f64;
-        for (nx, &p) in next.iter_mut().zip(part) {
-            if p < *nx {
-                *nx = p;
+    let mut tasks: Vec<(usize, (usize, usize), &mut Vec<(VertexId, VertexId)>)> = Vec::new();
+    {
+        let mut pool = ws.buckets.iter_mut();
+        for (m, spans) in ws.spans.iter().enumerate() {
+            for &(s, e) in spans {
+                tasks.push((m, (s, e), pool.next().expect("bucket pool sized to task count")));
             }
         }
     }
+    exec::run_chunks(&mut tasks, |_, t| {
+        let (m, (s, e), ref mut bucket) = *t;
+        bucket.clear();
+        for &(u, v) in &edges_by_machine[m][s..e] {
+            if label_r[u as usize] < label_r[v as usize] {
+                bucket.push((v, label_r[u as usize]));
+            }
+            if label_r[v as usize] < label_r[u as usize] {
+                bucket.push((u, label_r[v as usize]));
+            }
+        }
+    });
+    ws.next.clear();
+    ws.next.extend_from_slice(label_r);
+    let next = &mut ws.next;
+    for (m, o) in ops.iter_mut().enumerate() {
+        *o = edges_by_machine[m].len() as f64;
+    }
+    for (_, _, bucket) in &tasks {
+        for &(v, l) in bucket.iter() {
+            if l < next[v as usize] {
+                next[v as usize] = l;
+            }
+        }
+    }
+    drop(tasks);
     if ctx.hash_to_min {
         // hash-to-min's shortcutting: labels are vertex ids, so every
         // vertex can also adopt its label's label (pointer jumping),
@@ -536,7 +692,7 @@ fn wcc_step(
     }
     changed.clear();
     changed.extend((0..n as VertexId).filter(|&v| next[v as usize] < label[v as usize]));
-    *label = next;
+    std::mem::swap(label, next);
 }
 
 fn spark_wcc(cluster: &mut Cluster, ctx: &mut SparkCtx<'_>) -> Result<Vec<VertexId>, SimError> {
@@ -546,18 +702,19 @@ fn spark_wcc(cluster: &mut Cluster, ctx: &mut SparkCtx<'_>) -> Result<Vec<Vertex
         cluster.plan_has_crashes().then(|| (0, label.clone()));
     let mut ops = vec![0.0f64; ctx.machines];
     let mut changed: Vec<VertexId> = Vec::new();
+    let mut ws = WccScratch::build(ctx);
     let mut iter = 0u32;
     loop {
         if ctx.charge_stage(cluster)? {
             if let Some((snap_iter, snap_label)) = &snapshot {
                 label.clone_from(snap_label);
                 for _ in *snap_iter..iter {
-                    wcc_step(ctx, &mut label, &mut ops, &mut changed);
+                    wcc_step(ctx, &mut label, &mut ops, &mut changed, &mut ws);
                 }
             }
         }
         cluster.set_label("superstep");
-        wcc_step(ctx, &mut label, &mut ops, &mut changed);
+        wcc_step(ctx, &mut label, &mut ops, &mut changed, &mut ws);
         charge_compute(cluster, ctx, &ops)?;
         mirror_sync(cluster, ctx, &changed)?;
         if ctx.charge_lineage(cluster, iter, changed.len() as u64)? {
@@ -574,10 +731,30 @@ fn spark_wcc(cluster: &mut Cluster, ctx: &mut SparkCtx<'_>) -> Result<Vec<Vertex
     Ok(label)
 }
 
+/// Pooled chunk scratch for the traversal join: uniform edge spans per
+/// machine plus per-task improvement buckets, reused across supersteps.
+struct TravScratch {
+    spans: Vec<Vec<(usize, usize)>>,
+    buckets: Vec<Vec<(VertexId, u32)>>,
+}
+
+impl TravScratch {
+    fn build(ctx: &SparkCtx<'_>) -> TravScratch {
+        let spans: Vec<Vec<(usize, usize)>> = ctx
+            .edges_by_machine
+            .iter()
+            .map(|e| exec::uniform_spans(e.len(), exec::chunk_size()))
+            .collect();
+        let tasks = spans.iter().map(|s| s.len()).sum();
+        TravScratch { spans, buckets: vec![Vec::new(); tasks] }
+    }
+}
+
 /// One traversal (SSSP / K-hop) iteration. mapReduceTriplets with an
 /// active-set filter still scans each partition's edges to test activity.
-/// One worker per machine scans against the frozen frontier; candidate
-/// relaxations min-fold in machine-index order afterwards. Replaces
+/// Chunk tasks scan disjoint edge spans against the frozen frontier into
+/// pooled improvement buckets; applying the buckets in fixed task order
+/// replays the serial path's first-touch sequence exactly. Replaces
 /// `frontier` with the newly-improved vertices. Shared by the live loop
 /// and replay.
 fn traversal_step(
@@ -587,14 +764,23 @@ fn traversal_step(
     active: &mut [bool],
     frontier: &mut Vec<VertexId>,
     ops: &mut [f64],
+    ts: &mut TravScratch,
 ) {
     let edges_by_machine = &ctx.edges_by_machine;
     let (dist_r, active_r) = (&*dist, &*active);
-    let partials: Vec<(u64, Vec<(VertexId, u32)>)> = exec::for_machines(ctx.machines, |m| {
-        let mut machine_ops = 0u64;
-        let mut improved: Vec<(VertexId, u32)> = Vec::new();
-        for &(u, v) in &edges_by_machine[m] {
-            machine_ops += 1;
+    let mut tasks: Vec<(usize, (usize, usize), &mut Vec<(VertexId, u32)>)> = Vec::new();
+    {
+        let mut pool = ts.buckets.iter_mut();
+        for (m, spans) in ts.spans.iter().enumerate() {
+            for &(s, e) in spans {
+                tasks.push((m, (s, e), pool.next().expect("bucket pool sized to task count")));
+            }
+        }
+    }
+    exec::run_chunks(&mut tasks, |_, t| {
+        let (m, (s, e), ref mut improved) = *t;
+        improved.clear();
+        for &(u, v) in &edges_by_machine[m][s..e] {
             if active_r[u as usize] {
                 let d = dist_r[u as usize];
                 if d < bound && d + 1 < dist_r[v as usize] {
@@ -602,17 +788,17 @@ fn traversal_step(
                 }
             }
         }
-        (machine_ops, improved)
     });
-    for (m, (machine_ops, _)) in partials.iter().enumerate() {
-        ops[m] = *machine_ops as f64 / 4.0; // filtered scan is cheap per edge
+    for (m, o) in ops.iter_mut().enumerate() {
+        // Filtered scan is cheap per edge; every edge is still tested.
+        *o = edges_by_machine[m].len() as f64 / 4.0;
     }
     for v in frontier.iter() {
         active[*v as usize] = false;
     }
     let mut changed = Vec::new();
-    for (_, improved) in partials {
-        for (v, d) in improved {
+    for (_, _, improved) in &tasks {
+        for &(v, d) in improved.iter() {
             if d < dist[v as usize] {
                 dist[v as usize] = d;
                 active[v as usize] = true;
@@ -638,6 +824,7 @@ fn spark_traversal(
     let mut snapshot: Option<(u32, Vec<u32>, Vec<bool>, Vec<VertexId>)> =
         cluster.plan_has_crashes().then(|| (0, dist.clone(), active.clone(), frontier.clone()));
     let mut ops = vec![0.0f64; ctx.machines];
+    let mut ts = TravScratch::build(ctx);
     let mut iter = 0u32;
     while !frontier.is_empty() {
         if ctx.charge_stage(cluster)? {
@@ -646,12 +833,20 @@ fn spark_traversal(
                 active.clone_from(s_active);
                 frontier.clone_from(s_frontier);
                 for _ in *snap_iter..iter {
-                    traversal_step(ctx, bound, &mut dist, &mut active, &mut frontier, &mut ops);
+                    traversal_step(
+                        ctx,
+                        bound,
+                        &mut dist,
+                        &mut active,
+                        &mut frontier,
+                        &mut ops,
+                        &mut ts,
+                    );
                 }
             }
         }
         cluster.set_label("superstep");
-        traversal_step(ctx, bound, &mut dist, &mut active, &mut frontier, &mut ops);
+        traversal_step(ctx, bound, &mut dist, &mut active, &mut frontier, &mut ops, &mut ts);
         charge_compute(cluster, ctx, &ops)?;
         mirror_sync(cluster, ctx, &frontier)?;
         if ctx.charge_lineage(cluster, iter, frontier.len() as u64)? {

@@ -251,11 +251,100 @@ fn charge_iteration(
     Ok(())
 }
 
-/// The `c`-th of exactly `machines` contiguous source-vertex ranges. The
-/// chunking depends only on the simulated machine count, never on the host
-/// thread count, so per-chunk partial results merge deterministically.
-fn chunk_range(c: usize, machines: usize, n: usize) -> (VertexId, VertexId) {
-    ((c * n / machines) as VertexId, ((c + 1) * n / machines) as VertexId)
+/// Reduce-side gather state for PageRank-style aggregations (shared with
+/// the Vertica engine, whose join uses the same per-machine scan), built
+/// once per run (the graph is loop-invariant): the transposed adjacency —
+/// per-destination source lists in ascending order, exactly the order an
+/// ascending source scan delivers contributions — plus degree-aware
+/// destination windows so one high-in-degree hub cannot serialize a whole
+/// chunk.
+pub(crate) struct MrGather {
+    in_off: Vec<u32>,
+    in_src: Vec<VertexId>,
+    pub(crate) plan: Vec<(usize, usize)>,
+}
+
+impl MrGather {
+    pub(crate) fn build(g: &graphbench_graph::CsrGraph) -> MrGather {
+        let n = g.num_vertices();
+        let mut off = vec![0u32; n + 1];
+        for s in 0..n as VertexId {
+            for &t in g.out_neighbors(s) {
+                off[t as usize + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            off[v + 1] += off[v];
+        }
+        let mut cursor: Vec<u32> = off[..n].to_vec();
+        let mut src = vec![0 as VertexId; off[n] as usize];
+        for s in 0..n as VertexId {
+            for &t in g.out_neighbors(s) {
+                src[cursor[t as usize] as usize] = s;
+                cursor[t as usize] += 1;
+            }
+        }
+        let weights: Vec<u64> = (0..n).map(|t| 1 + u64::from(off[t + 1] - off[t])).collect();
+        let plan = exec::weighted_spans(&weights, exec::chunk_size());
+        MrGather { in_off: off, in_src: src, plan }
+    }
+
+    /// `incoming[t]` for one destination: one partial per contiguous source
+    /// chunk (of `machines` ranges over `n` sources), folded from 0.0 in
+    /// ascending source order, partials added in chunk order — the serial
+    /// per-machine scan's hierarchical f64 fold, bit for bit. Source chunks
+    /// contributing nothing would add an exact +0.0 and are skipped.
+    pub(crate) fn incoming_of(
+        &self,
+        t: usize,
+        g: &graphbench_graph::CsrGraph,
+        ranks: &[f64],
+        machines: usize,
+        n: usize,
+    ) -> f64 {
+        let nbrs = &self.in_src[self.in_off[t] as usize..self.in_off[t + 1] as usize];
+        let mut sum = 0.0f64;
+        let mut k = 0usize;
+        while k < nbrs.len() {
+            let s0 = nbrs[k] as usize;
+            let mut c = s0 * machines / n;
+            while c * n / machines > s0 {
+                c -= 1;
+            }
+            while (c + 1) * n / machines <= s0 {
+                c += 1;
+            }
+            let hi = ((c + 1) * n / machines) as VertexId;
+            let mut pm = 0.0f64;
+            while k < nbrs.len() && nbrs[k] < hi {
+                let s = nbrs[k];
+                pm += ranks[s as usize] / g.out_degree(s) as f64;
+                k += 1;
+            }
+            sum += pm;
+        }
+        sum
+    }
+}
+
+/// Pooled reduce-side scratch for the min-fold workloads (WCC, traversal):
+/// degree-aware source spans planned once over the static graph, per-task
+/// candidate buckets, and the reused `next` vector that a full `clone()`
+/// per worker per iteration used to allocate.
+struct MrScratch<T> {
+    plan: Vec<(usize, usize)>,
+    buckets: Vec<Vec<(VertexId, T)>>,
+    next: Vec<T>,
+}
+
+impl<T> MrScratch<T> {
+    fn build(g: &graphbench_graph::CsrGraph) -> MrScratch<T> {
+        let n = g.num_vertices();
+        let weights: Vec<u64> = (0..n as VertexId).map(|v| 1 + g.out_degree(v) as u64).collect();
+        let plan = exec::weighted_spans(&weights, exec::chunk_size());
+        let buckets = (0..plan.len()).map(|_| Vec::new()).collect();
+        MrScratch { plan, buckets, next: Vec::new() }
+    }
 }
 
 fn mr_pagerank(
@@ -276,6 +365,7 @@ fn mr_pagerank(
         StopCriterion::Iterations(k) => (0.0, k),
     };
     let mut recovery = Recovery::new(cluster, RecoveryModel::TaskReexecution);
+    let mg = MrGather::build(g);
     let mut iter = 0u64;
     while (iter as u32) < max_iters {
         let shape = IterationShape {
@@ -294,36 +384,51 @@ fn mr_pagerank(
             graph_bytes,
             &shape,
         )?;
-        // The actual reduce computation: one partial accumulator per
-        // contiguous source chunk, folded in chunk order.
+        // The actual reduce computation, chunked over destination windows:
+        // each task folds one partial per contiguous source chunk (from
+        // 0.0, ascending sources — the transpose keeps that order) and
+        // adds the partials in source-chunk order, reproducing the serial
+        // hierarchical fold bit for bit at any chunk x thread combination.
+        // Source chunks contributing nothing add an exact +0.0 and are
+        // skipped.
         cluster.set_label("reduce");
-        let partials: Vec<Vec<f64>> = exec::for_machines(machines, |c| {
-            let (lo, hi) = chunk_range(c, machines, n);
-            let mut part = vec![0.0f64; n];
-            for v in lo..hi {
-                let deg = g.out_degree(v);
-                if deg == 0 {
-                    continue;
-                }
-                let share = ranks[v as usize] / deg as f64;
-                for &t in g.out_neighbors(v) {
-                    part[t as usize] += share;
-                }
+        let ranks_r: &[f64] = &ranks;
+        let mut tasks: Vec<(usize, &mut [f64])> = Vec::new();
+        let mut rest: &mut [f64] = &mut incoming;
+        for &(s, e) in &mg.plan {
+            let (window, tail) = rest.split_at_mut(e - s);
+            tasks.push((s, window));
+            rest = tail;
+        }
+        exec::run_chunks(&mut tasks, |_, task| {
+            let base = task.0;
+            for (i, acc) in task.1.iter_mut().enumerate() {
+                *acc = mg.incoming_of(base + i, g, ranks_r, machines, n);
             }
-            part
         });
-        incoming.fill(0.0);
-        for part in &partials {
-            for (acc, p) in incoming.iter_mut().zip(part) {
-                *acc += p;
+        drop(tasks);
+        // Chunked apply over disjoint rank windows; per-chunk max deltas
+        // fold in chunk order (f64 max over non-negative values is exact).
+        let incoming_r: &[f64] = &incoming;
+        let mut atasks: Vec<(usize, &mut [f64])> = Vec::new();
+        let mut arest: &mut [f64] = &mut ranks;
+        for &(s, e) in &exec::uniform_spans(n, exec::chunk_size()) {
+            let (window, tail) = arest.split_at_mut(e - s);
+            atasks.push((s, window));
+            arest = tail;
+        }
+        let deltas = exec::run_chunks(&mut atasks, |_, t| {
+            let base = t.0;
+            let mut md = 0.0f64;
+            for (i, r) in t.1.iter_mut().enumerate() {
+                let new = cfg.damping + (1.0 - cfg.damping) * incoming_r[base + i];
+                md = md.max((new - *r).abs());
+                *r = new;
             }
-        }
-        let mut max_delta = 0.0f64;
-        for v in 0..n {
-            let new = cfg.damping + (1.0 - cfg.damping) * incoming[v];
-            max_delta = max_delta.max((new - ranks[v]).abs());
-            ranks[v] = new;
-        }
+            md
+        });
+        drop(atasks);
+        let max_delta = deltas.into_iter().fold(0.0f64, f64::max);
         iter += 1;
         if tol > 0.0 && max_delta < tol {
             break;
@@ -344,6 +449,7 @@ fn mr_wcc(
     let machines = cluster.machines();
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut recovery = Recovery::new(cluster, RecoveryModel::TaskReexecution);
+    let mut ms: MrScratch<VertexId> = MrScratch::build(g);
     let mut iter = 0u64;
     loop {
         let shape = IterationShape {
@@ -363,38 +469,45 @@ fn mr_wcc(
             graph_bytes,
             &shape,
         )?;
-        // HashMin over one contiguous source chunk per worker; partial min
-        // vectors merge in chunk order (min-folds are order-independent).
+        // HashMin, chunked over degree-aware source spans: tasks emit
+        // `(vertex, smaller label)` candidates into pooled buckets; integer
+        // min is order-free, so folding the buckets in fixed task order
+        // reproduces the old per-worker min-merge exactly — without the
+        // full label copy each worker used to clone. An improvement was
+        // applied iff some label shrank, which is exactly the old
+        // OR-of-part_changed.
         cluster.set_label("reduce");
-        let partials: Vec<(Vec<VertexId>, bool)> = exec::for_machines(machines, |c| {
-            let (lo, hi) = chunk_range(c, machines, n);
-            let mut next = label.clone();
-            let mut part_changed = false;
-            for s in lo..hi {
+        let label_r: &[VertexId] = &label;
+        let mut tasks: Vec<((usize, usize), &mut Vec<(VertexId, VertexId)>)> =
+            ms.plan.iter().copied().zip(ms.buckets.iter_mut()).collect();
+        exec::run_chunks(&mut tasks, |_, t| {
+            let ((lo, hi), ref mut bucket) = *t;
+            bucket.clear();
+            for s in lo as VertexId..hi as VertexId {
                 for &d in g.out_neighbors(s) {
-                    if label[s as usize] < next[d as usize] {
-                        next[d as usize] = label[s as usize];
-                        part_changed = true;
+                    if label_r[s as usize] < label_r[d as usize] {
+                        bucket.push((d, label_r[s as usize]));
                     }
-                    if label[d as usize] < next[s as usize] {
-                        next[s as usize] = label[d as usize];
-                        part_changed = true;
+                    if label_r[d as usize] < label_r[s as usize] {
+                        bucket.push((s, label_r[d as usize]));
                     }
                 }
             }
-            (next, part_changed)
         });
         let mut changed = false;
-        let mut next = label.clone();
-        for (part, part_changed) in &partials {
-            changed |= *part_changed;
-            for (nx, &p) in next.iter_mut().zip(part) {
-                if p < *nx {
-                    *nx = p;
+        ms.next.clear();
+        ms.next.extend_from_slice(label_r);
+        let next = &mut ms.next;
+        for (_, bucket) in &tasks {
+            for &(v, l) in bucket.iter() {
+                if l < next[v as usize] {
+                    next[v as usize] = l;
+                    changed = true;
                 }
             }
         }
-        label = next;
+        drop(tasks);
+        std::mem::swap(&mut label, next);
         iter += 1;
         if !changed {
             break;
@@ -418,6 +531,7 @@ fn mr_traversal(
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
     let mut recovery = Recovery::new(cluster, RecoveryModel::TaskReexecution);
+    let mut ms: MrScratch<u32> = MrScratch::build(g);
     let mut iter = 0u64;
     loop {
         // MapReduce scans every edge every iteration — it cannot restrict
@@ -439,38 +553,43 @@ fn mr_traversal(
             graph_bytes,
             &shape,
         )?;
-        // Distance relaxations over one contiguous source chunk per worker,
-        // min-folded in chunk order.
+        // Distance relaxations, chunked over degree-aware source spans:
+        // candidate `(vertex, distance)` pairs land in pooled buckets and
+        // min-fold in fixed task order (order-free), matching the old
+        // per-worker min-merge without its full distance-vector clones.
         cluster.set_label("reduce");
-        let partials: Vec<(Vec<u32>, bool)> = exec::for_machines(machines, |c| {
-            let (lo, hi) = chunk_range(c, machines, n);
-            let mut next = dist.clone();
-            let mut part_changed = false;
-            for s in lo..hi {
-                let ds = dist[s as usize];
+        let dist_r: &[u32] = &dist;
+        let mut tasks: Vec<((usize, usize), &mut Vec<(VertexId, u32)>)> =
+            ms.plan.iter().copied().zip(ms.buckets.iter_mut()).collect();
+        exec::run_chunks(&mut tasks, |_, t| {
+            let ((lo, hi), ref mut bucket) = *t;
+            bucket.clear();
+            for s in lo as VertexId..hi as VertexId {
+                let ds = dist_r[s as usize];
                 if ds == UNREACHABLE || ds >= bound {
                     continue;
                 }
                 for &d in g.out_neighbors(s) {
-                    if ds + 1 < next[d as usize] {
-                        next[d as usize] = ds + 1;
-                        part_changed = true;
+                    if ds + 1 < dist_r[d as usize] {
+                        bucket.push((d, ds + 1));
                     }
                 }
             }
-            (next, part_changed)
         });
         let mut changed = false;
-        let mut next = dist.clone();
-        for (part, part_changed) in &partials {
-            changed |= *part_changed;
-            for (nx, &p) in next.iter_mut().zip(part) {
-                if p < *nx {
-                    *nx = p;
+        ms.next.clear();
+        ms.next.extend_from_slice(dist_r);
+        let next = &mut ms.next;
+        for (_, bucket) in &tasks {
+            for &(v, d2) in bucket.iter() {
+                if d2 < next[v as usize] {
+                    next[v as usize] = d2;
+                    changed = true;
                 }
             }
         }
-        dist = next;
+        drop(tasks);
+        std::mem::swap(&mut dist, next);
         iter += 1;
         // K-hop needs exactly `bound` propagation waves; SSSP (unbounded)
         // iterates to a fixpoint.

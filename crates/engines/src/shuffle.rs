@@ -30,6 +30,7 @@
 //! order — what the radix path produces structurally — is exactly what a
 //! stable sort by target yields.
 
+use crate::exec;
 use graphbench_graph::VertexId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
@@ -93,6 +94,53 @@ pub fn set_mode(m: ShuffleMode) {
 
 #[cfg(test)]
 pub(crate) static TEST_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Chunk-parallel scatter of an ordered item sequence into per-destination
+/// buckets — the radix shuffle's sender side.
+///
+/// The input splits into fixed-size index spans ([`exec::uniform_spans`]);
+/// each chunk routes its span into *chunk-local* buckets, and the merge
+/// appends those buckets to `out` in ascending chunk order. Within a chunk
+/// items keep index order, so each destination's bucket is exactly the
+/// subsequence a serial `for (i, x) in items { out[route(i, x)].push(..) }`
+/// loop would produce — bit-identical at any `GRAPHBENCH_THREADS ×
+/// GRAPHBENCH_CHUNK`, which keeps every downstream arrival-order combiner
+/// fold (f64 included) and byte/message metric unchanged.
+///
+/// `route` maps `(index, &item)` to `(bucket, routed item)`; it must be
+/// pure. Buckets are appended to, not cleared — callers pass fresh or
+/// pre-cleared `out` vectors.
+pub fn par_scatter<T, U, F>(items: &[T], num_buckets: usize, route: F, out: &mut [Vec<U>])
+where
+    T: Sync,
+    U: Copy + Send,
+    F: Fn(usize, &T) -> (usize, U) + Sync,
+{
+    assert!(out.len() >= num_buckets, "out has {} buckets, need {num_buckets}", out.len());
+    let spans = exec::uniform_spans(items.len(), exec::chunk_size());
+    if spans.len() <= 1 {
+        // One chunk: route straight into the shared buckets.
+        for (i, x) in items.iter().enumerate() {
+            let (dst, u) = route(i, x);
+            out[dst].push(u);
+        }
+        return;
+    }
+    let mut tasks: Vec<((usize, usize), Vec<Vec<U>>)> =
+        spans.into_iter().map(|sp| (sp, (0..num_buckets).map(|_| Vec::new()).collect())).collect();
+    exec::run_chunks(&mut tasks, |_, t| {
+        let ((s, e), ref mut buckets) = *t;
+        for i in s..e {
+            let (dst, u) = route(i, &items[i]);
+            buckets[dst].push(u);
+        }
+    });
+    for (_, buckets) in &tasks {
+        for (dst, b) in buckets.iter().enumerate() {
+            out[dst].extend_from_slice(b);
+        }
+    }
+}
 
 /// The legacy combine: stable-sort by target, then fold adjacent equal
 /// targets left-to-right. Stability means each target's messages are folded
@@ -591,6 +639,75 @@ mod tests {
             bucket.sort_by_key(|&(t, _)| t);
             assert_eq!(bucket, vec![(0, 9), (2, fold(3, 4))]);
         }
+    }
+
+    /// The serial reference for [`par_scatter`]: one in-order pass.
+    fn serial_scatter(msgs: &[(VertexId, u64)], buckets: usize) -> Vec<Vec<(VertexId, u64)>> {
+        let mut out: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); buckets];
+        for &(t, m) in msgs {
+            out[t as usize % buckets].push((t, m));
+        }
+        out
+    }
+
+    /// `par_scatter` reproduces the serial scatter's exact per-bucket
+    /// sequences — and therefore identical arrival-order combiner folds —
+    /// at every chunk size, including chunks larger than the input.
+    #[test]
+    fn par_scatter_matches_serial_at_any_chunk_size() {
+        let _guard = crate::exec::TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let msgs: Vec<(VertexId, u64)> =
+            (0..997u64).map(|i| (((i * 31 + 7) % 53) as u32, i)).collect();
+        let buckets = 5usize;
+        let want = serial_scatter(&msgs, buckets);
+        let mut want_folded: Vec<Vec<(VertexId, u64)>> = want.clone();
+        for b in &mut want_folded {
+            sort_combine_in_place(b, fold);
+        }
+        for threads in [1usize, 4] {
+            crate::exec::set_threads(threads);
+            for chunk in [1usize, 7, 64, 1 << 30] {
+                crate::exec::set_chunk_size(chunk);
+                let mut out: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); buckets];
+                par_scatter(
+                    &msgs,
+                    buckets,
+                    |_, &(t, m)| ((t as usize % buckets), (t, m)),
+                    &mut out,
+                );
+                assert_eq!(out, want, "threads={threads} chunk={chunk}");
+                // The non-commutative fold downstream agrees too.
+                for b in &mut out {
+                    sort_combine_in_place(b, fold);
+                }
+                assert_eq!(out, want_folded, "folded, threads={threads} chunk={chunk}");
+            }
+        }
+        crate::exec::set_threads(1);
+        crate::exec::set_chunk_size(4096);
+    }
+
+    /// Index-based routing (the vertex-cut `machine_of_edge` shape) also
+    /// survives chunking, and empty inputs are a no-op.
+    #[test]
+    fn par_scatter_routes_by_index() {
+        let _guard = crate::exec::TEST_THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::exec::set_threads(4);
+        crate::exec::set_chunk_size(3);
+        let items: Vec<u64> = (0..100).collect();
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        par_scatter(&items, 4, |i, &x| (i % 4, x * 2), &mut out);
+        for (dst, b) in out.iter().enumerate() {
+            let want: Vec<u64> =
+                (0..100).filter(|i| *i as usize % 4 == dst).map(|i| i * 2).collect();
+            assert_eq!(b, &want);
+        }
+        let empty: Vec<u64> = Vec::new();
+        let mut out2: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        par_scatter(&empty, 2, |i, &x| (i % 2, x), &mut out2);
+        assert!(out2.iter().all(|b| b.is_empty()));
+        crate::exec::set_threads(1);
+        crate::exec::set_chunk_size(4096);
     }
 
     /// An empty delivery clears the inbox and leaves stale slices

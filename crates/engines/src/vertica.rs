@@ -261,6 +261,7 @@ fn sql_pagerank(
         StopCriterion::Tolerance(t) => (t, u32::MAX),
         StopCriterion::Iterations(k) => (0.0, k),
     };
+    let mg = crate::hadoop::MrGather::build(g);
     let mut iter = 0u32;
     loop {
         if iter >= max_iters {
@@ -269,38 +270,50 @@ fn sql_pagerank(
         ctx.charge_statement(cluster)?;
         // SELECT dst, SUM(rank/outdeg) FROM V JOIN E ... GROUP BY dst, then
         // refresh V (every rank changes, so the adaptive policy rebuilds).
-        // The aggregation fans out across host workers over fixed contiguous
-        // source chunks; partial SUM vectors fold in chunk order so the
-        // ranks are identical at any host thread count.
+        // The aggregation is chunked over degree-aware destination windows:
+        // each task folds one SUM partial per contiguous source chunk and
+        // adds the partials in chunk order, reproducing the serial
+        // hierarchical fold bit for bit at any chunk x thread combination.
         ctx.charge_join(cluster, g.num_edges())?;
-        let ranks_r = &ranks;
-        let partials: Vec<Vec<f64>> = exec::for_machines(ctx.machines, |c| {
-            let (lo, hi) = chunk_range(c, ctx.machines, n);
-            let mut part = vec![0.0f64; n];
-            for v in lo..hi {
-                let deg = g.out_degree(v as VertexId);
-                if deg == 0 {
-                    continue;
-                }
-                let share = ranks_r[v] / deg as f64;
-                for &t in g.out_neighbors(v as VertexId) {
-                    part[t as usize] += share;
-                }
+        cluster.set_label("join_scan");
+        let ranks_r: &[f64] = &ranks;
+        let machines = ctx.machines;
+        let mut tasks: Vec<(usize, &mut [f64])> = Vec::new();
+        let mut rest: &mut [f64] = &mut incoming;
+        for &(s, e) in &mg.plan {
+            let (window, tail) = rest.split_at_mut(e - s);
+            tasks.push((s, window));
+            rest = tail;
+        }
+        exec::run_chunks(&mut tasks, |_, task| {
+            let base = task.0;
+            for (i, acc) in task.1.iter_mut().enumerate() {
+                *acc = mg.incoming_of(base + i, g, ranks_r, machines, n);
             }
-            part
         });
-        incoming.fill(0.0);
-        for part in &partials {
-            for (acc, p) in incoming.iter_mut().zip(part) {
-                *acc += p;
+        drop(tasks);
+        // Chunked apply over disjoint rank windows; per-chunk max deltas
+        // fold in chunk order (f64 max over non-negative values is exact).
+        let incoming_r: &[f64] = &incoming;
+        let mut atasks: Vec<(usize, &mut [f64])> = Vec::new();
+        let mut arest: &mut [f64] = &mut ranks;
+        for &(s, e) in &exec::uniform_spans(n, exec::chunk_size()) {
+            let (window, tail) = arest.split_at_mut(e - s);
+            atasks.push((s, window));
+            arest = tail;
+        }
+        let deltas = exec::run_chunks(&mut atasks, |_, t| {
+            let base = t.0;
+            let mut md = 0.0f64;
+            for (i, r) in t.1.iter_mut().enumerate() {
+                let new = cfg.damping + (1.0 - cfg.damping) * incoming_r[base + i];
+                md = md.max((new - *r).abs());
+                *r = new;
             }
-        }
-        let mut max_delta = 0.0f64;
-        for v in 0..n {
-            let new = cfg.damping + (1.0 - cfg.damping) * incoming[v];
-            max_delta = max_delta.max((new - ranks[v]).abs());
-            ranks[v] = new;
-        }
+            md
+        });
+        drop(atasks);
+        let max_delta = deltas.into_iter().fold(0.0f64, f64::max);
         ctx.charge_refresh(cluster, n as u64)?;
         cluster.sample_trace();
         iter += 1;
@@ -311,6 +324,45 @@ fn sql_pagerank(
     Ok(ranks)
 }
 
+/// Pooled scratch for the WCC min-join: degree-aware source sub-spans
+/// grouped by simulated machine chunk (`updated` counts reset per machine),
+/// per-task candidate buckets, the reused `next` labels, and an epoch-
+/// stamped overlay that replays each machine chunk's evolving private label
+/// copy without cloning the label vector per machine per iteration.
+struct WccScratch {
+    /// `(machine, lo, hi)` source sub-spans in scan order.
+    tasks: Vec<(usize, usize, usize)>,
+    buckets: Vec<Vec<(VertexId, VertexId)>>,
+    next: Vec<VertexId>,
+    ovl_val: Vec<VertexId>,
+    ovl_stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl WccScratch {
+    fn build(g: &graphbench_graph::CsrGraph, machines: usize) -> WccScratch {
+        let n = g.num_vertices();
+        let mut tasks = Vec::new();
+        for c in 0..machines {
+            let (lo, hi) = chunk_range(c, machines, n);
+            let weights: Vec<u64> =
+                (lo..hi).map(|v| 1 + g.out_degree(v as VertexId) as u64).collect();
+            for &(s, e) in &exec::weighted_spans(&weights, exec::chunk_size()) {
+                tasks.push((c, lo + s, lo + e));
+            }
+        }
+        let buckets = (0..tasks.len()).map(|_| Vec::new()).collect();
+        WccScratch {
+            tasks,
+            buckets,
+            next: Vec::new(),
+            ovl_val: vec![0; n],
+            ovl_stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+}
+
 fn sql_wcc(
     cluster: &mut Cluster,
     ctx: &mut SqlCtx,
@@ -319,43 +371,63 @@ fn sql_wcc(
     let g = input.graph;
     let n = g.num_vertices();
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut ws = WccScratch::build(g, ctx.machines);
     loop {
         ctx.charge_statement(cluster)?;
         // HashMin over both directions needs a union of E and reversed E.
-        // Workers scan fixed contiguous source chunks, min-folding into a
-        // private copy of the labels; the partials min-merge in chunk order
-        // (min is order-independent, so host thread count cannot matter).
+        // Chunk tasks scan disjoint degree-aware source spans and emit
+        // `(vertex, smaller label)` candidates into pooled buckets; a
+        // serial replay in fixed task order then min-folds them (order-free,
+        // so the labels match the serial path exactly) while the epoch-
+        // stamped overlay recounts each machine chunk's `updated` figure
+        // against its own evolving view, as the old private copies did.
         ctx.charge_join(cluster, 2 * g.num_edges())?;
-        let label_r = &label;
-        let partials: Vec<(Vec<VertexId>, u64)> = exec::for_machines(ctx.machines, |c| {
-            let (lo, hi) = chunk_range(c, ctx.machines, n);
-            let mut part = label_r.clone();
-            let mut part_updated = 0u64;
+        cluster.set_label("join_scan");
+        let label_r: &[VertexId] = &label;
+        let mut tasks: Vec<((usize, usize, usize), &mut Vec<(VertexId, VertexId)>)> =
+            ws.tasks.iter().copied().zip(ws.buckets.iter_mut()).collect();
+        exec::run_chunks(&mut tasks, |_, t| {
+            let ((_, lo, hi), ref mut bucket) = *t;
+            bucket.clear();
             for s in lo..hi {
                 for &d in g.out_neighbors(s as VertexId) {
-                    if label_r[s] < part[d as usize] {
-                        part[d as usize] = label_r[s];
-                        part_updated += 1;
+                    if label_r[s] < label_r[d as usize] {
+                        bucket.push((d, label_r[s]));
                     }
-                    if label_r[d as usize] < part[s] {
-                        part[s] = label_r[d as usize];
-                        part_updated += 1;
+                    if label_r[d as usize] < label_r[s] {
+                        bucket.push((s as VertexId, label_r[d as usize]));
                     }
                 }
             }
-            (part, part_updated)
         });
-        let mut next = label.clone();
+        ws.next.clear();
+        ws.next.extend_from_slice(label_r);
         let mut updated = 0u64;
-        for (part, count) in &partials {
-            updated += count;
-            for (nx, &p) in next.iter_mut().zip(part) {
-                if p < *nx {
-                    *nx = p;
+        let mut cur_machine = usize::MAX;
+        for (key, bucket) in &tasks {
+            if key.0 != cur_machine {
+                cur_machine = key.0;
+                if ws.epoch == u32::MAX {
+                    ws.ovl_stamp.fill(0);
+                    ws.epoch = 0;
+                }
+                ws.epoch += 1;
+            }
+            for &(v, l) in bucket.iter() {
+                let vi = v as usize;
+                let cur = if ws.ovl_stamp[vi] == ws.epoch { ws.ovl_val[vi] } else { label_r[vi] };
+                if l < cur {
+                    ws.ovl_val[vi] = l;
+                    ws.ovl_stamp[vi] = ws.epoch;
+                    updated += 1;
+                }
+                if l < ws.next[vi] {
+                    ws.next[vi] = l;
                 }
             }
         }
-        label = next;
+        drop(tasks);
+        std::mem::swap(&mut label, &mut ws.next);
         ctx.charge_refresh(cluster, updated)?;
         cluster.sample_trace();
         if updated == 0 {
@@ -378,6 +450,7 @@ fn sql_traversal(
     dist[source as usize] = 0;
     let mut frontier = vec![source];
     let mut depth = 0u32;
+    let mut buckets: Vec<Vec<VertexId>> = Vec::new();
     while !frontier.is_empty() && depth < bound {
         ctx.charge_statement(cluster)?;
         // Join the small ACTIVE temp table with E: the scan of E still
@@ -385,31 +458,41 @@ fn sql_traversal(
         // table refresh touches few rows (the update-in-place case, §2.6).
         let emitted: u64 = frontier.iter().map(|&v| g.out_degree(v)).sum();
         ctx.charge_join(cluster, emitted)?;
-        // Workers expand fixed contiguous chunks of the frontier against the
-        // frozen distance table; discoveries apply in chunk order, which
-        // reproduces the serial visit order exactly (first touch wins).
-        let (frontier_r, dist_r) = (&frontier, &dist);
-        let partials: Vec<Vec<VertexId>> = exec::for_machines(ctx.machines, |c| {
-            let (lo, hi) = chunk_range(c, ctx.machines, frontier_r.len());
-            let mut found = Vec::new();
-            for &v in &frontier_r[lo..hi] {
-                for &t in g.out_neighbors(v) {
-                    if dist_r[t as usize] == UNREACHABLE {
-                        found.push(t);
+        // Chunk tasks expand degree-aware frontier spans against the frozen
+        // distance table; candidates apply in span order, which reproduces
+        // the serial visit order exactly (first touch wins): emission sees
+        // only frozen state, so the flat candidate sequence is the frontier
+        // scan order regardless of where span boundaries fall.
+        cluster.set_label("join_scan");
+        let weights: Vec<u64> = frontier.iter().map(|&v| 1 + g.out_degree(v) as u64).collect();
+        let spans = exec::weighted_spans(&weights, exec::chunk_size());
+        while buckets.len() < spans.len() {
+            buckets.push(Vec::new());
+        }
+        let dist_r: &[u32] = &dist;
+        let mut tasks: Vec<(&[VertexId], &mut Vec<VertexId>)> =
+            spans.iter().map(|&(s, e)| &frontier[s..e]).zip(buckets.iter_mut()).collect();
+        exec::run_chunks(&mut tasks, |_, t| {
+            let (span, ref mut found) = *t;
+            found.clear();
+            for &v in span {
+                for &t2 in g.out_neighbors(v) {
+                    if dist_r[t2 as usize] == UNREACHABLE {
+                        found.push(t2);
                     }
                 }
             }
-            found
         });
         let mut next = Vec::new();
-        for found in partials {
-            for t in found {
-                if dist[t as usize] == UNREACHABLE {
-                    dist[t as usize] = depth + 1;
-                    next.push(t);
+        for (_, found) in &tasks {
+            for &t2 in found.iter() {
+                if dist[t2 as usize] == UNREACHABLE {
+                    dist[t2 as usize] = depth + 1;
+                    next.push(t2);
                 }
             }
         }
+        drop(tasks);
         ctx.charge_refresh(cluster, next.len() as u64)?;
         cluster.sample_trace();
         frontier = next;
