@@ -583,6 +583,9 @@ pub fn run_bsp<P: VertexProgram>(
         cluster.free_all(&inbox_bytes);
 
         // Wire accounting: outbox sizes are post-combine message counts.
+        // Traffic between fragments an elastic resize packed onto the same
+        // physical machine never crosses the wire (with the identity map
+        // this is exactly the old `src != dst` self-loop exclusion).
         send_buffer_bytes.fill(0);
         sent.fill(0);
         recv.fill(0);
@@ -594,7 +597,7 @@ pub fn run_bsp<P: VertexProgram>(
                     continue;
                 }
                 send_buffer_bytes[src] += count * msg_mem;
-                if src != dst {
+                if !cluster.frags_colocated(src, dst) {
                     sent[src] += count * wire;
                     recv[dst] += count * wire;
                     msg_counts[src] += count;
@@ -662,7 +665,8 @@ pub fn run_bsp<P: VertexProgram>(
         // genuinely recomputed — uncharged, since the stall already billed
         // it — so a recovered run equals the fault-free run by replay, not
         // by assumption.
-        if recovery.at_barrier(cluster)? {
+        let barrier_events = recovery.at_barrier(cluster)?;
+        if barrier_events.crashed {
             if let Some(ckpt) = &snapshot {
                 ckpt.restore(&mut shards, &mut inboxes);
                 for r in ckpt.superstep..supersteps {
@@ -670,6 +674,15 @@ pub fn run_bsp<P: VertexProgram>(
                     compute_superstep(&mut shards, &inboxes, &li, g, p, r, c, mode);
                     deliver_superstep(&mut inboxes, &shards, &li, p, c, msg_mem);
                 }
+            }
+        }
+        // An applied resize is a consistent cut — the migrated state *is*
+        // the current superstep's state, so the crash snapshot moves up to
+        // it: a later crash replays from the new membership, never across
+        // the migration (the recovery point advanced in lockstep).
+        if barrier_events.resized {
+            if let Some(s) = snapshot.as_mut() {
+                *s = BspCheckpoint::capture(supersteps, &shards, &inboxes);
             }
         }
         let no_more_work = inboxes.iter().all(|i| i.is_empty())

@@ -19,7 +19,7 @@
 //! (and then times out instead).
 
 use crate::exec;
-use crate::recovery::{Recovery, RecoveryModel};
+use crate::recovery::{BarrierEvents, Recovery, RecoveryModel};
 use crate::{dataset_bytes, even_share, result_bytes, Engine, EngineInput, RunOutput};
 use graphbench_algos::workload::{PageRankConfig, StopCriterion};
 use graphbench_algos::{Workload, WorkloadResult, UNREACHABLE};
@@ -160,20 +160,22 @@ impl SparkCtx<'_> {
     /// plus per-task launch costs. Stage boundaries are also where executor
     /// loss surfaces: recovery recomputes from lineage, i.e. everything
     /// since the last checkpoint (shuffles are wide dependencies, so a lost
-    /// partition drags its whole upstream history along). Returns `true`
-    /// when a crash was recovered — the caller must restore its state
-    /// snapshot and re-run the iterations since the materialization point.
-    fn charge_stage(&mut self, cluster: &mut Cluster) -> Result<bool, SimError> {
+    /// partition drags its whole upstream history along). Returns the
+    /// barrier's membership events: on `.crashed` the caller must restore
+    /// its state snapshot and re-run the iterations since the
+    /// materialization point; on `.resized` it must refresh the snapshot so
+    /// a later lineage recomputation replays from the migrated cut.
+    fn charge_stage(&mut self, cluster: &mut Cluster) -> Result<BarrierEvents, SimError> {
         let tasks: u64 = self.slots_per_machine.iter().sum();
         // Task serialization + launch; one executed stage stands in for
         // `superstep_scale` paper stages on diameter-compressed datasets.
         cluster.set_label("stage_sched");
         let driver = 0.0015 * tasks as f64 * cluster.spec().superstep_scale;
         cluster.advance_network_wait(&vec![driver; self.machines])?;
-        let crashed = self.recovery.at_barrier(cluster)?;
+        let events = self.recovery.at_barrier(cluster)?;
         cluster.set_label("barrier");
         cluster.barrier()?;
-        Ok(crashed)
+        Ok(events)
     }
 
     /// Grow the lineage: each iteration pins the shuffle outputs it
@@ -368,6 +370,9 @@ fn mirror_sync(
     let machines = ctx.machines;
     let part = ctx.part;
     let machine_of_slot = ctx.machine_of_slot;
+    // Fragment placement: replicas whose fragments share a physical machine
+    // after a resize sync through local memory, not the wire.
+    let frag_map = cluster.frag_map().to_vec();
     let spans = exec::uniform_spans(changed.len(), exec::chunk_size());
     let mut pool = std::mem::take(&mut ctx.sync_pool);
     while pool.len() < spans.len() {
@@ -414,7 +419,7 @@ fn mirror_sync(
                 // lowest machine id would pile coordination onto machine 0).
                 let master = sc.ms[(splitmix(v as u64 ^ 0xc0de) % sc.ms.len() as u64) as usize];
                 for &m in &sc.ms {
-                    if m != master {
+                    if frag_map[m] != frag_map[master] {
                         sc.sent[master] += 16;
                         sc.recv[m] += 16;
                         sc.msgs[master] += 1;
@@ -571,7 +576,8 @@ fn spark_pagerank(
         if iter >= max_iters {
             break;
         }
-        if ctx.charge_stage(cluster)? {
+        let stage_events = ctx.charge_stage(cluster)?;
+        if stage_events.crashed {
             // Lost partitions recompute from lineage: rewind to the last
             // materialization and re-run the iterations since, uncharged —
             // the recovery stall already billed them.
@@ -580,6 +586,13 @@ fn spark_pagerank(
                 for _ in *snap_iter..iter {
                     pagerank_step(ctx, g, &cfg, &mut ranks, &mut incoming, &mut ops, &mut pg);
                 }
+            }
+        }
+        if stage_events.resized {
+            // The resize migrated the live RDD partitions: re-materialize so
+            // a later lineage recomputation replays from the migrated cut.
+            if let Some(s) = snapshot.as_mut() {
+                *s = (iter, ranks.clone());
             }
         }
         // Label before the host work so its wallclock spans carry it
@@ -705,12 +718,18 @@ fn spark_wcc(cluster: &mut Cluster, ctx: &mut SparkCtx<'_>) -> Result<Vec<Vertex
     let mut ws = WccScratch::build(ctx);
     let mut iter = 0u32;
     loop {
-        if ctx.charge_stage(cluster)? {
+        let stage_events = ctx.charge_stage(cluster)?;
+        if stage_events.crashed {
             if let Some((snap_iter, snap_label)) = &snapshot {
                 label.clone_from(snap_label);
                 for _ in *snap_iter..iter {
                     wcc_step(ctx, &mut label, &mut ops, &mut changed, &mut ws);
                 }
+            }
+        }
+        if stage_events.resized {
+            if let Some(s) = snapshot.as_mut() {
+                *s = (iter, label.clone());
             }
         }
         cluster.set_label("superstep");
@@ -827,7 +846,8 @@ fn spark_traversal(
     let mut ts = TravScratch::build(ctx);
     let mut iter = 0u32;
     while !frontier.is_empty() {
-        if ctx.charge_stage(cluster)? {
+        let stage_events = ctx.charge_stage(cluster)?;
+        if stage_events.crashed {
             if let Some((snap_iter, s_dist, s_active, s_frontier)) = &snapshot {
                 dist.clone_from(s_dist);
                 active.clone_from(s_active);
@@ -843,6 +863,11 @@ fn spark_traversal(
                         &mut ts,
                     );
                 }
+            }
+        }
+        if stage_events.resized {
+            if let Some(s) = snapshot.as_mut() {
+                *s = (iter, dist.clone(), active.clone(), frontier.clone());
             }
         }
         cluster.set_label("superstep");

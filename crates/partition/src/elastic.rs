@@ -1,0 +1,89 @@
+//! Deterministic fragment placement for elastic cluster membership.
+//!
+//! Elasticity never re-partitions the graph: the logical fragments produced
+//! by the partitioners in this crate (one per initial machine, with their
+//! [`crate::LocalIndex`] dense-id spaces) are fixed for the whole run, and a
+//! `resize@T:±mM` event only changes which *physical* machine hosts each
+//! fragment. That is the virtual-worker scheme real deployments of the
+//! paper's systems use — Giraph assigns several partitions per worker,
+//! Spark moves RDD partitions between executors — and it is what makes
+//! elastic runs bit-identical to static ones: every fold inside an engine
+//! stays keyed to the fragments, whose contents never change.
+
+/// The physical home of each logical fragment for a `machines`-wide
+/// cluster: contiguous balanced blocks, `machine_of(f) = f·machines/frags`.
+///
+/// * At `machines == frags` this is the identity map — a resized cluster
+///   that returns to its original width restores the original placement.
+/// * Below `frags`, consecutive fragments pack together (block sizes differ
+///   by at most one), preserving whatever locality the partitioner's
+///   fragment order carries.
+/// * Above `frags`, the map is still the identity: placement granularity is
+///   the fragment, so machines beyond `frags` idle. Scale-out past the
+///   partition count moves zero bytes and buys zero compute — an honest
+///   limitation the paper's systems share.
+pub fn rebalance(frags: usize, machines: usize) -> Vec<usize> {
+    assert!(frags >= 1, "need at least one fragment");
+    assert!(machines >= 1, "need at least one machine");
+    if machines >= frags {
+        (0..frags).collect()
+    } else {
+        (0..frags).map(|f| f * machines / frags).collect()
+    }
+}
+
+/// Fragments whose physical home differs between two placements — the set
+/// whose state an elastic resize must migrate.
+pub fn moved_fragments(old: &[usize], new: &[usize]) -> Vec<usize> {
+    assert_eq!(old.len(), new.len(), "placements must cover the same fragments");
+    (0..old.len()).filter(|&f| old[f] != new[f]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_equal_width_and_beyond() {
+        assert_eq!(rebalance(4, 4), vec![0, 1, 2, 3]);
+        assert_eq!(rebalance(4, 9), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scale_in_packs_contiguous_balanced_blocks() {
+        assert_eq!(rebalance(8, 4), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(rebalance(8, 3), vec![0, 0, 0, 1, 1, 1, 2, 2]);
+        assert_eq!(rebalance(5, 2), vec![0, 0, 0, 1, 1]);
+        assert_eq!(rebalance(8, 1), vec![0; 8]);
+    }
+
+    #[test]
+    fn every_active_machine_hosts_at_least_one_fragment() {
+        for frags in 1..=16 {
+            for machines in 1..=frags {
+                let map = rebalance(frags, machines);
+                assert!(map.iter().all(|&m| m < machines));
+                for m in 0..machines {
+                    assert!(map.contains(&m), "machine {m} empty in {frags}->{machines}");
+                }
+                // Balanced: block sizes differ by at most one.
+                let mut sizes = vec![0usize; machines];
+                for &m in &map {
+                    sizes[m] += 1;
+                }
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced {sizes:?}");
+                // Blocks are contiguous and ordered.
+                assert!(map.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn moved_fragments_finds_exactly_the_differences() {
+        let old = rebalance(8, 8);
+        let new = rebalance(8, 4);
+        assert_eq!(moved_fragments(&old, &new), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert!(moved_fragments(&new, &new).is_empty());
+    }
+}

@@ -301,6 +301,21 @@ impl Journal {
         t
     }
 
+    /// Simulated seconds attributable to elastic membership changes: the
+    /// sum over events labeled `migrate` (fragment transfers, departing-
+    /// machine snapshots, receiver index rebuilds). Zero on a static run.
+    /// Kept apart from [`Journal::fault_seconds`]: a resize is a planned
+    /// reconfiguration, not a failure.
+    pub fn elastic_seconds(&self) -> f64 {
+        let mut t = 0.0;
+        for ev in &self.events {
+            if ev.label == "migrate" {
+                t += ev.dt;
+            }
+        }
+        t
+    }
+
     /// Total paper-equivalent disk bytes across events (all channels).
     pub fn disk_bytes(&self) -> u64 {
         self.events.iter().map(|e| e.disk_bytes).sum()

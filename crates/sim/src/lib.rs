@@ -29,14 +29,15 @@ pub mod spec;
 pub mod timeline;
 pub mod trace;
 
-pub use cluster::{Cluster, Phase, TransientFault};
+pub use cluster::{Cluster, Phase, TransientFault, ELASTIC_REBUILD_OPS_PER_BYTE};
 pub use cost::CostProfile;
 pub use hosttrace::HostSpan;
 pub use journal::{EventKind, Journal, JournalEvent, LabelCost};
 pub use metrics::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus};
 pub use registry::{Histogram, MetricsRegistry, SECONDS_BUCKETS};
 pub use spec::{
-    ClusterSpec, DiskSpec, FaultEvent, FaultPlan, FaultSpec, NetworkSpec, RETRY_MAX_ATTEMPTS,
+    ClusterSpec, DiskSpec, FaultEvent, FaultPlan, FaultSpec, NetworkSpec, MAX_ELASTIC_MACHINES,
+    RETRY_MAX_ATTEMPTS,
 };
 pub use timeline::{Block, CriticalPath, CriticalPathRow, Span, Timeline};
 pub use trace::{Trace, TraceSample};

@@ -76,6 +76,11 @@ pub struct FaultSpec {
 /// succeed: the bounded retry/backoff model never aborts a run.
 pub const RETRY_MAX_ATTEMPTS: u32 = 3;
 
+/// Largest physical machine count a resize may reach. A backstop against
+/// runaway `resize@T:+mM` plans (each physical slot carries accounting
+/// state), far above the paper's 128-machine ceiling.
+pub const MAX_ELASTIC_MACHINES: usize = 1024;
+
 /// One scheduled fault event. Times are simulated seconds; an event fires
 /// when the simulated clock first reaches its trigger time at the charge or
 /// barrier where the affected engine can observe it.
@@ -100,6 +105,15 @@ pub enum FaultEvent {
     /// An HDFS write on `machine` fails at `at_time`; retried with the same
     /// bounded backoff model as a lost fetch.
     FailedHdfsWrite { at_time: f64, machine: usize, attempts: u32 },
+    /// Elastic membership change at `at_time`: `delta > 0` machines join,
+    /// `delta < 0` machines leave. The cluster applies it at the next
+    /// barrier — the superstep suspends, fragments are deterministically
+    /// remapped onto the new machine set, migration cost (bytes moved over
+    /// the network model plus index-rebuild CPU, snapshot-assisted when the
+    /// source machine is departing) is charged under the `migrate` label,
+    /// and the run resumes. Because computation stays keyed to the fixed
+    /// logical fragments, the answer is bit-identical to the static run.
+    Resize { at_time: f64, delta: i64 },
 }
 
 impl FaultEvent {
@@ -108,7 +122,8 @@ impl FaultEvent {
         match *self {
             FaultEvent::Crash { at_time, .. }
             | FaultEvent::LostShuffleFetch { at_time, .. }
-            | FaultEvent::FailedHdfsWrite { at_time, .. } => at_time,
+            | FaultEvent::FailedHdfsWrite { at_time, .. }
+            | FaultEvent::Resize { at_time, .. } => at_time,
             FaultEvent::Straggler { start, .. } | FaultEvent::NetworkDegradation { start, .. } => {
                 start
             }
@@ -123,6 +138,7 @@ impl FaultEvent {
             FaultEvent::NetworkDegradation { .. } => "netdeg",
             FaultEvent::LostShuffleFetch { .. } => "fetch",
             FaultEvent::FailedHdfsWrite { .. } => "hdfs",
+            FaultEvent::Resize { .. } => "resize",
         }
     }
 }
@@ -142,6 +158,10 @@ impl std::fmt::Display for FaultEvent {
             }
             FaultEvent::FailedHdfsWrite { at_time, machine, attempts } => {
                 write!(f, "hdfs@{at_time}:m{machine}x{attempts}")
+            }
+            FaultEvent::Resize { at_time, delta } => {
+                let sign = if delta < 0 { '-' } else { '+' };
+                write!(f, "resize@{at_time}:{sign}m{}", delta.unsigned_abs())
             }
         }
     }
@@ -175,13 +195,35 @@ impl FaultPlan {
         self.events.iter().any(|e| matches!(e, FaultEvent::Crash { .. }))
     }
 
+    /// Whether any scheduled event is an elastic membership change.
+    pub fn has_resizes(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, FaultEvent::Resize { .. }))
+    }
+
     /// Validate every event against the cluster shape. Rejects events that
     /// could never fire (machine out of range, trigger past the deadline,
     /// non-positive times) or that break model invariants (slowdown < 1,
     /// bandwidth factor outside (0, 1], retry attempts outside
-    /// `1..=RETRY_MAX_ATTEMPTS`).
+    /// `1..=RETRY_MAX_ATTEMPTS`, resizes that would shrink the cluster
+    /// below one machine or past [`MAX_ELASTIC_MACHINES`]).
+    ///
+    /// Events are checked in trigger-time order (ties broken by plan
+    /// position — the order the cluster consumes them) so machine indices
+    /// and resize deltas are validated against the membership in effect
+    /// when each event fires.
     pub fn validate(&self, machines: usize, deadline: f64) -> Result<(), String> {
-        for (i, e) in self.events.iter().enumerate() {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.events[a]
+                .trigger_time()
+                .partial_cmp(&self.events[b].trigger_time())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        // Running physical machine count as resizes apply.
+        let mut count = machines;
+        for i in order {
+            let e = &self.events[i];
             let fail = |why: String| Err(format!("fault event #{i} ({e}): {why}"));
             let t = e.trigger_time();
             if !t.is_finite() || t < 0.0 {
@@ -195,9 +237,24 @@ impl FaultPlan {
                 | FaultEvent::LostShuffleFetch { machine, .. }
                 | FaultEvent::FailedHdfsWrite { machine, .. }
                 | FaultEvent::Straggler { machine, .. }
-                    if machine >= machines =>
+                    if machine >= count =>
                 {
-                    return fail(format!("machine {machine} >= cluster size {machines}"));
+                    return fail(format!("machine {machine} >= cluster size {count}"));
+                }
+                FaultEvent::Resize { delta, .. } => {
+                    if delta == 0 {
+                        return fail("resize delta must be non-zero".to_string());
+                    }
+                    let next = count as i64 + delta;
+                    if next < 1 {
+                        return fail(format!("scale-in past zero ({count} machines {delta:+})"));
+                    }
+                    if next > MAX_ELASTIC_MACHINES as i64 {
+                        return fail(format!(
+                            "scale-out past {MAX_ELASTIC_MACHINES} machines ({count} {delta:+})"
+                        ));
+                    }
+                    count = next as usize;
                 }
                 FaultEvent::Straggler { duration, slowdown, .. } => {
                     if !duration.is_finite() || duration < 0.0 {
@@ -233,64 +290,76 @@ impl FaultPlan {
     ///
     /// ```text
     /// crash@T:mM            straggler@T+D:mMxS     netdeg@T+D:xF
-    /// fetch@T:mM[xA]        hdfs@T:mM[xA]
+    /// fetch@T:mM[xA]        hdfs@T:mM[xA]          resize@T:+mM | resize@T:-mM
     /// ```
     ///
-    /// where `T`/`D` are seconds, `M` a machine index, `S` a slowdown
-    /// factor, `F` a bandwidth multiplier and `A` a retry-attempt count
-    /// (default 1).
+    /// where `T`/`D` are seconds, `M` a machine index (for `resize`, a
+    /// machine *count* to add or remove), `S` a slowdown factor, `F` a
+    /// bandwidth multiplier and `A` a retry-attempt count (default 1).
+    ///
+    /// Errors name the offending token and its byte offset in the input.
     pub fn parse(s: &str) -> Result<Self, String> {
+        let base = s.as_ptr() as usize;
         let mut events = Vec::new();
         for raw in s.split(';') {
             let part = raw.trim();
             if part.is_empty() {
                 continue;
             }
-            events.push(Self::parse_event(part)?);
+            // `part` is a subslice of `s`, so pointer distance is its offset.
+            let offset = part.as_ptr() as usize - base;
+            events.push(Self::parse_event(part, offset)?);
         }
         Ok(FaultPlan { events })
     }
 
-    fn parse_event(part: &str) -> Result<FaultEvent, String> {
-        let err = |why: &str| format!("cannot parse fault event {part:?}: {why}");
-        let (kind, rest) = part.split_once('@').ok_or_else(|| err("missing '@'"))?;
-        let (when, body) = rest.split_once(':').ok_or_else(|| err("missing ':'"))?;
-        let time = |s: &str| s.trim().parse::<f64>().map_err(|_| err("bad time"));
+    fn parse_event(part: &str, offset: usize) -> Result<FaultEvent, String> {
+        // Every token handed to `err` is a subslice of `part`, so its byte
+        // offset in the full plan string is recoverable by pointer distance.
+        let err = |tok: &str, why: &str| {
+            let at = offset + ((tok.as_ptr() as usize).saturating_sub(part.as_ptr() as usize));
+            format!("cannot parse fault event {part:?}: token {tok:?} at byte {at}: {why}")
+        };
+        let (kind, rest) = part.split_once('@').ok_or_else(|| err(part, "missing '@'"))?;
+        let (when, body) = rest.split_once(':').ok_or_else(|| err(rest, "missing ':'"))?;
+        let time = |s: &str| s.trim().parse::<f64>().map_err(|_| err(s.trim(), "bad time"));
         let (start, duration) = match when.split_once('+') {
             Some((t, d)) => (time(t)?, Some(time(d)?)),
             None => (time(when)?, None),
         };
         let machine = |s: &str| -> Result<usize, String> {
-            s.trim()
-                .strip_prefix('m')
+            let t = s.trim();
+            t.strip_prefix('m')
                 .and_then(|m| m.parse::<usize>().ok())
-                .ok_or_else(|| err("expected mN machine index"))
+                .ok_or_else(|| err(t, "expected mN machine index"))
         };
         match kind.trim() {
             "crash" => Ok(FaultEvent::Crash { at_time: start, machine: machine(body)? }),
             "straggler" => {
-                let (m, s) = body.split_once('x').ok_or_else(|| err("expected mMxS"))?;
+                let (m, s) = body.split_once('x').ok_or_else(|| err(body, "expected mMxS"))?;
                 Ok(FaultEvent::Straggler {
                     start,
-                    duration: duration.ok_or_else(|| err("straggler needs @T+D"))?,
+                    duration: duration.ok_or_else(|| err(when, "straggler needs @T+D"))?,
                     machine: machine(m)?,
-                    slowdown: s.trim().parse().map_err(|_| err("bad slowdown"))?,
+                    slowdown: s.trim().parse().map_err(|_| err(s.trim(), "bad slowdown"))?,
                 })
             }
             "netdeg" => Ok(FaultEvent::NetworkDegradation {
                 start,
-                duration: duration.ok_or_else(|| err("netdeg needs @T+D"))?,
-                factor: body
-                    .trim()
-                    .strip_prefix('x')
-                    .and_then(|f| f.parse::<f64>().ok())
-                    .ok_or_else(|| err("expected xF factor"))?,
+                duration: duration.ok_or_else(|| err(when, "netdeg needs @T+D"))?,
+                factor: {
+                    let t = body.trim();
+                    t.strip_prefix('x')
+                        .and_then(|f| f.parse::<f64>().ok())
+                        .ok_or_else(|| err(t, "expected xF factor"))?
+                },
             }),
             "fetch" | "hdfs" => {
                 let (m, attempts) = match body.split_once('x') {
-                    Some((m, a)) => {
-                        (m, a.trim().parse::<u32>().map_err(|_| err("bad attempt count"))?)
-                    }
+                    Some((m, a)) => (
+                        m,
+                        a.trim().parse::<u32>().map_err(|_| err(a.trim(), "bad attempt count"))?,
+                    ),
                     None => (body, 1),
                 };
                 let machine = machine(m)?;
@@ -300,7 +369,21 @@ impl FaultPlan {
                     FaultEvent::FailedHdfsWrite { at_time: start, machine, attempts }
                 })
             }
-            other => Err(err(&format!("unknown event kind {other:?}"))),
+            "resize" => {
+                let t = body.trim();
+                let (sign, m) = match (t.strip_prefix("+m"), t.strip_prefix("-m")) {
+                    (Some(m), _) => (1i64, m),
+                    (_, Some(m)) => (-1i64, m),
+                    _ => return Err(err(t, "expected +mN or -mN machine delta")),
+                };
+                let n = m
+                    .parse::<i64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err(t, "machine delta must be a positive integer"))?;
+                Ok(FaultEvent::Resize { at_time: start, delta: sign * n })
+            }
+            other => Err(err(kind.trim(), &format!("unknown event kind {other:?}"))),
         }
     }
 }
@@ -472,5 +555,128 @@ mod tests {
     fn legacy_fault_spec_bridges_into_a_plan() {
         let plan: FaultPlan = FaultSpec { at_time: 7.0, machine: 2 }.into();
         assert_eq!(plan, FaultPlan::single(7.0, 2));
+    }
+
+    #[test]
+    fn resize_events_parse_and_round_trip() {
+        let plan = FaultPlan::parse("resize@5:+m2; resize@9.5:-m1").unwrap();
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent::Resize { at_time: 5.0, delta: 2 },
+                FaultEvent::Resize { at_time: 9.5, delta: -1 },
+            ]
+        );
+        assert!(plan.has_resizes());
+        assert!(!plan.has_crashes());
+        let printed = plan.events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ");
+        assert_eq!(printed, "resize@5:+m2; resize@9.5:-m1");
+        assert_eq!(FaultPlan::parse(&printed).unwrap(), plan);
+        assert!(FaultPlan::parse("resize@5:m2").is_err(), "delta needs a sign");
+        assert!(FaultPlan::parse("resize@5:+m0").is_err(), "zero delta");
+        assert!(FaultPlan::parse("resize@5:+m-1").is_err(), "mangled delta");
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offset_and_token() {
+        let err = FaultPlan::parse("crash@5:m1; straggler@7:m0x2").unwrap_err();
+        assert!(err.contains("at byte 22"), "{err}");
+        assert!(err.contains("\"7\""), "{err}");
+        let err = FaultPlan::parse("crash@5:m1; explode@9:m0").unwrap_err();
+        assert!(err.contains("\"explode\""), "{err}");
+        assert!(err.contains("at byte 12"), "{err}");
+        let err = FaultPlan::parse("resize@1:xm2").unwrap_err();
+        assert!(err.contains("at byte 9"), "{err}");
+        assert!(err.contains("\"xm2\""), "{err}");
+    }
+
+    #[test]
+    fn resize_validation_walks_the_running_machine_count() {
+        let deadline = 100.0;
+        let ok = FaultPlan::parse("resize@5:-m2; resize@9:+m1").unwrap();
+        assert!(ok.validate(4, deadline).is_ok());
+        // 4 - 2 - 2 hits zero at the second event.
+        let zero = FaultPlan::parse("resize@5:-m2; resize@9:-m2").unwrap();
+        assert!(zero.validate(4, deadline).is_err());
+        // Machine indices are checked against the count in effect at their
+        // trigger time: m5 only exists after the scale-out at t=5.
+        let grown = FaultPlan::parse("resize@5:+m4; crash@9:m5").unwrap();
+        assert!(grown.validate(4, deadline).is_ok());
+        let early = FaultPlan::parse("crash@3:m5; resize@5:+m4").unwrap();
+        assert!(early.validate(4, deadline).is_err());
+        // Plan order, not schedule order, is irrelevant: the walk sorts by
+        // trigger time before checking.
+        let reordered = FaultPlan::parse("crash@9:m5; resize@5:+m4").unwrap();
+        assert!(reordered.validate(4, deadline).is_ok());
+        let cap = FaultPlan::parse(&format!("resize@5:+m{MAX_ELASTIC_MACHINES}")).unwrap();
+        assert!(cap.validate(4, deadline).is_err(), "past the machine-count cap");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_event() -> impl Strategy<Value = FaultEvent> {
+            prop_oneof![
+                (0.0..1e5f64, 0usize..256)
+                    .prop_map(|(t, m)| FaultEvent::Crash { at_time: t, machine: m }),
+                (0.0..1e5f64, 0.0..1e4f64, 0usize..256, 1.0..64.0f64).prop_map(
+                    |(start, duration, machine, slowdown)| FaultEvent::Straggler {
+                        start,
+                        duration,
+                        machine,
+                        slowdown,
+                    }
+                ),
+                (0.0..1e5f64, 0.0..1e4f64, 0.001..1.0f64).prop_map(|(start, duration, factor)| {
+                    FaultEvent::NetworkDegradation { start, duration, factor }
+                }),
+                (0.0..1e5f64, 0usize..256, 1u32..=RETRY_MAX_ATTEMPTS).prop_map(
+                    |(at_time, machine, attempts)| FaultEvent::LostShuffleFetch {
+                        at_time,
+                        machine,
+                        attempts,
+                    }
+                ),
+                (0.0..1e5f64, 0usize..256, 1u32..=RETRY_MAX_ATTEMPTS).prop_map(
+                    |(at_time, machine, attempts)| FaultEvent::FailedHdfsWrite {
+                        at_time,
+                        machine,
+                        attempts,
+                    }
+                ),
+                (0.0..1e5f64, prop_oneof![-64i64..0, 1i64..=64])
+                    .prop_map(|(at_time, delta)| FaultEvent::Resize { at_time, delta }),
+            ]
+        }
+
+        proptest! {
+            // The parser is total: arbitrary input produces Ok or Err,
+            // never a panic (slicing, unwraps, arithmetic are all safe).
+            #[test]
+            fn parse_never_panics(s in ".*") {
+                let _ = FaultPlan::parse(&s);
+            }
+
+            // Display of any representable plan round-trips through parse.
+            #[test]
+            fn display_round_trips_for_any_plan(
+                events in prop::collection::vec(arb_event(), 0..8),
+            ) {
+                let plan = FaultPlan { events };
+                let printed =
+                    plan.events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ");
+                prop_assert_eq!(FaultPlan::parse(&printed).unwrap(), plan);
+            }
+
+            // Validation never panics either, whatever the plan shape.
+            #[test]
+            fn validate_never_panics(
+                events in prop::collection::vec(arb_event(), 0..8),
+                machines in 1usize..32,
+            ) {
+                let _ = FaultPlan { events }.validate(machines, 86_400.0);
+            }
+        }
     }
 }

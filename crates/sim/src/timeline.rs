@@ -148,9 +148,18 @@ impl Timeline {
         Timeline { machines, spans: Vec::new() }
     }
 
-    /// Simulated machines in the cluster (one export track each).
+    /// Simulated machines in the cluster (one export track each). After an
+    /// elastic scale-out this is the widest membership the run reached;
+    /// spans committed earlier keep their narrower `per_machine` vectors.
     pub fn machines(&self) -> usize {
         self.machines
+    }
+
+    /// Grow the machine count after an elastic scale-out (never shrinks:
+    /// departed machines keep their export tracks — their spans are part of
+    /// the run).
+    pub fn ensure_machines(&mut self, n: usize) {
+        self.machines = self.machines.max(n);
     }
 
     pub fn push(&mut self, span: Span) {

@@ -7,13 +7,16 @@
 //!
 //! 1. **answers survive** — every faulted run reproduces the fault-free
 //!    result bit-for-bit (checkpoint replay and lineage recompute actually
-//!    restore state; the cost-only mechanisms never touch it);
+//!    restore state; the cost-only mechanisms never touch it), and the
+//!    fault-free answer itself matches `algos::reference`;
 //! 2. **thread-count invariance** — the faulted run's metrics, journal,
 //!    registry, and result are bit-identical at 1 and 4 host threads;
 //! 3. **monotonic cost** — simulated runtime never decreases as the next
 //!    scheduled event is appended to the plan (prefixes are taken in
 //!    trigger-time order and windows are capped at the next trigger, the
-//!    form for which this is a theorem — see DESIGN.md);
+//!    form for which this is a theorem — see DESIGN.md). Exempt once a
+//!    prefix contains a `resize`: scaling back out after a scale-in can
+//!    legitimately make the run *faster* than the scaled-in prefix;
 //! 4. **nothing vanishes** — every scheduled event is either consumed
 //!    (counted in the `faults.*` registry counters) or reported in
 //!    `notes` as `fault event unreached: ...`.
@@ -22,7 +25,7 @@
 //! reproduce locally; scale the case count with `GRAPHBENCH_CHAOS_CASES`.
 
 use graphbench_algos::workload::PageRankConfig;
-use graphbench_algos::Workload;
+use graphbench_algos::{reference, Workload, WorkloadResult};
 use graphbench_engines::graphx::GraphX;
 use graphbench_engines::hadoop::Hadoop;
 use graphbench_engines::pregel::Giraph;
@@ -104,7 +107,7 @@ struct AbstractFault {
 
 fn arb_fault() -> impl Strategy<Value = AbstractFault> {
     (
-        0u8..5,
+        0u8..6,
         0.0..0.6f64,
         0..MACHINES,
         1.5..3.0f64,
@@ -127,10 +130,16 @@ fn arb_fault() -> impl Strategy<Value = AbstractFault> {
 /// At most two crashes per plan: restart-style recovery doubles the
 /// remaining runtime per crash, and the cap keeps every prefix far from
 /// the 24 h simulated deadline.
+///
+/// Resize events walk a running machine count (start [`MACHINES`], kept
+/// within `[2, 12]`), and machine-indexed events target `machine % count`
+/// so they always hit a member of the cluster in effect at their trigger —
+/// the same rule `FaultPlan::validate` enforces.
 fn materialize(abstracts: &[AbstractFault], t_clean: f64) -> FaultPlan {
     let n = abstracts.len();
     let frac = |i: usize, off: f64| 0.05 + 0.85 * (i as f64 + off) / n as f64;
     let mut crashes = 0;
+    let mut count = MACHINES as i64;
     let mut events = Vec::with_capacity(n);
     for (i, a) in abstracts.iter().enumerate() {
         let start = frac(i, a.offset) * t_clean;
@@ -143,22 +152,27 @@ fn materialize(abstracts: &[AbstractFault], t_clean: f64) -> FaultPlan {
                 kind = 3; // demote surplus crashes to transients
             }
         }
+        let machine = a.machine % count.max(1) as usize;
         events.push(match kind {
-            0 => FaultEvent::Crash { at_time: start, machine: a.machine },
-            1 => {
-                FaultEvent::Straggler { start, duration, machine: a.machine, slowdown: a.slowdown }
-            }
+            0 => FaultEvent::Crash { at_time: start, machine },
+            1 => FaultEvent::Straggler { start, duration, machine, slowdown: a.slowdown },
             2 => FaultEvent::NetworkDegradation { start, duration, factor: a.factor },
-            3 => FaultEvent::LostShuffleFetch {
-                at_time: start,
-                machine: a.machine,
-                attempts: a.attempts,
-            },
-            4 => FaultEvent::FailedHdfsWrite {
-                at_time: start,
-                machine: a.machine,
-                attempts: a.attempts,
-            },
+            3 => FaultEvent::LostShuffleFetch { at_time: start, machine, attempts: a.attempts },
+            4 => FaultEvent::FailedHdfsWrite { at_time: start, machine, attempts: a.attempts },
+            5 => {
+                // ±1..2 machines, preferring the direction the generated
+                // bit picks but clamped so membership stays within [2, 12].
+                let mag = 1 + (a.attempts as i64 & 1);
+                let delta = if a.machine % 2 == 0 && count + mag <= 12 {
+                    mag
+                } else if count - mag >= 2 {
+                    -mag
+                } else {
+                    mag
+                };
+                count += delta;
+                FaultEvent::Resize { at_time: start, delta }
+            }
             _ => unreachable!(),
         });
     }
@@ -173,6 +187,7 @@ fn consumed(out: &RunOutput) -> u64 {
         "faults.hdfs.retried",
         "faults.straggler.applied",
         "faults.netdeg.applied",
+        "faults.resize.applied",
     ]
     .iter()
     .map(|name| out.registry.counter(name))
@@ -192,25 +207,48 @@ fn fingerprint(out: &RunOutput) -> (String, String, String) {
     )
 }
 
+/// The clean answer must be *right*, not merely stable: ranks within 1e-9
+/// of the serial reference fold, labels exactly equal.
+fn check_reference(idx: usize, label: &str, clean: &RunOutput) -> Result<(), TestCaseError> {
+    let ds = dataset();
+    let (_, _, workload) = cell(idx);
+    let got = clean.result.as_ref().expect("clean result");
+    match workload {
+        Workload::PageRank(cfg) => {
+            let want = WorkloadResult::Ranks(reference::pagerank(&ds.1, &cfg).0);
+            let diff = got.max_rank_diff(&want);
+            prop_assert!(diff <= 1e-9, "{label}: ranks off reference by {diff}");
+        }
+        _ => {
+            let want = WorkloadResult::Labels(reference::wcc(&ds.1));
+            prop_assert!(got.same_labels(&want), "{label}: labels diverge from reference");
+        }
+    }
+    Ok(())
+}
+
 fn check_case(idx: usize, abstracts: &[AbstractFault]) -> Result<(), TestCaseError> {
     let (label, _, _) = cell(idx);
     let clean = run_cell(idx, FaultPlan::none());
     prop_assert!(clean.metrics.status.is_ok(), "{label}: clean run failed");
+    check_reference(idx, label, &clean)?;
     let t_clean = clean.metrics.total_time();
     let plan = materialize(abstracts, t_clean);
 
     // 3+4: each time-ordered prefix costs at least as much as the last,
     // and accounts for every scheduled event.
     let mut prev = t_clean;
+    let mut resized = false;
     for k in 1..=plan.events.len() {
         let prefix = FaultPlan { events: plan.events[..k].to_vec() };
         let out = run_cell(idx, prefix);
         prop_assert!(out.metrics.status.is_ok(), "{label}: prefix {k} failed");
         // 1: the answer survives every fault combination.
         prop_assert_eq!(&clean.result, &out.result, "{} prefix {}: answer changed", label, k);
+        resized |= matches!(plan.events[k - 1], FaultEvent::Resize { .. });
         let t = out.metrics.total_time();
         prop_assert!(
-            t >= prev - 1e-9,
+            resized || t >= prev - 1e-9,
             "{} prefix {}: runtime decreased {} -> {}",
             label,
             k,

@@ -230,6 +230,59 @@ fn golden_giraph_pagerank_faulted() {
     check_snapshot("giraph_pagerank_faulted", &serial);
 }
 
+/// An elastic run is as deterministic as a static one: half the cluster
+/// leaves 30% of the way through execution and rejoins at 70%, the journal
+/// carries the migration under the `migrate` label (and *not* under the
+/// fault labels — a resize is planned, not a failure), and the same golden
+/// snapshot verifies at 1 and 4 host threads.
+#[test]
+fn golden_giraph_pagerank_elastic() {
+    let spec = ExperimentSpec {
+        system: SystemId::Giraph,
+        workload: WorkloadKind::PageRank,
+        dataset: DatasetKind::Twitter,
+        machines: 16,
+    };
+    let clean = runner().run(&spec);
+    let p = clean.metrics.phases;
+    let exec_at = |alpha: f64| p.overhead + p.load + alpha * p.execute;
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent::Resize { at_time: exec_at(0.3), delta: -8 },
+            FaultEvent::Resize { at_time: exec_at(0.7), delta: 8 },
+        ],
+    };
+    let rec = |threads: usize| {
+        let mut r = runner();
+        r.threads = Some(threads);
+        r.faults = Some(plan.clone());
+        r.run(&spec)
+    };
+    let serial = rec(1);
+    let parallel = rec(4);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "elastic record diverged between 1 and 4 host threads"
+    );
+    assert!(
+        serial.journal.events().iter().any(|e| e.label == "migrate"),
+        "no `migrate` event in the elastic journal"
+    );
+    assert!(serial.journal.elastic_seconds() > 0.0);
+    assert_eq!(serial.journal.fault_seconds(), 0.0, "migration cost leaked into the fault labels");
+    assert_eq!(serial.registry.counter("elastic.resizes"), 2);
+    assert_eq!(serial.registry.counter("elastic.scale_in"), 1);
+    assert_eq!(serial.registry.counter("elastic.scale_out"), 1);
+    assert!(serial.metrics.total_time() > clean.metrics.total_time());
+    assert!(
+        !serial.notes.iter().any(|n| n.starts_with("fault event unreached:")),
+        "a scheduled resize never triggered: {:?}",
+        serial.notes
+    );
+    check_snapshot("giraph_pagerank_elastic", &serial);
+}
+
 /// The multi-seed wrapper is invisible at one seed: a [`MultiRunRecord`]
 /// holding a single seeded run serializes byte-identically to the legacy
 /// [`RunRecord`] path, so the golden snapshots (and any saved

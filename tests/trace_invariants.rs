@@ -64,7 +64,14 @@ fn assert_spans_well_formed(tl: &Timeline, label: &str) {
             assert_eq!(s.gating_machine(), None, "{label}: span {i}");
             continue;
         }
-        assert_eq!(s.per_machine.len(), tl.machines(), "{label}: span {i} vector size");
+        // `tl.machines()` is the max-ever width: spans charged before an
+        // elastic scale-out are narrower, never wider.
+        assert!(
+            s.per_machine.len() <= tl.machines(),
+            "{label}: span {i} vector wider than the timeline ({} > {})",
+            s.per_machine.len(),
+            tl.machines()
+        );
         let mut max = 0.0f64;
         for (m, &t) in s.per_machine.iter().enumerate() {
             assert!(t >= 0.0, "{label}: span {i} machine {m} negative");
@@ -210,6 +217,35 @@ fn faulted_runs_still_decompose_bit_for_bit() {
             .iter()
             .any(|s| s.label == "straggler" && s.per_machine.is_empty() && s.dt > 0.0),
         "no straggler stall span in the faulted timeline"
+    );
+}
+
+/// Elastic resizes must not break the decomposition either: migration
+/// spans gate on their slowest machine exactly like compute spans, and the
+/// replay reproduces the resized runtime bit-for-bit.
+#[test]
+fn elastic_runs_still_decompose_bit_for_bit() {
+    let spec = ExperimentSpec {
+        system: SystemId::Giraph,
+        workload: WorkloadKind::PageRank,
+        dataset: DatasetKind::Twitter,
+        machines: 16,
+    };
+    let clean = runner().run(&spec);
+    let p = clean.metrics.phases;
+    let mut r = runner();
+    r.faults = Some(FaultPlan {
+        events: vec![
+            FaultEvent::Resize { at_time: p.overhead + p.load + 0.25 * p.execute, delta: -8 },
+            FaultEvent::Resize { at_time: p.overhead + p.load + 0.65 * p.execute, delta: 8 },
+        ],
+    });
+    let rec = r.run(&spec);
+    assert!(rec.runtime > clean.runtime, "migration should cost simulated time");
+    assert_all(&rec);
+    assert!(
+        rec.timeline.spans().iter().any(|s| s.label == "migrate" && s.dt > 0.0),
+        "no migrate span in the elastic timeline"
     );
 }
 
