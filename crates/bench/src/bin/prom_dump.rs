@@ -1,0 +1,140 @@
+//! Render metrics as Prometheus text exposition (format 0.0.4) — offline
+//! from a saved `repro_results.json`, or by scraping a live `--serve`
+//! endpoint. Used by CI's `obs` job and for feeding saved runs into any
+//! Prometheus-compatible toolchain.
+//!
+//! ```sh
+//! prom_dump <repro_results.json> [--check] [--out <path>]
+//! prom_dump --scrape <host:port> [--retry N] [--check] [--out <path>]
+//! ```
+//!
+//! `--check` runs the in-repo exposition conformance checker over the
+//! output and exits nonzero on any violation (printing all of them).
+//! `--scrape` speaks plain HTTP/1.1 over `std::net::TcpStream` — no curl
+//! required — and `--retry N` retries the connection up to N times at one
+//! second apart, for scripts that race a freshly started bin.
+
+use graphbench_obs::prom;
+use graphbench_sim::MetricsRegistry;
+use serde_json::Value;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("prom_dump: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut scrape: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut check = false;
+    let mut retry = 0u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scrape" => {
+                i += 1;
+                scrape =
+                    Some(args.get(i).unwrap_or_else(|| fail("--scrape takes host:port")).clone());
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).unwrap_or_else(|| fail("--out takes a path")).clone());
+            }
+            "--retry" => {
+                i += 1;
+                let n = args.get(i).unwrap_or_else(|| fail("--retry takes a count"));
+                retry = n.parse().unwrap_or_else(|_| fail(&format!("bad --retry {n:?}")));
+            }
+            "--check" => check = true,
+            a if a.starts_with("--") => fail(&format!("unknown flag {a:?}")),
+            a => {
+                if path.is_some() {
+                    fail(&format!("unexpected argument {a:?}"));
+                }
+                path = Some(a.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let text = match (&scrape, &path) {
+        (Some(addr), None) => scrape_metrics(addr, retry),
+        (None, Some(path)) => render_records(path),
+        _ => fail("usage: prom_dump <repro_results.json> | --scrape <host:port> [--retry N] [--check] [--out <path>]"),
+    };
+
+    if check {
+        if let Err(violations) = prom::check_exposition(&text) {
+            for v in &violations {
+                eprintln!("prom_dump: conformance: {v}");
+            }
+            fail(&format!("{} conformance violation(s)", violations.len()));
+        }
+        eprintln!("prom_dump: exposition conforms to text format 0.0.4");
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                fail(&format!("cannot write exposition to {path}: {e}"));
+            }
+            println!("wrote {} bytes of exposition to {path}", text.len());
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// GET /metrics from a live observability server over plain std TCP.
+fn scrape_metrics(addr: &str, retry: u32) -> String {
+    let timeout = Duration::from_secs(10);
+    let mut last_err = String::new();
+    for attempt in 0..=retry {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_secs(1));
+        }
+        match graphbench_obs::http_get(addr, "/metrics", timeout) {
+            Ok((200, body)) => return body,
+            Ok((status, _)) => last_err = format!("HTTP {status} from {addr}/metrics"),
+            Err(e) => last_err = format!("{addr}: {e}"),
+        }
+    }
+    fail(&format!("scrape failed after {} attempt(s): {last_err}", retry + 1));
+}
+
+/// Render every record of a saved `repro_results.json` (the `repro_all`
+/// dump: a JSON array of run records) with per-run labels.
+fn render_records(path: &str) -> String {
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let v: Value = serde_json::from_str(&data)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let records = v.as_array().unwrap_or_else(|| fail(&format!("{path} is not a JSON array")));
+    let mut series: Vec<(Vec<(String, String)>, MetricsRegistry)> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        let registry: MetricsRegistry = match rec.get("registry") {
+            Some(r) => serde_json::from_value(r.clone())
+                .unwrap_or_else(|e| fail(&format!("record {i}: bad registry: {e}"))),
+            None => fail(&format!("record {i} has no registry field")),
+        };
+        let label = |key: &str| rec.get(key).map(json_label).unwrap_or_default();
+        let labels = vec![
+            ("run".to_string(), format!("{i:04}")),
+            ("system".to_string(), label("system")),
+            ("workload".to_string(), label("workload")),
+            ("dataset".to_string(), label("dataset")),
+            ("machines".to_string(), label("machines")),
+        ];
+        series.push((labels, registry));
+    }
+    let borrowed: Vec<prom::Series<'_>> = series.iter().map(|(l, r)| (l.clone(), r)).collect();
+    prom::render_many(&borrowed)
+}
+
+fn json_label(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}

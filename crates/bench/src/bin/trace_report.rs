@@ -24,9 +24,11 @@ fn main() {
     let golden = std::env::args().any(|a| a == "--golden");
     graphbench_repro::banner("trace_report", "critical-path decomposition per engine");
     let mut runner = if golden {
-        // Must match tests/golden_records.rs::runner() exactly.
+        // Must match tests/golden_records.rs::runner() exactly. Observers
+        // are read-only, so attaching the plane cannot perturb the golden.
         let mut r = Runner::new(PaperEnv::new(Scale { base: 300 }, 7));
         r.fixed_pr_iterations = 5;
+        r.obs = graphbench_repro::observability();
         r
     } else {
         graphbench_repro::runner()

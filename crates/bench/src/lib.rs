@@ -51,6 +51,8 @@ use graphbench::paper::PaperEnv;
 use graphbench::runner::{RunRecord, Runner};
 use graphbench::stats::MultiRunRecord;
 use graphbench_gen::Scale;
+use graphbench_obs::{FlightRecorder, JsonlSink, ObserverHub, TtySink};
+use std::sync::{Arc, OnceLock};
 
 /// Environment-configured scale (`GRAPHBENCH_BASE`, default 1500 — the
 /// calibrated test scale; raise for heavier runs).
@@ -114,6 +116,7 @@ pub fn runner() -> Runner {
     let seeds = seeds();
     let mut r = Runner::new(PaperEnv::new(scale(), seeds[0]));
     r.seeds = seeds;
+    r.obs = observability();
     r
 }
 
@@ -126,6 +129,9 @@ pub fn banner(target: &str, what: &str) {
     if trace_path().is_some() {
         graphbench_sim::hosttrace::enable();
     }
+    // Bring the observability plane up before any run starts, so a scraper
+    // attached from the first printed line onward never misses a superstep.
+    observability();
     println!("=== {target}: {what} ===");
     let sweep = seeds();
     if sweep.len() > 1 {
@@ -145,9 +151,32 @@ pub fn banner(target: &str, what: &str) {
     }
 }
 
-/// Paper-vs-measured footnote.
+/// Paper-vs-measured footnote. Also the last thing every bin prints, which
+/// makes it the natural place to honor `GRAPHBENCH_SERVE_LINGER`.
 pub fn paper_note(note: &str) {
     println!("\npaper: {note}");
+    serve_linger();
+}
+
+/// Hold the process open after its final output when `--serve` is active
+/// and `GRAPHBENCH_SERVE_LINGER=<seconds>` is set, so scrapers (CI jobs,
+/// the serve tests) get a deterministic window in which every run has
+/// completed but `/metrics` is still up. A no-op otherwise.
+fn serve_linger() {
+    if serve_addr().is_none() {
+        return;
+    }
+    let Some(secs) = std::env::var("GRAPHBENCH_SERVE_LINGER")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&s| s > 0)
+    else {
+        return;
+    };
+    println!("observability plane lingering {secs}s for scrapers");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    std::thread::sleep(std::time::Duration::from_secs(secs));
 }
 
 /// The journal export destination, if any: `--journal <path>` (or
@@ -188,6 +217,96 @@ pub fn trace_path() -> Option<String> {
 pub fn fail_export(what: &str, path: &str, err: &std::io::Error) -> ! {
     eprintln!("graphbench: cannot write {what} to {path}: {err}");
     std::process::exit(1);
+}
+
+/// The metrics-server bind address, if serving was requested: `--serve
+/// <addr>` (or `--serve=<addr>`) on the command line, else the
+/// `GRAPHBENCH_SERVE` environment variable (e.g. `127.0.0.1:9184`, or port
+/// `0` for an ephemeral port printed at startup).
+pub fn serve_addr() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--serve" {
+            return Some(args.next().expect("--serve takes an address"));
+        }
+        if let Some(p) = a.strip_prefix("--serve=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("GRAPHBENCH_SERVE").ok()
+}
+
+/// The JSONL progress-log destination, if any: `--progress-log <path>` (or
+/// `--progress-log=<path>`), else `GRAPHBENCH_PROGRESS_LOG`.
+pub fn progress_log_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--progress-log" {
+            return Some(args.next().expect("--progress-log takes a path"));
+        }
+        if let Some(p) = a.strip_prefix("--progress-log=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("GRAPHBENCH_PROGRESS_LOG").ok()
+}
+
+/// Whether the live TTY progress renderer was requested (`--progress`, or
+/// `GRAPHBENCH_PROGRESS=1`).
+pub fn progress_enabled() -> bool {
+    std::env::args().any(|a| a == "--progress")
+        || std::env::var("GRAPHBENCH_PROGRESS").is_ok_and(|v| v == "1")
+}
+
+/// The process-wide observability plane, built once on first call (the
+/// [`banner`] every bin prints first) from [`serve_addr`],
+/// [`progress_log_path`], and [`progress_enabled`]. Returns `None` when
+/// nothing was requested — the runner then carries no observers and the
+/// per-barrier hook is never armed.
+///
+/// Failures follow the explicit-export convention ([`fail_export`]): an
+/// unbindable or malformed `--serve`/`GRAPHBENCH_SERVE` address and an
+/// unwritable progress log each print exactly what failed and exit 1 —
+/// silently dropping observability the user asked for would be worse.
+pub fn observability() -> Option<Arc<ObserverHub>> {
+    static HUB: OnceLock<Option<Arc<ObserverHub>>> = OnceLock::new();
+    HUB.get_or_init(|| {
+        let serve = serve_addr();
+        let log = progress_log_path();
+        let tty = progress_enabled();
+        if serve.is_none() && log.is_none() && !tty {
+            return None;
+        }
+        let hub = Arc::new(ObserverHub::new());
+        let recorder = Arc::new(FlightRecorder::default());
+        hub.add_sink(recorder.clone());
+        if let Some(addr) = serve {
+            match graphbench_obs::serve(&addr, recorder) {
+                Ok(server) => {
+                    println!("serving observability plane at http://{}", server.local_addr());
+                    // Flush past any pipe buffering: scrape scripts parse
+                    // this line from a live child process.
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                Err(e) => {
+                    eprintln!("graphbench: cannot bind {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = log {
+            match JsonlSink::create(std::path::Path::new(&path)) {
+                Ok(sink) => hub.add_sink(Arc::new(sink)),
+                Err(e) => fail_export("progress log", &path, &e),
+            }
+        }
+        if tty {
+            hub.add_sink(Arc::new(TtySink));
+        }
+        Some(hub)
+    })
+    .clone()
 }
 
 /// Write every record's structured journal to one JSONL file when a

@@ -8,9 +8,11 @@ use graphbench_algos::{Workload, WorkloadKind, WorkloadResult, UNREACHABLE};
 use graphbench_engines::shuffle::ShuffleMode;
 use graphbench_engines::EngineInput;
 use graphbench_gen::DatasetKind;
+use graphbench_obs::ObserverHub;
 use graphbench_sim::{FaultPlan, HostSpan, Journal, MetricsRegistry, RunMetrics, Timeline, Trace};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One cell of the paper's experiment matrix (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +115,11 @@ pub struct Runner {
     /// `"crash@120:m3; straggler@60+30:m1x2"`), which itself defaults to a
     /// fault-free plan.
     pub faults: Option<FaultPlan>,
+    /// Live observability hub (`--serve`/`--progress`/progress logs). When
+    /// set, every run is announced to the hub and the hub rides the
+    /// cluster's per-barrier observer hook. Strictly read-only: records are
+    /// byte-identical with or without it (see `tests/observer_safety.rs`).
+    pub obs: Option<Arc<ObserverHub>>,
 }
 
 /// `GRAPHBENCH_FAULTS`, parsed once per process. A malformed value is
@@ -146,6 +153,7 @@ impl Runner {
             chunk: None,
             shuffle: None,
             faults: None,
+            obs: None,
         }
     }
 
@@ -200,6 +208,17 @@ impl Runner {
             self.env.cluster_for(spec.dataset, spec.machines, spec.workload)
         };
         cluster.faults = self.faults.clone().unwrap_or_else(env_fault_plan);
+        if let Some(hub) = &self.obs {
+            hub.begin_run(
+                &spec.system.label(),
+                spec.workload.name(),
+                spec.dataset.name(),
+                spec.machines,
+                self.env.scale.base,
+                self.env.seed,
+            );
+            cluster.observers.attach(Arc::clone(hub) as Arc<dyn graphbench_sim::ClusterObserver>);
+        }
         let partitions = self.env.graphx_partitions(spec.dataset, spec.machines);
         let engine = spec.system.build(partitions);
         let input = EngineInput {
@@ -214,6 +233,9 @@ impl Runner {
         // The dataset's resident share of memory: the runner owns the CSR,
         // so it (not the engine) knows the actual layout bytes.
         out.metrics.dataset_mem_bytes = ds.graph.raw_bytes();
+        if let Some(hub) = &self.obs {
+            hub.end_run(out.metrics.status.code(), out.runtime, out.journal.to_jsonl());
+        }
         let result_items = match &out.result {
             Some(WorkloadResult::Ranks(r)) => r.len() as u64,
             Some(WorkloadResult::Labels(l)) => l.len() as u64,

@@ -638,6 +638,14 @@ pub fn run_bsp<P: VertexProgram>(
             cluster.local_read(&share)?;
             cluster.local_write(&share)?;
         }
+        if cluster.has_observers() {
+            // Pure observability hint: the live-vertex count the barrier
+            // snapshot will carry. Gated so runs without observers never
+            // pay the scan; never feeds back into any simulated outcome.
+            let live: u64 =
+                shards.iter().map(|s| s.active.iter().filter(|&&a| a).count() as u64).sum();
+            cluster.report_active(live);
+        }
         cluster.set_label("barrier");
         cluster.barrier()?;
         if cfg.trace_every > 0 && supersteps.is_multiple_of(cfg.trace_every) {

@@ -648,6 +648,10 @@ fn sync_pagerank(
         for (k, t) in tasks.into_iter().enumerate() {
             changed_pool[k] = t.changed;
         }
+        if cluster.has_observers() {
+            // Observability hint only: vertices applied this iteration.
+            cluster.report_active(updated);
+        }
         cluster.set_label("barrier");
         cluster.barrier()?;
         recovery.at_barrier(cluster)?;
@@ -936,6 +940,12 @@ fn wcc_propagate(
         cluster.set_label("gather");
         cluster.advance_compute(&ops, ctx.effective_cores())?;
         cluster.exchange(&sent, &recv, &msgs)?;
+        if cluster.has_observers() {
+            // Observability hint only: vertices whose component label will
+            // improve when this round's minima are applied.
+            let improving = (0..n).filter(|&v| best[v] < label[v]).count() as u64;
+            cluster.report_active(improving);
+        }
         cluster.set_label("barrier");
         cluster.barrier()?;
         recovery.at_barrier(cluster)?;

@@ -1,0 +1,258 @@
+//! Hand-rolled HTTP/1.1 on `std::net`: the serving edge of the plane.
+//!
+//! The dev container cannot reach the crate registry, so there is no
+//! axum/hyper here — a `TcpListener` accept loop, one short-lived thread
+//! per connection, `Connection: close` semantics. That is plenty for a
+//! Prometheus scraper and a curious `curl`. Endpoints:
+//!
+//! * `GET /metrics` — all recorded runs' registries as one text-format
+//!   0.0.4 exposition ([`crate::prom`]);
+//! * `GET /healthz` — `ok`;
+//! * `GET /runs` — JSON index of in-flight and finished runs;
+//! * `GET /runs/<id>/journal` — a finished run's journal (JSONL);
+//! * `GET /runs/<id>/recent` — the run's ring-buffer snapshots (JSONL).
+//!
+//! The module also provides [`http_get`], the std-only client the scrape
+//! tests and the `prom_dump --scrape` CI step use.
+
+use crate::prom;
+use crate::recorder::FlightRecorder;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics server. The accept loop runs on a detached thread for
+/// the life of the process; dropping this handle does not stop it (bench
+/// bins serve until exit, which is the Prometheus model).
+pub struct ObsServer {
+    local_addr: SocketAddr,
+}
+
+impl ObsServer {
+    /// The address actually bound — resolves port 0 to the ephemeral port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9184` or `0.0.0.0:0`) and serve the
+/// recorder. Returns an error string suitable for the harness's
+/// `cannot bind` failure path when the address is malformed or taken.
+pub fn serve(addr: &str, recorder: Arc<FlightRecorder>) -> Result<ObsServer, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let local_addr = listener.local_addr().map_err(|e| format!("{addr}: {e}"))?;
+    std::thread::Builder::new()
+        .name("graphbench-obs".into())
+        .spawn(move || accept_loop(listener, recorder))
+        .map_err(|e| format!("{addr}: cannot spawn server thread: {e}"))?;
+    Ok(ObsServer { local_addr })
+}
+
+fn accept_loop(listener: TcpListener, recorder: Arc<FlightRecorder>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let recorder = Arc::clone(&recorder);
+        // One thread per connection: scrape traffic is a request per
+        // few seconds, not a load-balancer target.
+        let _ = std::thread::Builder::new()
+            .name("graphbench-obs-conn".into())
+            .spawn(move || handle_connection(stream, &recorder));
+    }
+}
+
+fn handle_connection(stream: TcpStream, recorder: &FlightRecorder) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers until the blank line; we need none of them.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+        return;
+    }
+    route(&mut stream, path, recorder);
+}
+
+fn route(stream: &mut TcpStream, path: &str, recorder: &FlightRecorder) {
+    // Strip any query string; Prometheus appends none, humans might.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => respond(stream, 200, prom::CONTENT_TYPE, &recorder.render_prom()),
+        "/healthz" => respond(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/runs" => respond(stream, 200, "application/json; charset=utf-8", &recorder.runs_json()),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/runs/") {
+                if let Some(run_id) = rest.strip_suffix("/journal") {
+                    return match recorder.journal(run_id) {
+                        Some(journal) => {
+                            respond(stream, 200, "application/x-ndjson; charset=utf-8", &journal)
+                        }
+                        None => not_found(stream),
+                    };
+                }
+                if let Some(run_id) = rest.strip_suffix("/recent") {
+                    return match recorder.recent_jsonl(run_id) {
+                        Some(recent) => {
+                            respond(stream, 200, "application/x-ndjson; charset=utf-8", &recent)
+                        }
+                        None => not_found(stream),
+                    };
+                }
+            }
+            not_found(stream);
+        }
+    }
+}
+
+fn not_found(stream: &mut TcpStream) {
+    respond(stream, 404, "text/plain; charset=utf-8", "not found\n");
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // A peer that hung up mid-response is its own problem.
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Minimal std-only HTTP GET: returns `(status, body)`. Used by the scrape
+/// tests and `prom_dump --scrape`; follows no redirects, speaks
+/// `Connection: close` only.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut head_and_body = text.splitn(2, "\r\n\r\n");
+    let head = head_and_body.next().unwrap_or("");
+    let body = head_and_body.next().unwrap_or("").to_string();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::{Observer, ProgressEvent, RunMeta};
+    use graphbench_sim::MetricsRegistry;
+
+    fn recorder_with_one_run() -> Arc<FlightRecorder> {
+        let rec = Arc::new(FlightRecorder::new(8));
+        let meta = RunMeta {
+            run_id: "0001-giraph-pagerank-twitter-m16".into(),
+            engine: "Giraph".into(),
+            workload: "PageRank".into(),
+            dataset: "twitter".into(),
+            machines: 16,
+            scale: 300,
+            seed: 7,
+        };
+        rec.on_run_start(&meta);
+        let mut reg = MetricsRegistry::new();
+        reg.inc("events.compute", 4);
+        rec.on_superstep(
+            &meta,
+            &ProgressEvent {
+                run_id: meta.run_id.clone(),
+                superstep: 0,
+                active_vertices: 9,
+                messages: 1,
+                net_bytes: 2,
+                sim_seconds: 0.5,
+                host_seconds: 0.0,
+                journal_events: 1,
+            },
+            &reg,
+        );
+        rec
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_404_on_an_ephemeral_port() {
+        let server = serve("127.0.0.1:0", recorder_with_one_run()).unwrap();
+        let addr = server.local_addr().to_string();
+        let t = Duration::from_secs(5);
+
+        let (status, body) = http_get(&addr, "/healthz", t).unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        crate::prom::check_exposition(&body).unwrap();
+        assert!(body.contains("graphbench_events_compute_total"));
+        assert!(body.contains("run=\"0001-giraph-pagerank-twitter-m16\""));
+
+        let (status, body) = http_get(&addr, "/runs", t).unwrap();
+        assert_eq!(status, 200);
+        let index: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(index[0]["engine"], "Giraph");
+
+        let (status, _) = http_get(&addr, "/nope", t).unwrap();
+        assert_eq!(status, 404);
+        // Journal not recorded yet -> 404; recent exists.
+        let (status, _) =
+            http_get(&addr, "/runs/0001-giraph-pagerank-twitter-m16/journal", t).unwrap();
+        assert_eq!(status, 404);
+        let (status, body) =
+            http_get(&addr, "/runs/0001-giraph-pagerank-twitter-m16/recent", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.trim().starts_with('{'));
+    }
+
+    #[test]
+    fn binding_a_taken_port_reports_the_address() {
+        let first = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = first.local_addr().unwrap().to_string();
+        let err = serve(&addr, Arc::new(FlightRecorder::default())).unwrap_err();
+        assert!(err.contains(&addr), "{err}");
+    }
+
+    #[test]
+    fn malformed_addresses_error_instead_of_panicking() {
+        assert!(serve("not-an-address", Arc::new(FlightRecorder::default())).is_err());
+        assert!(serve("127.0.0.1:notaport", Arc::new(FlightRecorder::default())).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Live observability plane for the graphbench harness.
+//!
+//! Everything the simulator measures — counters, histograms, journals —
+//! used to be dead-drop: visible only after a run ends, via files. This
+//! crate makes it live, with four layers and **zero non-workspace
+//! dependencies** (the dev container cannot reach a crate registry, so the
+//! HTTP edge is hand-rolled on `std::net`):
+//!
+//! * [`prom`] — render [`graphbench_sim::MetricsRegistry`] to Prometheus
+//!   text exposition format 0.0.4, plus an in-repo conformance checker;
+//! * [`progress`] — the [`progress::ObserverHub`] adapts the simulator's
+//!   per-barrier [`graphbench_sim::ClusterObserver`] hook into run-stamped
+//!   progress events, fanned out to a JSONL log, a TTY renderer, and the
+//!   flight recorder;
+//! * [`recorder`] — an in-memory ring buffer of recent supersteps and
+//!   registry snapshots per run;
+//! * [`httpd`] — a small threaded HTTP server (`/metrics`, `/healthz`,
+//!   `/runs`, `/runs/<id>/journal`) over the recorder, plus the std-only
+//!   scrape client.
+//!
+//! The plane is strictly read-only: observers receive `&`-references at
+//! the cluster's commit point and the simulated outcome (journal,
+//! registry, goldens) is byte-identical with the plane on or off.
+
+pub mod httpd;
+pub mod progress;
+pub mod prom;
+pub mod recorder;
+
+pub use httpd::{http_get, serve, ObsServer};
+pub use progress::{JsonlSink, Observer, ObserverHub, ProgressEvent, RunEnd, RunMeta, TtySink};
+pub use prom::{check_exposition, render, render_many, CONTENT_TYPE};
+pub use recorder::FlightRecorder;

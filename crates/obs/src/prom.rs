@@ -1,0 +1,680 @@
+//! Prometheus text exposition (format 0.0.4) for the metrics registry.
+//!
+//! The simulator's [`MetricsRegistry`] names metrics with dots
+//! (`faults.crash`, `seconds.compute`); Prometheus names admit only
+//! `[a-zA-Z0-9_:]`. This module renders a registry — or several, one per
+//! run, sharing metric families — to the text format a Prometheus server
+//! scrapes, and provides an in-repo conformance checker the tests and the
+//! CI scrape job run against live output.
+//!
+//! Rendering is deterministic: families appear in name order (counters
+//! first, then histograms — the registry's own `BTreeMap` order within
+//! each), series within a family in caller order, label pairs in caller
+//! order with `le` last. Two registries with equal contents render
+//! byte-identically regardless of host thread count.
+
+use graphbench_sim::MetricsRegistry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Content-Type a 0.0.4 exposition is served under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// One labeled registry: the label pairs (e.g. engine/workload/scale/seed)
+/// applied to every sample rendered from it.
+pub type Series<'a> = (Vec<(String, String)>, &'a MetricsRegistry);
+
+/// Sanitize a registry metric name into a Prometheus metric name:
+/// `graphbench_` prefix, every char outside `[a-zA-Z0-9_:]` replaced by
+/// `_`, and — for counters — the conventional `_total` suffix
+/// (`faults.crash` → `graphbench_faults_crash_total`).
+pub fn metric_name(raw: &str, counter: bool) -> String {
+    let mut name = String::with_capacity(raw.len() + 18);
+    name.push_str("graphbench_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    if counter {
+        name.push_str("_total");
+    }
+    name
+}
+
+/// Sanitize a label name: `[a-zA-Z0-9_]` kept, everything else `_`, and a
+/// leading digit shielded with `_`.
+pub fn label_name(raw: &str) -> String {
+    let mut name = String::with_capacity(raw.len() + 1);
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        name.insert(0, '_');
+    }
+    name
+}
+
+/// Escape a label value per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP docstring: `\` → `\\`, newline → `\n`.
+fn escape_help(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{a="x",b="y"}` (or the empty string) from sanitized pairs plus an
+/// optional trailing `le`.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", label_name(k), escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Upper-bound text for a `le` label. Rust's shortest-roundtrip `Display`
+/// is deterministic; integral bounds drop the fraction (`10000`, not
+/// `10000.0`) which the format permits.
+fn le_text(bound: f64) -> String {
+    format!("{bound}")
+}
+
+/// Assign every raw metric name a unique exposition family name. Distinct
+/// raw names can sanitize to the same Prometheus name (`"a b"` and `"a.b"`
+/// both become `graphbench_a_b`), which would emit duplicate `# HELP` /
+/// `# TYPE` comments — non-conformant. Later families (in raw-name order,
+/// so deterministically) get a numeric disambiguator before any `_total`
+/// suffix; the HELP text still quotes the raw name, which keeps collided
+/// families tellable apart.
+fn assign_family_names<'a>(
+    counters: &BTreeSet<&'a str>,
+    histograms: &BTreeSet<&'a str>,
+) -> (BTreeMap<&'a str, String>, BTreeMap<&'a str, String>) {
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    let mut unique = |base: String, total: bool| -> String {
+        let full = |b: &str| if total { format!("{b}_total") } else { b.to_string() };
+        let mut name = full(&base);
+        let mut n = 1u32;
+        while !used.insert(name.clone()) {
+            n += 1;
+            name = full(&format!("{base}_{n}"));
+        }
+        name
+    };
+    let counter_map =
+        counters.iter().map(|&raw| (raw, unique(metric_name(raw, false), true))).collect();
+    let histogram_map =
+        histograms.iter().map(|&raw| (raw, unique(metric_name(raw, false), false))).collect();
+    (counter_map, histogram_map)
+}
+
+/// Render several labeled registries into one exposition. Metric families
+/// are emitted once (union of all series' names) with `# HELP` and
+/// `# TYPE` preceding the samples of every series, which is what keeps a
+/// multi-run `/metrics` page conformant — sample lines repeat per run,
+/// comment lines never.
+pub fn render_many(series: &[Series<'_>]) -> String {
+    let mut out = String::new();
+    let counter_names: BTreeSet<&str> =
+        series.iter().flat_map(|(_, r)| r.counters().map(|(n, _)| n)).collect();
+    let histogram_names: BTreeSet<&str> =
+        series.iter().flat_map(|(_, r)| r.histograms().map(|(n, _)| n)).collect();
+    let (counter_family, histogram_family) = assign_family_names(&counter_names, &histogram_names);
+    for raw in counter_names {
+        let name = &counter_family[raw];
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&counter_help(raw)));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (labels, registry) in series {
+            if registry.counters().any(|(n, _)| n == raw) {
+                let _ =
+                    writeln!(out, "{name}{} {}", label_block(labels, None), registry.counter(raw));
+            }
+        }
+    }
+    for raw in histogram_names {
+        let name = &histogram_family[raw];
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&histogram_help(raw)));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (labels, registry) in series {
+            let Some(h) = registry.histogram(raw) else { continue };
+            // Buckets are cumulative: each `le` bound counts everything at
+            // or below it, and `+Inf` equals the total count.
+            let mut cumulative = 0u64;
+            for (i, &bound) in h.bounds().iter().enumerate() {
+                cumulative += h.counts()[i];
+                let block = label_block(labels, Some(&le_text(bound)));
+                let _ = writeln!(out, "{name}_bucket{block} {cumulative}");
+            }
+            let block = label_block(labels, Some("+Inf"));
+            let _ = writeln!(out, "{name}_bucket{block} {}", h.count());
+            let plain = label_block(labels, None);
+            let _ = writeln!(out, "{name}_sum{plain} {}", h.sum());
+            let _ = writeln!(out, "{name}_count{plain} {}", h.count());
+        }
+    }
+    out
+}
+
+/// Render one registry with one label set.
+pub fn render(registry: &MetricsRegistry, labels: &[(String, String)]) -> String {
+    render_many(&[(labels.to_vec(), registry)])
+}
+
+fn counter_help(raw: &str) -> String {
+    format!("Cumulative value of simulator counter \"{raw}\".")
+}
+
+fn histogram_help(raw: &str) -> String {
+    format!("Distribution of simulator histogram \"{raw}\" (seconds).")
+}
+
+// ---------------------------------------------------------------------------
+// Conformance checker
+// ---------------------------------------------------------------------------
+
+/// Validate text against exposition format 0.0.4. Returns every violation
+/// found (empty `Err` never happens; `Ok` means conformant). Checked:
+///
+/// * line grammar: `# HELP`/`# TYPE` comments and `name[{labels}] value`
+///   samples only, final newline present;
+/// * metric and label names match `[a-zA-Z_:][a-zA-Z0-9_:]*` /
+///   `[a-zA-Z_][a-zA-Z0-9_]*`;
+/// * every sample is preceded by its family's HELP and TYPE (HELP first);
+/// * `counter` samples carry the `_total` suffix and non-negative values;
+/// * `histogram` families expose `_bucket`/`_sum`/`_count`, bucket counts
+///   are cumulative (non-decreasing in emission order), the `+Inf` bucket
+///   is present and equals `_count`, per label set;
+/// * sample values parse as floats.
+pub fn check_exposition(text: &str) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    if text.is_empty() {
+        errors.push("empty exposition".to_string());
+        return Err(errors);
+    }
+    if !text.ends_with('\n') {
+        errors.push("exposition does not end with a newline".to_string());
+    }
+
+    #[derive(Default)]
+    struct Family {
+        help: bool,
+        kind: Option<String>,
+        samples_seen: bool,
+    }
+    let mut families: std::collections::BTreeMap<String, Family> = Default::default();
+    // (family, label-set-without-le) -> (ordered bucket values, +Inf value)
+    #[derive(Default)]
+    struct BucketRun {
+        values: Vec<f64>,
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut buckets: std::collections::BTreeMap<(String, String), BucketRun> = Default::default();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut it = rest.splitn(3, ' ');
+            let keyword = it.next().unwrap_or("");
+            let name = it.next().unwrap_or("");
+            let tail = it.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {lineno}: bad metric name in HELP: {name:?}"));
+                    }
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.help {
+                        errors.push(format!("line {lineno}: duplicate HELP for {name}"));
+                    }
+                    fam.help = true;
+                }
+                "TYPE" => {
+                    if !matches!(tail, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        errors.push(format!("line {lineno}: unknown TYPE {tail:?} for {name}"));
+                    }
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.kind.is_some() {
+                        errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+                    }
+                    if fam.samples_seen {
+                        errors.push(format!("line {lineno}: TYPE for {name} after its samples"));
+                    }
+                    if !fam.help {
+                        errors.push(format!("line {lineno}: TYPE for {name} precedes HELP"));
+                    }
+                    fam.kind = Some(tail.to_string());
+                }
+                _ => errors.push(format!("line {lineno}: unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            errors.push(format!("line {lineno}: malformed comment: {line:?}"));
+            continue;
+        }
+
+        // Sample: name[{labels}] value
+        let (name, labels, value) = match split_sample(line) {
+            Ok(parts) => parts,
+            Err(why) => {
+                errors.push(format!("line {lineno}: {why}"));
+                continue;
+            }
+        };
+        if !valid_metric_name(&name) {
+            errors.push(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let pairs = match parse_labels(&labels) {
+            Ok(p) => p,
+            Err(why) => {
+                errors.push(format!("line {lineno}: {why}"));
+                continue;
+            }
+        };
+        for (k, _) in &pairs {
+            if !valid_label_name(k) {
+                errors.push(format!("line {lineno}: bad label name {k:?}"));
+            }
+        }
+        let val: f64 = match parse_value(&value) {
+            Some(v) => v,
+            None => {
+                errors.push(format!("line {lineno}: bad sample value {value:?}"));
+                continue;
+            }
+        };
+
+        // Resolve the family: histogram samples attach to their base name.
+        let (family_name, histo_role) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                let is_histo =
+                    families.get(base).and_then(|f| f.kind.as_deref()) == Some("histogram");
+                is_histo.then(|| (base.to_string(), Some(*suffix)))
+            })
+            .unwrap_or((name.clone(), None));
+        match families.get_mut(&family_name) {
+            None => {
+                errors.push(format!("line {lineno}: sample {name} has no HELP/TYPE"));
+                continue;
+            }
+            Some(fam) => {
+                fam.samples_seen = true;
+                if !fam.help || fam.kind.is_none() {
+                    errors.push(format!("line {lineno}: sample {name} missing HELP or TYPE"));
+                }
+                if fam.kind.as_deref() == Some("counter") {
+                    if !name.ends_with("_total") {
+                        errors.push(format!("line {lineno}: counter {name} lacks _total suffix"));
+                    }
+                    if val < 0.0 {
+                        errors.push(format!("line {lineno}: counter {name} is negative"));
+                    }
+                }
+            }
+        }
+        if let Some(role) = histo_role {
+            let without_le: Vec<&(String, String)> =
+                pairs.iter().filter(|(k, _)| k != "le").collect();
+            let key_labels =
+                without_le.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",");
+            let run = buckets.entry((family_name.clone(), key_labels)).or_default();
+            match role {
+                "_bucket" => {
+                    let le = pairs.iter().find(|(k, _)| k == "le").map(|(_, v)| v.as_str());
+                    match le {
+                        None => errors.push(format!("line {lineno}: bucket without le label")),
+                        Some("+Inf") => run.inf = Some(val),
+                        Some(le) => {
+                            if le.parse::<f64>().is_err() {
+                                errors.push(format!("line {lineno}: bad le bound {le:?}"));
+                            }
+                            run.values.push(val);
+                        }
+                    }
+                }
+                "_count" => run.count = Some(val),
+                _ => {}
+            }
+        }
+    }
+
+    for ((family, labels), run) in &buckets {
+        let ctx = if labels.is_empty() { family.clone() } else { format!("{family}{{{labels}}}") };
+        if run.values.windows(2).any(|w| w[0] > w[1]) {
+            errors.push(format!("{ctx}: bucket counts are not cumulative"));
+        }
+        match (run.inf, run.count) {
+            (None, _) => errors.push(format!("{ctx}: missing le=\"+Inf\" bucket")),
+            (Some(inf), Some(count)) if inf != count => {
+                errors.push(format!("{ctx}: +Inf bucket {inf} != count {count}"));
+            }
+            (Some(inf), None) => {
+                errors.push(format!("{ctx}: _count missing (saw +Inf {inf})"));
+            }
+            _ => {}
+        }
+        if let Some(&last) = run.values.last() {
+            if let Some(inf) = run.inf {
+                if last > inf {
+                    errors.push(format!("{ctx}: last finite bucket {last} exceeds +Inf {inf}"));
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Split `name[{labels}] value` into its three parts, respecting quotes.
+fn split_sample(line: &str) -> Result<(String, String, String), String> {
+    if let Some(brace) = line.find('{') {
+        let name = &line[..brace];
+        let rest = &line[brace + 1..];
+        // Find the closing brace outside quotes.
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_quotes => escaped = true,
+                '"' => in_quotes = !in_quotes,
+                '}' if !in_quotes => {
+                    let labels = &rest[..i];
+                    let value = rest[i + 1..].trim();
+                    if value.is_empty() {
+                        return Err("missing sample value".to_string());
+                    }
+                    return Ok((name.to_string(), labels.to_string(), value.to_string()));
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated label block".to_string())
+    } else {
+        let mut it = line.split_whitespace();
+        let name = it.next().ok_or("empty sample line")?;
+        let value = it.next().ok_or("missing sample value")?;
+        Ok((name.to_string(), String::new(), value.to_string()))
+    }
+}
+
+/// Parse `k="v",k2="v2"` into pairs, unescaping values.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value after {key}"));
+        }
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in after[1..].char_indices() {
+            if escaped {
+                match c {
+                    'n' => value.push('\n'),
+                    other => value.push(other),
+                }
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i + 2); // past opening and closing quote
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        pairs.push((key, value));
+        rest = after[end..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("garbage after label value: {rest:?}"));
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbench_sim::SECONDS_BUCKETS;
+
+    fn labels(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    fn populated() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.inc("events.compute", 3);
+        r.inc("faults.crash.recovered", 1);
+        r.inc("net.bytes", 1_234_567);
+        for v in [0.0005, 0.05, 2.0, 50_000.0] {
+            r.observe("seconds.compute", &SECONDS_BUCKETS, v);
+        }
+        r
+    }
+
+    #[test]
+    fn names_are_sanitized_with_total_suffix_for_counters() {
+        assert_eq!(metric_name("faults.crash", true), "graphbench_faults_crash_total");
+        assert_eq!(metric_name("seconds.compute", false), "graphbench_seconds_compute");
+        assert_eq!(
+            metric_name("disk.hdfs-read.bytes", true),
+            "graphbench_disk_hdfs_read_bytes_total"
+        );
+        assert_eq!(label_name("run id"), "run_id");
+        assert_eq!(label_name("9runs"), "_9runs");
+    }
+
+    #[test]
+    fn colliding_sanitized_names_stay_distinct_families() {
+        // "a b" and "a.b" both sanitize to graphbench_a_b; the second (in
+        // raw-name order) must get a disambiguator so HELP/TYPE stay
+        // unique and the page stays conformant.
+        let mut r = MetricsRegistry::new();
+        r.inc("a b", 1);
+        r.inc("a.b", 2);
+        r.observe("a b", &SECONDS_BUCKETS, 0.5);
+        r.observe("a.b", &SECONDS_BUCKETS, 1.5);
+        let text = render(&r, &[]);
+        check_exposition(&text).unwrap_or_else(|v| panic!("{v:?}\n{text}"));
+        assert!(text.contains("# TYPE graphbench_a_b_total counter"), "{text}");
+        assert!(text.contains("# TYPE graphbench_a_b_2_total counter"), "{text}");
+        assert!(text.contains("graphbench_a_b_total 1"), "{text}");
+        assert!(text.contains("graphbench_a_b_2_total 2"), "{text}");
+        assert!(text.contains("# TYPE graphbench_a_b histogram"), "{text}");
+        assert!(text.contains("# TYPE graphbench_a_b_2 histogram"), "{text}");
+        // Both HELP lines still quote the raw names, telling them apart.
+        assert!(text.contains("counter \"a b\""), "{text}");
+        assert!(text.contains("counter \"a.b\""), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        let text = render(
+            &{
+                let mut r = MetricsRegistry::new();
+                r.inc("events.compute", 1);
+                r
+            },
+            &labels(&[("note", "say \"hi\"\nback\\slash")]),
+        );
+        assert!(text.contains(r#"note="say \"hi\"\nback\\slash""#), "{text}");
+        check_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn rendered_registry_is_conformant() {
+        let r = populated();
+        let text = render(&r, &labels(&[("engine", "giraph"), ("seed", "7")]));
+        check_exposition(&text).unwrap();
+        // Counters carry HELP/TYPE and the _total suffix.
+        assert!(text.contains("# TYPE graphbench_events_compute_total counter"));
+        assert!(text.contains("graphbench_events_compute_total{engine=\"giraph\",seed=\"7\"} 3"));
+        // Histogram buckets are cumulative with a +Inf bucket == count.
+        assert!(text.contains("# TYPE graphbench_seconds_compute histogram"));
+        assert!(text.contains("le=\"+Inf\"} 4"));
+        assert!(text.contains("graphbench_seconds_compute_count{engine=\"giraph\",seed=\"7\"} 4"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_in_rendered_output() {
+        let r = populated();
+        let text = render(&r, &[]);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("graphbench_seconds_compute_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), SECONDS_BUCKETS.len() + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 4); // +Inf == count
+    }
+
+    #[test]
+    fn multi_series_render_emits_each_family_once() {
+        let a = populated();
+        let mut b = MetricsRegistry::new();
+        b.inc("events.compute", 9);
+        let text =
+            render_many(&[(labels(&[("run", "0001")]), &a), (labels(&[("run", "0002")]), &b)]);
+        check_exposition(&text).unwrap();
+        let type_lines =
+            text.lines().filter(|l| l.contains("TYPE graphbench_events_compute_total")).count();
+        assert_eq!(type_lines, 1);
+        assert!(text.contains("graphbench_events_compute_total{run=\"0001\"} 3"));
+        assert!(text.contains("graphbench_events_compute_total{run=\"0002\"} 9"));
+        // b has no histogram: only one set of bucket samples.
+        let buckets =
+            text.lines().filter(|l| l.starts_with("graphbench_seconds_compute_bucket")).count();
+        assert_eq!(buckets, SECONDS_BUCKETS.len() + 1);
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        // No HELP/TYPE.
+        assert!(check_exposition("foo_total 1\n").is_err());
+        // Counter without _total.
+        let bad = "# HELP foo x\n# TYPE foo counter\nfoo 1\n";
+        assert!(check_exposition(bad).is_err());
+        // Non-cumulative buckets.
+        let bad = concat!(
+            "# HELP h x\n# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n",
+            "h_sum 1\nh_count 5\n",
+        );
+        let errs = check_exposition(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not cumulative")), "{errs:?}");
+        // +Inf != count.
+        let bad = concat!(
+            "# HELP h x\n# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+        );
+        let errs = check_exposition(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("+Inf")), "{errs:?}");
+        // Missing final newline.
+        let errs = check_exposition("# HELP c x\n# TYPE c counter\nc_total 1").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("newline")), "{errs:?}");
+        // Bad metric name.
+        assert!(check_exposition("# HELP 2bad x\n# TYPE 2bad counter\n2bad_total 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_and_multi_run_labels_round_trip() {
+        let r = MetricsRegistry::new();
+        assert_eq!(render(&r, &[]), "");
+        let parsed = parse_labels(r#"a="x,y",b="q\"z""#).unwrap();
+        assert_eq!(parsed, vec![("a".into(), "x,y".into()), ("b".into(), "q\"z".into())]);
+    }
+}

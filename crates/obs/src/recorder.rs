@@ -1,0 +1,244 @@
+//! In-memory flight recorder: the state behind the HTTP endpoints.
+//!
+//! One [`FlightRecorder`] per process records every run the hub announces:
+//! its metadata, a ring buffer of the last N superstep snapshots, the
+//! latest metrics-registry snapshot, and — once the run ends — its status
+//! and journal. The HTTP server reads it to serve `/metrics` (all runs'
+//! registries merged into one conformant exposition), `/runs` (JSON
+//! index), and `/runs/<id>/journal`.
+
+use crate::progress::{Observer, ProgressEvent, RunEnd, RunMeta};
+use crate::prom;
+use graphbench_sim::MetricsRegistry;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring-buffer depth: supersteps kept per run.
+pub const DEFAULT_RING: usize = 256;
+
+struct RunEntry {
+    meta: RunMeta,
+    /// `None` while in flight.
+    status: Option<String>,
+    sim_seconds: f64,
+    supersteps: u64,
+    recent: VecDeque<ProgressEvent>,
+    registry: Option<MetricsRegistry>,
+    journal_jsonl: Option<String>,
+}
+
+/// Thread-safe recorder of recent run state. Implements [`Observer`], so
+/// it is just another sink on the hub.
+pub struct FlightRecorder {
+    ring: usize,
+    runs: Mutex<Vec<RunEntry>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_RING)
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(ring: usize) -> Self {
+        FlightRecorder { ring: ring.max(1), runs: Mutex::new(Vec::new()) }
+    }
+
+    /// All runs' registries as one Prometheus exposition, each labeled
+    /// with its run identity. Runs appear in announcement order, so the
+    /// output for a finished set of runs is deterministic.
+    pub fn render_prom(&self) -> String {
+        let runs = self.runs.lock().unwrap();
+        let series: Vec<prom::Series<'_>> = runs
+            .iter()
+            .filter_map(|r| r.registry.as_ref().map(|reg| (r.meta.prom_labels(), reg)))
+            .collect();
+        prom::render_many(&series)
+    }
+
+    /// JSON index of recorded runs, newest last.
+    pub fn runs_json(&self) -> String {
+        let runs = self.runs.lock().unwrap();
+        let index: Vec<serde_json::Value> = runs
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "run_id": r.meta.run_id,
+                    "engine": r.meta.engine,
+                    "workload": r.meta.workload,
+                    "dataset": r.meta.dataset,
+                    "machines": r.meta.machines,
+                    "scale": r.meta.scale,
+                    "seed": r.meta.seed,
+                    "status": r.status, // null while in flight
+                    "sim_seconds": r.sim_seconds,
+                    "supersteps": r.supersteps,
+                    "recent_supersteps": r.recent.len(),
+                    "has_journal": r.journal_jsonl.is_some(),
+                })
+            })
+            .collect();
+        serde_json::to_string_pretty(&index).expect("index serializes")
+    }
+
+    /// A finished run's journal (JSONL), if recorded.
+    pub fn journal(&self, run_id: &str) -> Option<String> {
+        let runs = self.runs.lock().unwrap();
+        runs.iter().find(|r| r.meta.run_id == run_id).and_then(|r| r.journal_jsonl.clone())
+    }
+
+    /// The last ring-buffer snapshots of a run, as JSONL.
+    pub fn recent_jsonl(&self, run_id: &str) -> Option<String> {
+        let runs = self.runs.lock().unwrap();
+        let run = runs.iter().find(|r| r.meta.run_id == run_id)?;
+        let mut out = String::new();
+        for ev in &run.recent {
+            out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    pub fn run_count(&self) -> usize {
+        self.runs.lock().unwrap().len()
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn on_run_start(&self, meta: &RunMeta) {
+        self.runs.lock().unwrap().push(RunEntry {
+            meta: meta.clone(),
+            status: None,
+            sim_seconds: 0.0,
+            supersteps: 0,
+            recent: VecDeque::with_capacity(self.ring.min(64)),
+            registry: None,
+            journal_jsonl: None,
+        });
+    }
+
+    fn on_superstep(&self, meta: &RunMeta, ev: &ProgressEvent, registry: &MetricsRegistry) {
+        let mut runs = self.runs.lock().unwrap();
+        let Some(run) = runs.iter_mut().rev().find(|r| r.meta.run_id == meta.run_id) else {
+            return;
+        };
+        run.supersteps = run.supersteps.max(ev.superstep + 1);
+        run.sim_seconds = ev.sim_seconds;
+        if run.recent.len() == self.ring {
+            run.recent.pop_front();
+        }
+        run.recent.push_back(ev.clone());
+        run.registry = Some(registry.clone());
+    }
+
+    fn on_run_end(&self, meta: &RunMeta, end: &RunEnd) {
+        let mut runs = self.runs.lock().unwrap();
+        let Some(run) = runs.iter_mut().rev().find(|r| r.meta.run_id == meta.run_id) else {
+            return;
+        };
+        run.status = Some(end.status.clone());
+        run.sim_seconds = end.sim_seconds;
+        run.supersteps = end.supersteps;
+        run.journal_jsonl = Some(end.journal_jsonl.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(n: u64) -> RunMeta {
+        RunMeta {
+            run_id: format!("{n:04}-giraph-pagerank-twitter-m16"),
+            engine: "Giraph".into(),
+            workload: "PageRank".into(),
+            dataset: "twitter".into(),
+            machines: 16,
+            scale: 300,
+            seed: 7,
+        }
+    }
+
+    fn event(meta: &RunMeta, superstep: u64) -> ProgressEvent {
+        ProgressEvent {
+            run_id: meta.run_id.clone(),
+            superstep,
+            active_vertices: 10,
+            messages: superstep,
+            net_bytes: superstep * 100,
+            sim_seconds: superstep as f64,
+            host_seconds: 0.0,
+            journal_events: superstep,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_last_n_supersteps() {
+        let rec = FlightRecorder::new(3);
+        let m = meta(1);
+        rec.on_run_start(&m);
+        let mut reg = MetricsRegistry::new();
+        for step in 0..5 {
+            reg.inc("events.barrier", 1);
+            rec.on_superstep(&m, &event(&m, step), &reg);
+        }
+        let recent = rec.recent_jsonl(&m.run_id).unwrap();
+        let steps: Vec<u64> = recent
+            .lines()
+            .map(|l| {
+                serde_json::from_str::<serde_json::Value>(l).unwrap()["superstep"].as_u64().unwrap()
+            })
+            .collect();
+        assert_eq!(steps, vec![2, 3, 4]);
+        // The registry snapshot is the latest one.
+        assert!(rec.render_prom().contains("graphbench_events_barrier_total"));
+        assert!(rec.render_prom().contains("} 5"));
+    }
+
+    #[test]
+    fn index_and_journal_follow_the_run_lifecycle() {
+        let rec = FlightRecorder::new(8);
+        let m = meta(1);
+        rec.on_run_start(&m);
+        let idx: serde_json::Value = serde_json::from_str(&rec.runs_json()).unwrap();
+        assert_eq!(idx[0]["status"], serde_json::Value::Null); // in flight
+        assert_eq!(idx[0]["has_journal"], false);
+        assert!(rec.journal(&m.run_id).is_none());
+
+        rec.on_run_end(
+            &m,
+            &RunEnd {
+                status: "OK".into(),
+                sim_seconds: 42.0,
+                host_seconds: 0.1,
+                supersteps: 5,
+                journal_jsonl: "{\"seq\":0}\n".into(),
+            },
+        );
+        let idx: serde_json::Value = serde_json::from_str(&rec.runs_json()).unwrap();
+        assert_eq!(idx[0]["status"], "OK");
+        assert_eq!(idx[0]["sim_seconds"], 42.0);
+        assert_eq!(rec.journal(&m.run_id).unwrap(), "{\"seq\":0}\n");
+        assert!(rec.journal("no-such-run").is_none());
+        assert_eq!(rec.run_count(), 1);
+    }
+
+    #[test]
+    fn multi_run_exposition_is_conformant() {
+        let rec = FlightRecorder::new(8);
+        for n in 1..=2 {
+            let mut m = meta(n);
+            m.run_id = format!("{n:04}-run");
+            rec.on_run_start(&m);
+            let mut reg = MetricsRegistry::new();
+            reg.inc("events.compute", n);
+            reg.observe("seconds.compute", &graphbench_sim::SECONDS_BUCKETS, n as f64);
+            rec.on_superstep(&m, &event(&m, 0), &reg);
+        }
+        let text = rec.render_prom();
+        crate::prom::check_exposition(&text).unwrap();
+        assert!(text.contains("run=\"0001-run\""));
+        assert!(text.contains("run=\"0002-run\""));
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end scrape of the observability server over a raw
+//! `std::net::TcpStream`, exactly as an external Prometheus scraper (or
+//! `curl`) would speak to it: no shared in-process state, a real socket on
+//! an ephemeral port.
+
+use graphbench_obs::{check_exposition, FlightRecorder, ObserverHub};
+use graphbench_sim::{ClusterObserver, MetricsRegistry, SuperstepSnapshot, SECONDS_BUCKETS};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Raw-socket GET: returns (status line, headers, body).
+fn raw_get(addr: &str, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// Drive a fake multi-superstep run through the hub+recorder, serving it
+/// live, and scrape mid-run and post-run.
+#[test]
+fn live_scrape_during_a_multi_superstep_run() {
+    let recorder = Arc::new(FlightRecorder::new(16));
+    let hub = Arc::new(ObserverHub::new());
+    hub.add_sink(recorder.clone());
+    let server = graphbench_obs::serve("127.0.0.1:0", recorder.clone()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    hub.begin_run("Giraph", "PageRank", "twitter", 16, 300, 7);
+    let mut registry = MetricsRegistry::new();
+    for step in 0..5u64 {
+        registry.inc("events.compute", 1);
+        registry.inc("events.barrier", 1);
+        registry.observe("seconds.compute", &SECONDS_BUCKETS, 0.1 * (step + 1) as f64);
+        let snap = SuperstepSnapshot {
+            superstep: step,
+            clock: step as f64,
+            active_vertices: 100 - step,
+            messages: step * 10,
+            net_bytes: step * 1000,
+            journal_events: step * 2,
+        };
+        hub.on_superstep(&snap, &registry);
+
+        if step == 2 {
+            // Mid-run scrape: conformant exposition with live counters.
+            let (status, headers, body) = raw_get(&addr, "/metrics");
+            assert!(status.contains("200"), "{status}");
+            assert!(headers.contains("version=0.0.4"), "{headers}");
+            check_exposition(&body).unwrap();
+            assert!(body.contains("graphbench_events_barrier_total"), "{body}");
+            assert!(body.contains("engine=\"Giraph\""), "{body}");
+            // The run is in flight: index shows a null status.
+            let (_, _, runs) = raw_get(&addr, "/runs");
+            let index: serde_json::Value = serde_json::from_str(&runs).unwrap();
+            assert!(index[0]["status"].is_null(), "{index}");
+        }
+    }
+    hub.end_run("OK", 4.0, "{\"seq\":0}\n".to_string());
+
+    // Post-run: status and journal are served.
+    let (_, _, runs) = raw_get(&addr, "/runs");
+    let index: serde_json::Value = serde_json::from_str(&runs).unwrap();
+    assert_eq!(index[0]["status"], "OK");
+    assert_eq!(index[0]["supersteps"], 5);
+    let run_id = index[0]["run_id"].as_str().unwrap().to_string();
+    let (status, _, journal) = raw_get(&addr, &format!("/runs/{run_id}/journal"));
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(journal, "{\"seq\":0}\n");
+
+    // The final exposition still conforms and carries all five barriers.
+    let (_, _, body) = raw_get(&addr, "/metrics");
+    check_exposition(&body).unwrap();
+    assert!(body.contains("graphbench_events_barrier_total"));
+    assert!(body
+        .lines()
+        .any(|l| l.starts_with("graphbench_events_barrier_total") && l.ends_with(" 5")));
+}
+
+#[test]
+fn healthz_and_unknown_paths() {
+    let server = graphbench_obs::serve("127.0.0.1:0", Arc::new(FlightRecorder::default()))
+        .expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+
+    let (status, _, body) = raw_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, _, _) = raw_get(&addr, "/definitely/not/a/route");
+    assert!(status.contains("404"), "{status}");
+    let (status, _, _) = raw_get(&addr, "/runs/ghost/journal");
+    assert!(status.contains("404"), "{status}");
+}
+
+#[test]
+fn exposition_is_identical_across_scrapes_of_quiescent_state() {
+    let recorder = Arc::new(FlightRecorder::new(16));
+    let hub = ObserverHub::new();
+    hub.add_sink(recorder.clone());
+    hub.begin_run("GraphX", "WCC", "uk-2007", 32, 300, 9);
+    let mut registry = MetricsRegistry::new();
+    registry.inc("events.compute", 2);
+    hub.on_superstep(
+        &SuperstepSnapshot {
+            superstep: 0,
+            clock: 1.0,
+            active_vertices: 1,
+            messages: 1,
+            net_bytes: 1,
+            journal_events: 1,
+        },
+        &registry,
+    );
+    hub.end_run("OK", 1.0, String::new());
+
+    let server = graphbench_obs::serve("127.0.0.1:0", recorder).expect("bind");
+    let addr = server.local_addr().to_string();
+    let (_, _, first) = raw_get(&addr, "/metrics");
+    let (_, _, second) = raw_get(&addr, "/metrics");
+    assert_eq!(first, second);
+    check_exposition(&first).unwrap();
+}

@@ -4,6 +4,7 @@ use crate::cost::CostProfile;
 use crate::hosttrace;
 use crate::journal::{EventKind, Journal, JournalEvent};
 use crate::metrics::{CpuBreakdown, PhaseTimes};
+use crate::observer::SuperstepSnapshot;
 use crate::registry::{MetricsRegistry, SECONDS_BUCKETS};
 use crate::spec::{ClusterSpec, FaultEvent};
 use crate::timeline::{Span, Timeline};
@@ -151,6 +152,10 @@ pub struct Cluster {
     /// Fast-path flags so fault-free runs never scan the plan per charge.
     has_stragglers: bool,
     has_net_degradation: bool,
+    /// Active-vertex count the engine reported for the superstep in flight
+    /// via [`Cluster::report_active`]; surfaced to observers at the next
+    /// barrier, never part of any simulated cost or record.
+    active_hint: u64,
     label: &'static str,
     journal: Journal,
     registry: MetricsRegistry,
@@ -193,6 +198,7 @@ impl Cluster {
             fault_consumed,
             has_stragglers,
             has_net_degradation,
+            active_hint: 0,
             label: Phase::Overhead.name(),
             journal: Journal::new(),
             registry: MetricsRegistry::new(),
@@ -860,9 +866,30 @@ impl Cluster {
         )
     }
 
+    /// Whether any live observers are attached. Engines may use this to
+    /// skip the bookkeeping behind [`Cluster::report_active`]; nothing in
+    /// the simulation itself ever branches on it.
+    pub fn has_observers(&self) -> bool {
+        !self.spec.observers.is_empty()
+    }
+
+    /// Report how many vertices are active in the superstep in flight. A
+    /// pure observability hint: it feeds the next barrier's
+    /// [`SuperstepSnapshot`] and nothing else — no cost, no journal entry,
+    /// no registry change — so reporting it (or not) cannot perturb a run.
+    pub fn report_active(&mut self, vertices: u64) {
+        self.active_hint = vertices;
+    }
+
     /// Charge one BSP barrier and count a superstep. The barrier cost is
     /// multiplied by `superstep_scale`: one executed superstep stands in for
     /// that many paper-scale supersteps on diameter-compressed datasets.
+    ///
+    /// After the charge commits, attached [`crate::ClusterObserver`]s see a
+    /// [`SuperstepSnapshot`] of the run so far (even when this barrier trips
+    /// the deadline — the timeout is then visible live, as in the journal).
+    /// Observers get `&`-references only; the simulated outcome is the same
+    /// with or without them.
     pub fn barrier(&mut self) -> Result<(), SimError> {
         let n = self.physical as f64;
         let dt = (self.spec.net.barrier_base
@@ -873,6 +900,20 @@ impl Cluster {
         // counter is bumped even when the barrier trips the deadline.
         let r = self.commit(EventKind::Barrier, Charge { dt, ..Charge::default() });
         self.supersteps += 1;
+        if !self.spec.observers.is_empty() {
+            let snapshot = SuperstepSnapshot {
+                superstep: self.supersteps - 1,
+                clock: self.clock,
+                active_vertices: self.active_hint,
+                messages: self.total_messages,
+                net_bytes: self.total_net_bytes,
+                journal_events: self.journal.len() as u64,
+            };
+            for obs in self.spec.observers.iter() {
+                obs.on_superstep(&snapshot, &self.registry);
+            }
+        }
+        self.active_hint = 0;
         r
     }
 
@@ -1522,6 +1563,55 @@ mod tests {
         }
         assert_eq!(c.registry().counter("events.compute"), 2);
         assert_eq!(c.registry().counter("net.bytes"), c.total_net_bytes());
+    }
+
+    #[test]
+    fn observers_fire_at_barrier_and_leave_the_run_bit_identical() {
+        use crate::observer::{ClusterObserver, ObserverSet, SuperstepSnapshot};
+        use std::sync::{Arc, Mutex};
+
+        struct Recorder(Mutex<Vec<SuperstepSnapshot>>);
+        impl ClusterObserver for Recorder {
+            fn on_superstep(&self, snap: &SuperstepSnapshot, registry: &MetricsRegistry) {
+                // The registry borrow is live: barrier events are visible.
+                assert_eq!(registry.counter("events.barrier"), snap.superstep + 1);
+                self.0.lock().unwrap().push(*snap);
+            }
+        }
+
+        let recorder = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let mut observers = ObserverSet::new();
+        observers.attach(recorder.clone());
+        let mut observed = Cluster::new(
+            ClusterSpec { observers, ..ClusterSpec::r3_xlarge(2, 1 << 30) },
+            CostProfile::cpp_mpi(),
+        );
+        let mut plain = cluster(2, 1 << 30);
+        for c in [&mut observed, &mut plain] {
+            c.begin_phase(Phase::Execute);
+            for step in 0..3u64 {
+                c.advance_compute(&[1.0e6, 2.0e6], 4).unwrap();
+                c.exchange(&[100, 200], &[200, 100], &[1, 2]).unwrap();
+                c.report_active(10 - step);
+                c.barrier().unwrap();
+            }
+        }
+
+        let snaps = recorder.0.lock().unwrap();
+        assert_eq!(snaps.len(), 3);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.superstep, i as u64);
+            assert_eq!(s.active_vertices, 10 - i as u64);
+            assert_eq!(s.net_bytes, observed.total_net_bytes());
+            assert!(s.clock <= observed.elapsed());
+        }
+        assert_eq!(snaps[2].clock.to_bits(), observed.elapsed().to_bits());
+
+        // Read-only contract: every simulated record is bit-identical.
+        assert_eq!(observed.elapsed().to_bits(), plain.elapsed().to_bits());
+        assert_eq!(observed.journal().to_jsonl(), plain.journal().to_jsonl());
+        assert!(observed.has_observers());
+        assert!(!plain.has_observers());
     }
 
     #[test]

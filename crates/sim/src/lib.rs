@@ -24,6 +24,7 @@ pub mod cost;
 pub mod hosttrace;
 pub mod journal;
 pub mod metrics;
+pub mod observer;
 pub mod registry;
 pub mod spec;
 pub mod timeline;
@@ -34,6 +35,7 @@ pub use cost::CostProfile;
 pub use hosttrace::HostSpan;
 pub use journal::{EventKind, Journal, JournalEvent, LabelCost};
 pub use metrics::{CpuBreakdown, PhaseTimes, RunMetrics, RunStatus};
+pub use observer::{ClusterObserver, ObserverSet, SuperstepSnapshot};
 pub use registry::{Histogram, MetricsRegistry, SECONDS_BUCKETS};
 pub use spec::{
     ClusterSpec, DiskSpec, FaultEvent, FaultPlan, FaultSpec, NetworkSpec, MAX_ELASTIC_MACHINES,

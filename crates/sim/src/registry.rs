@@ -33,11 +33,29 @@ impl Histogram {
         Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
     }
 
+    /// Record one observation.
+    ///
+    /// Edge cases are kept honest rather than silently misbucketed:
+    ///
+    /// * `NaN` is clamped to `0.0` (lowest bucket) — every comparison
+    ///   against a bound is false for NaN, which used to drop it into the
+    ///   overflow bucket *and* poison `sum()` to NaN forever;
+    /// * `-inf` lands in the lowest bucket, `+inf` in the overflow bucket
+    ///   (the implicit `+Inf` bucket of the Prometheus exposition), and
+    ///   neither contributes to `sum()` — so `sum()` stays finite (a single
+    ///   `inf + -inf` pair would otherwise leave it NaN forever) and always
+    ///   equals the sum of the *finite* observations;
+    /// * the invariant `count() == counts().iter().sum()` holds after every
+    ///   observation — there is no path that bumps one but not the other.
     pub fn observe(&mut self, v: f64) {
+        let v = if v.is_nan() { 0.0 } else { v };
         let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
         self.counts[i] += 1;
         self.count += 1;
-        self.sum += v;
+        if v.is_finite() {
+            self.sum += v;
+        }
+        debug_assert_eq!(self.count, self.counts.iter().sum::<u64>());
     }
 
     /// Inclusive upper bounds of the regular buckets.
@@ -154,6 +172,41 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.counts().len(), SECONDS_BUCKETS.len() + 1);
         assert_eq!(h.counts()[SECONDS_BUCKETS.len()], 1); // the 50 000 s outlier
+    }
+
+    #[test]
+    fn nan_observations_are_clamped_not_misbucketed() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(f64::NAN);
+        // Clamped to 0.0: lowest bucket, not overflow, and the sum stays
+        // finite for everything observed afterwards.
+        assert_eq!(h.counts(), &[1, 0, 0]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0.0);
+        h.observe(5.0);
+        assert!(h.sum().is_finite());
+        assert!((h.sum() - 5.0).abs() < 1e-12);
+        assert_eq!(h.counts().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn infinities_land_in_the_edge_buckets() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(f64::NEG_INFINITY); // lowest bucket (-inf <= 1.0)
+        h.observe(f64::INFINITY); // implicit +Inf (overflow) bucket
+        assert_eq!(h.counts(), &[1, 0, 1]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn count_equals_bucket_sum_across_all_edge_cases() {
+        let mut h = Histogram::new(&[0.5]);
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.5, 1.0, -3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.counts().iter().sum::<u64>(), h.count());
     }
 
     #[test]

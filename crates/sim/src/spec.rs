@@ -433,6 +433,12 @@ pub struct ClusterSpec {
     /// through [`crate::Cluster::take_transient`]. The plan is validated at
     /// [`crate::Cluster::new`].
     pub faults: FaultPlan,
+    /// Live superstep observers (the observability plane). Strictly
+    /// read-only at the cluster's commit point and invisible to serde and
+    /// equality — see [`crate::observer::ObserverSet`] — so records are
+    /// byte-identical with or without them.
+    #[serde(skip)]
+    pub observers: crate::observer::ObserverSet,
 }
 
 impl ClusterSpec {
@@ -449,6 +455,7 @@ impl ClusterSpec {
             work_scale: 1.0,
             superstep_scale: 1.0,
             faults: FaultPlan::none(),
+            observers: crate::observer::ObserverSet::new(),
         }
     }
 

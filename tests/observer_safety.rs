@@ -1,0 +1,148 @@
+//! Observer read-only contract: the live observability plane must never
+//! perturb a simulated outcome. A [`RunRecord`] (every metric, journal
+//! event, note, and registry value) serializes byte-identically whether or
+//! not an [`ObserverHub`] — with real sinks attached — rides the run, for
+//! clean and faulted plans alike; and the Prometheus exposition rendered
+//! from an observed run is itself deterministic across host thread counts
+//! and executor chunk sizes.
+
+use graphbench::system::GlStop;
+use graphbench::{ExperimentSpec, PaperEnv, RunRecord, Runner, SystemId};
+use graphbench_algos::WorkloadKind;
+use graphbench_gen::{DatasetKind, Scale};
+use graphbench_obs::{FlightRecorder, ObserverHub};
+use graphbench_sim::{FaultEvent, FaultPlan};
+use std::sync::Arc;
+
+/// The golden configuration (see `tests/golden_records.rs`): small, fast,
+/// fully deterministic.
+fn runner() -> Runner {
+    let mut r = Runner::new(PaperEnv::new(Scale { base: 300 }, 7));
+    r.seeds = vec![7];
+    r.fixed_pr_iterations = 5;
+    r
+}
+
+/// A hub with the real production sink stack attached (the flight recorder
+/// that backs the HTTP endpoints), plus the recorder handle for
+/// inspection.
+fn observed_hub() -> (Arc<ObserverHub>, Arc<FlightRecorder>) {
+    let hub = Arc::new(ObserverHub::new());
+    let recorder = Arc::new(FlightRecorder::default());
+    hub.add_sink(recorder.clone());
+    (hub, recorder)
+}
+
+fn spec(system: SystemId, workload: WorkloadKind) -> ExperimentSpec {
+    ExperimentSpec { system, workload, dataset: DatasetKind::Twitter, machines: 16 }
+}
+
+/// Run a spec twice — bare, and with the full observer stack — and demand
+/// byte equality of record and journal. Returns the recorder so callers
+/// can also check what the plane saw.
+fn assert_observation_is_free(
+    sp: &ExperimentSpec,
+    faults: Option<FaultPlan>,
+) -> (RunRecord, Arc<FlightRecorder>) {
+    let mut bare = runner();
+    bare.faults = faults.clone();
+    let plain = bare.run(sp);
+
+    let (hub, recorder) = observed_hub();
+    let mut watched = runner();
+    watched.faults = faults;
+    watched.obs = Some(hub);
+    let observed = watched.run(sp);
+
+    let label = format!("{} {}", plain.system, plain.workload);
+    assert_eq!(
+        serde_json::to_string_pretty(&plain).unwrap(),
+        serde_json::to_string_pretty(&observed).unwrap(),
+        "{label}: record changed when observed"
+    );
+    assert_eq!(
+        plain.journal.to_jsonl(),
+        observed.journal.to_jsonl(),
+        "{label}: journal changed when observed"
+    );
+    // Guard against a vacuous pass: the plane really did see the run.
+    assert_eq!(recorder.run_count(), 1, "{label}: the recorder missed the run");
+    (observed, recorder)
+}
+
+#[test]
+fn clean_runs_are_byte_identical_under_observation() {
+    let cells = [
+        (SystemId::Giraph, WorkloadKind::PageRank),
+        (
+            SystemId::GraphLab { sync: true, auto: false, stop: GlStop::Iterations },
+            WorkloadKind::Wcc,
+        ),
+        (SystemId::BlogelV, WorkloadKind::Wcc),
+        (SystemId::GraphX, WorkloadKind::PageRank),
+    ];
+    for (system, workload) in cells {
+        let (rec, recorder) = assert_observation_is_free(&spec(system, workload), None);
+        // The hub delivered real per-superstep telemetry, not just run
+        // bookkeeping: the recorder's registry snapshot renders and its
+        // journal matches the record's, byte for byte.
+        let runs: serde_json::Value = serde_json::from_str(&recorder.runs_json()).unwrap();
+        let entry = &runs.as_array().unwrap()[0];
+        assert!(
+            entry["supersteps"].as_u64().unwrap() > 0,
+            "{}: no supersteps observed",
+            rec.system
+        );
+        assert_eq!(entry["status"], serde_json::json!(rec.metrics.status.code()));
+        let run_id = entry["run_id"].as_str().unwrap();
+        assert_eq!(recorder.journal(run_id).unwrap(), rec.journal.to_jsonl());
+    }
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_under_observation() {
+    let sp = spec(SystemId::Giraph, WorkloadKind::PageRank);
+    // The golden faulted plan: derive event times from the clean phase
+    // accounting so all three events land inside execution.
+    let p = runner().run(&sp).metrics.phases;
+    let exec_at = |alpha: f64| p.overhead + p.load + alpha * p.execute;
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent::Straggler {
+                start: exec_at(0.1),
+                duration: 0.2 * p.execute,
+                machine: 1,
+                slowdown: 2.0,
+            },
+            FaultEvent::Crash { at_time: exec_at(0.5), machine: 3 },
+            FaultEvent::LostShuffleFetch { at_time: exec_at(0.75), machine: 2, attempts: 2 },
+        ],
+    };
+    let (rec, _) = assert_observation_is_free(&sp, Some(plan));
+    assert!(rec.journal.fault_seconds() > 0.0, "the faulted plan really injected faults");
+}
+
+#[test]
+fn exposition_is_deterministic_across_threads_and_chunk() {
+    let sp = spec(SystemId::Giraph, WorkloadKind::PageRank);
+    let render = |threads: usize, chunk: Option<usize>| {
+        let (hub, recorder) = observed_hub();
+        let mut r = runner();
+        r.threads = Some(threads);
+        r.chunk = chunk;
+        r.obs = Some(hub);
+        r.run(&sp);
+        recorder.render_prom()
+    };
+    let baseline = render(1, None);
+    graphbench_obs::check_exposition(&baseline)
+        .unwrap_or_else(|v| panic!("non-conformant exposition: {v:?}"));
+    assert!(baseline.contains("graphbench_"), "exposition is non-empty");
+    for (threads, chunk) in [(4, None), (1, Some(97)), (4, Some(97))] {
+        assert_eq!(
+            baseline,
+            render(threads, chunk),
+            "exposition diverged at threads={threads} chunk={chunk:?}"
+        );
+    }
+}
